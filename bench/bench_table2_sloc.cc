@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Table 2: sizes of the CubicleOS components (SLOC).
+ *
+ * The paper reports the implementation effort: monitor 3,000 C +
+ * 110 asm; builder 640 Python; Unikraft window support 600; SQLite
+ * port 620; NGINX port 390. This binary counts the equivalent modules
+ * of this reproduction (non-blank, non-comment lines) so the
+ * comparison is inspectable on any checkout.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+int
+slocOfFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return -1;
+    int sloc = 0;
+    std::string line;
+    bool in_block_comment = false;
+    while (std::getline(in, line)) {
+        // Strip leading whitespace.
+        std::size_t i = line.find_first_not_of(" \t\r");
+        if (i == std::string::npos)
+            continue;
+        const std::string t = line.substr(i);
+        if (in_block_comment) {
+            if (t.find("*/") != std::string::npos)
+                in_block_comment = false;
+            continue;
+        }
+        if (t.rfind("//", 0) == 0)
+            continue;
+        if (t.rfind("/*", 0) == 0 || t.rfind("/**", 0) == 0) {
+            if (t.find("*/") == std::string::npos)
+                in_block_comment = true;
+            continue;
+        }
+        if (t.rfind("*", 0) == 0)
+            continue; // doc-comment continuation
+        ++sloc;
+    }
+    return sloc;
+}
+
+int
+slocOfFiles(const std::vector<std::string> &files)
+{
+    int total = 0;
+    for (const auto &f : files) {
+        int n = slocOfFile("src/" + f);
+        if (n < 0)
+            n = slocOfFile("../src/" + f); // run from build/
+        if (n < 0) {
+            std::fprintf(stderr,
+                         "note: %s not found (run from the repo "
+                         "root)\n",
+                         f.c_str());
+            continue;
+        }
+        total += n;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    cubicleos::bench::header(
+        "Table 2: sizes of CubicleOS components (SLOC)",
+        "Sartakov et al., ASPLOS'21, Table 2");
+
+    struct RowDef {
+        const char *component;
+        const char *paper;
+        std::vector<std::string> files;
+    };
+    const RowDef rows[] = {
+        {"Monitor (cross-cubicle calls)", "110 asm",
+         {"core/system.cc", "core/system.h"}},
+        {"Monitor (all components)", "3,000 C",
+         {"core/monitor.cc", "core/monitor.h", "core/window.h",
+          "core/cubicle.h", "core/stats.h", "hw/mpk.h",
+          "hw/page_table.cc", "hw/page_table.h", "mem/arena.cc",
+          "mem/suballoc.cc", "mem/page_meta.h"}},
+        {"Builder (trampoline generation)", "640 Python",
+         {"core/component.h", "core/codescan.cc", "core/codescan.h"}},
+        {"Unikraft window support", "600 C",
+         {"libos/ukapi.cc", "libos/sockapi.cc"}},
+        {"SQLite port", "620 C",
+         {"libos/ukapi.h", "apps/minisql/speedtest.h"}},
+        {"NGINX port", "390 C",
+         {"libos/sockapi.h", "apps/httpd/harness.h"}},
+    };
+
+    std::printf("%-36s %12s %14s\n", "component", "paper SLOC",
+                "this repo");
+    cubicleos::bench::rule('-', 64);
+    for (const auto &row : rows) {
+        std::printf("%-36s %12s %14d\n", row.component, row.paper,
+                    slocOfFiles(row.files));
+    }
+    cubicleos::bench::rule('-', 64);
+    std::printf("\nnote: this reproduction implements every substrate "
+                "from scratch, so the\nline counts bound the same "
+                "responsibilities rather than matching exactly;\n"
+                "the point of Table 2 — isolation with a small "
+                "trusted core and a small\nper-application porting "
+                "effort — is preserved.\n");
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Isolation demo: the threat model (paper §2.3) in action.
+ *
+ * Walks through the attacks CubicleOS is designed to stop, using the
+ * real library OS deployment: a compromised file system trying to
+ * steal another component's secrets, a dangling window pointer, a
+ * hostile binary with embedded wrpkru/syscall instructions, and a
+ * code-injection attempt.
+ *
+ * Usage: ./isolation_demo
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/codescan.h"
+#include "core/system.h"
+#include "libos/app.h"
+#include "libos/stack.h"
+
+using namespace cubicleos;
+
+namespace {
+
+int g_check = 0;
+
+void
+scenario(const char *title)
+{
+    std::printf("\n[%d] %s\n", ++g_check, title);
+}
+
+void
+verdict(bool blocked, const char *detail)
+{
+    std::printf("    -> %s: %s\n", blocked ? "BLOCKED" : "ALLOWED",
+                detail);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CubicleOS isolation demo — the §2.3 threat model\n");
+
+    core::SystemConfig cfg;
+    cfg.numPages = 8192;
+    core::System sys(cfg);
+    libos::addLibosComponents(sys);
+    auto *tls = static_cast<libos::AppComponent *>(
+        &sys.addComponent(std::make_unique<libos::AppComponent>(
+            "tls")));
+    auto *evil = static_cast<libos::AppComponent *>(
+        &sys.addComponent(std::make_unique<libos::AppComponent>(
+            "evil")));
+    libos::finishBoot(sys);
+
+    // The TLS component holds a key in its cubicle.
+    char *secret = nullptr;
+    tls->run([&] {
+        secret = static_cast<char *>(sys.heapAlloc(32));
+        std::strcpy(secret, "-----TLS PRIVATE KEY-----");
+    });
+
+    scenario("compromised component reads another cubicle's TLS key "
+             "(CVE-2018-5410 motivation)");
+    evil->run([&] {
+        try {
+            sys.touch(secret, 25, hw::Access::kRead);
+            verdict(false, "secret disclosed!");
+        } catch (const hw::CubicleFault &fault) {
+            verdict(true, fault.what());
+        }
+    });
+
+    scenario("legitimate sharing through a window, then revocation");
+    core::Wid wid = 0;
+    tls->run([&] {
+        wid = sys.windowInit();
+        sys.windowAdd(wid, secret, 32);
+        sys.windowOpen(wid, evil->self());
+    });
+    evil->run([&] {
+        sys.touch(secret, 25, hw::Access::kRead);
+        verdict(false, "access granted while the window is open "
+                       "(zero-copy)");
+    });
+    tls->run([&] {
+        sys.windowClose(wid, evil->self());
+        sys.touch(secret, 32, hw::Access::kWrite); // owner reclaims
+    });
+    evil->run([&] {
+        try {
+            sys.touch(secret, 25, hw::Access::kRead);
+            verdict(false, "stale pointer still works!");
+        } catch (const hw::CubicleFault &) {
+            verdict(true, "window closed; dangling pointer faults "
+                          "(temporal isolation)");
+        }
+    });
+
+    scenario("hostile binary containing wrpkru (0F 01 EF)");
+    {
+        std::vector<uint8_t> image(4096, 0x90);
+        image[1000] = 0x0F;
+        image[1001] = 0x01;
+        image[1002] = 0xEF;
+        if (auto hit = core::scanCodeImage(image)) {
+            std::printf("    loader scan: found '%s' at offset %zu\n",
+                        hit->mnemonic.c_str(), hit->offset);
+            verdict(true, "loader refuses to map the image");
+        } else {
+            verdict(false, "scanner missed the instruction!");
+        }
+    }
+
+    scenario("code injection: execute shellcode written to the heap");
+    evil->run([&] {
+        auto *shellcode = static_cast<uint8_t *>(sys.heapAlloc(64));
+        shellcode[0] = 0xC3; // ret
+        try {
+            sys.checkExec(shellcode);
+            verdict(false, "heap executed!");
+        } catch (const hw::CubicleFault &) {
+            verdict(true, "data pages carry no execute permission");
+        }
+    });
+
+    scenario("jump into another cubicle's code without a trampoline");
+    evil->run([&] {
+        const auto &code = sys.monitor().cubicle(tls->self()).codeRange;
+        try {
+            sys.checkExec(code.ptr);
+            verdict(false, "cross-cubicle jump executed!");
+        } catch (const hw::CubicleFault &) {
+            verdict(true, "modified-MPK execute semantics fault the "
+                          "fetch (CFI)");
+        }
+    });
+
+    std::printf("\n%llu isolation violations recorded by the "
+                "monitor; the secret is intact: \"%s\"\n",
+                static_cast<unsigned long long>(
+                    sys.stats().violations()),
+                secret);
+    return 0;
+}

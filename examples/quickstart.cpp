@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Quickstart: the paper's Figure 1c / Figure 2 walkthrough in code.
+ *
+ * Two components, FOO and BAR. FOO owns a buffer; BAR exports a
+ * function bar(ptr, a) that writes ptr[a]. With cubicles alone the
+ * write faults; after FOO opens a window for BAR, the same pointer
+ * works zero-copy; after FOO reclaims the buffer, BAR's stashed
+ * pointer faults again.
+ *
+ * Build & run: ./quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/system.h"
+
+using namespace cubicleos;
+
+namespace {
+
+/** BAR: exports bar(ptr, a), which writes 0xAA at ptr[a] (Fig. 1). */
+class BarComponent : public core::Component {
+  public:
+    core::ComponentSpec spec() const override
+    {
+        core::ComponentSpec s;
+        s.name = "bar";
+        return s;
+    }
+
+    void registerExports(core::Exporter &exp) override
+    {
+        exp.fn<void(char *, int)>("bar", [this](char *ptr, int a) {
+            // The callee accesses the caller's memory directly —
+            // ordinary call semantics, policed by MPK + windows.
+            sys()->touch(ptr + a, 1, hw::Access::kWrite);
+            ptr[a] = static_cast<char>(0xAA);
+        });
+    }
+};
+
+/** FOO: owns the array that gets shared through a window. */
+class FooComponent : public core::Component {
+  public:
+    core::ComponentSpec spec() const override
+    {
+        core::ComponentSpec s;
+        s.name = "foo";
+        return s;
+    }
+
+    void registerExports(core::Exporter &) override {}
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CubicleOS quickstart: cubicles, windows, "
+                "cross-cubicle calls\n\n");
+
+    core::SystemConfig cfg;
+    cfg.numPages = 1024; // 4 MiB simulated machine
+    core::System sys(cfg);
+    sys.addComponent(std::make_unique<FooComponent>());
+    sys.addComponent(std::make_unique<BarComponent>());
+    sys.boot();
+    std::printf("[boot] 2 components loaded into isolated cubicles "
+                "(one MPK key each)\n");
+
+    auto bar = sys.resolve<void(char *, int)>("bar", "bar");
+    const core::Cid foo = sys.cidOf("foo");
+    const core::Cid bar_cid = sys.cidOf("bar");
+
+    sys.runAs(foo, [&] {
+        // foo: char array[10]; int a = 5;   (Figure 1)
+        core::StackFrame frame(sys);
+        char *array =
+            static_cast<char *>(frame.allocPageAligned(10));
+        std::memset(array, 0, 10);
+        const int a = 5;
+
+        // 1. Without a window the cross-cubicle access faults.
+        std::printf("[1] calling bar(array, %d) with no window... ",
+                    a);
+        try {
+            bar(array, a);
+            std::printf("UNEXPECTED: write succeeded\n");
+        } catch (const hw::CubicleFault &fault) {
+            std::printf("blocked:\n      %s\n", fault.what());
+        }
+
+        // 2. open_window(array, BAR); bar(array, a); close_window.
+        std::printf("[2] open_window(array, BAR); bar(array, a)... ");
+        const core::Wid wid = sys.windowInit();
+        sys.windowAdd(wid, array, 10);
+        sys.windowOpen(wid, bar_cid);
+        bar(array, a);
+        std::printf("ok: array[%d] = 0x%02X (zero-copy)\n", a,
+                    static_cast<unsigned char>(array[a]));
+        sys.windowClose(wid, bar_cid);
+
+        // 3. Causal tag consistency: after close + owner reclaim,
+        //    BAR's access faults again.
+        sys.touch(array, 10, hw::Access::kWrite); // owner reclaims
+        std::printf("[3] window closed, owner reclaimed; calling "
+                    "bar again... ");
+        try {
+            bar(array, a);
+            std::printf("UNEXPECTED: write succeeded\n");
+        } catch (const hw::CubicleFault &) {
+            std::printf("blocked (temporal isolation)\n");
+        }
+        sys.windowDestroy(wid);
+    });
+
+    std::printf("\nstats: %llu cross-cubicle calls, %llu traps, "
+                "%llu retags, %llu wrpkru writes\n",
+                static_cast<unsigned long long>(
+                    sys.stats().totalCalls()),
+                static_cast<unsigned long long>(sys.stats().traps()),
+                static_cast<unsigned long long>(sys.stats().retags()),
+                static_cast<unsigned long long>(sys.stats().wrpkrus()));
+    return 0;
+}

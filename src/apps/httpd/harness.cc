@@ -1,0 +1,126 @@
+#include "apps/httpd/harness.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace cubicleos::httpd {
+
+HttpHarness::HttpHarness(core::IsolationMode mode,
+                         std::size_t num_pages,
+                         uint64_t request_base_cycles)
+    : requestBaseCycles_(request_base_cycles)
+{
+    core::SystemConfig cfg;
+    cfg.numPages = num_pages;
+    cfg.mode = mode;
+    sys_ = std::make_unique<core::System>(cfg);
+    wire_ = std::make_unique<libos::FrameChannel>(&sys_->clock());
+
+    libos::StackOptions opts;
+    opts.withNet = true;
+    opts.wire = wire_.get();
+    libos::addLibosComponents(*sys_, opts);
+    nginx_ = static_cast<NginxComponent *>(
+        &sys_->addComponent(std::make_unique<NginxComponent>(80)));
+    libos::finishBoot(*sys_);
+
+    nginxCid_ = sys_->cidOf("nginx");
+    nginxPoll_ = sys_->resolve<int64_t(uint64_t)>("nginx", "nginx_poll");
+
+    libos::TcpConfig ccfg;
+    ccfg.ipAddr = 0x0A000002;
+    client_ = std::make_unique<libos::TcpIpStack>(ccfg);
+}
+
+HttpHarness::~HttpHarness() = default;
+
+void
+HttpHarness::createFile(const std::string &path, std::size_t size)
+{
+    nginx_->createFile(path, size);
+}
+
+void
+HttpHarness::pumpOnce()
+{
+    now_ += 1'000'000; // 1 ms of simulated time per round
+    client_->tick(now_);
+    client_->pollOutput([&](const uint8_t *p, std::size_t n) {
+        wire_->hostSend(libos::FrameChannel::Frame(p, p + n));
+    });
+    sys_->runAs(nginxCid_, [&] { nginxPoll_(now_); });
+    while (auto frame = wire_->hostRecv())
+        client_->input(frame->data(), frame->size());
+}
+
+FetchResult
+HttpHarness::fetch(const std::string &path)
+{
+    FetchResult res;
+    const auto wall_start = std::chrono::steady_clock::now();
+    const uint64_t cycles_start = sys_->clock().read();
+
+    // Per-request fixed cost: external client plus network RTTs.
+    sys_->clock().charge(requestBaseCycles_);
+
+    const int fd = client_->socket();
+    client_->connect(fd, 0x0A000001, 80);
+
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+    bool request_sent = false;
+
+    std::string response;
+    std::size_t content_length = 0;
+    std::size_t header_end = std::string::npos;
+    std::vector<char> buf(16384);
+
+    for (int round = 0; round < 1'000'000; ++round) {
+        pumpOnce();
+        if (!request_sent && client_->isEstablished(fd)) {
+            client_->send(fd, request.data(), request.size());
+            request_sent = true;
+        }
+        const int64_t n = client_->recv(fd, buf.data(), buf.size());
+        if (n > 0) {
+            response.append(buf.data(), static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            break; // orderly close
+        }
+        if (header_end == std::string::npos) {
+            header_end = response.find("\r\n\r\n");
+            if (header_end != std::string::npos) {
+                const auto cl = response.find("Content-Length: ");
+                if (cl != std::string::npos) {
+                    content_length = static_cast<std::size_t>(
+                        std::strtoull(response.c_str() + cl + 16,
+                                      nullptr, 10));
+                }
+            }
+        }
+        if (header_end != std::string::npos &&
+            response.size() >= header_end + 4 + content_length) {
+            break;
+        }
+    }
+    client_->close(fd);
+    for (int i = 0; i < 5; ++i)
+        pumpOnce(); // drain FIN exchange
+
+    if (response.compare(0, 9, "HTTP/1.1 ") == 0)
+        res.status = std::atoi(response.c_str() + 9);
+    res.bodyBytes = header_end == std::string::npos
+                        ? 0
+                        : response.size() - header_end - 4;
+
+    res.wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    res.modelMs = hw::CycleClock::toNanoseconds(sys_->clock().read() -
+                                                cycles_start) /
+                  1e6;
+    return res;
+}
+
+} // namespace cubicleos::httpd

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * HTTP harness: boots the full NGINX deployment (Fig. 5's eight
+ * isolated cubicles) and drives it with a host-side TCP client — the
+ * siege stand-in of the paper's §6.3 experiment.
+ *
+ * Reported latency = real wall time of the simulation + modelled
+ * hardware cycles (wire latency, MPK costs) at the paper's CPU
+ * frequency.
+ */
+
+#ifndef CUBICLEOS_APPS_HTTPD_HARNESS_H_
+#define CUBICLEOS_APPS_HTTPD_HARNESS_H_
+
+#include <memory>
+#include <string>
+
+#include "apps/httpd/httpd.h"
+#include "libos/netdev.h"
+#include "libos/stack.h"
+#include "libos/tcpip.h"
+
+namespace cubicleos::httpd {
+
+/** One fetched response. */
+struct FetchResult {
+    int status = 0;
+    std::size_t bodyBytes = 0;
+    double wallMs = 0;    ///< real time spent simulating
+    double modelMs = 0;   ///< modelled hardware time
+    double latencyMs() const { return wallMs + modelMs; }
+};
+
+/** Boots and drives the networked NGINX deployment. */
+class HttpHarness {
+  public:
+    /**
+     * @param mode isolation mode (Unikraft baseline vs CubicleOS)
+     * @param num_pages simulated memory size in pages
+     * @param request_base_cycles fixed per-request cost modelling the
+     *        external client and network round trips that dominate
+     *        small-file latency in the paper (≈5 ms at 2.2 GHz)
+     */
+    explicit HttpHarness(core::IsolationMode mode,
+                         std::size_t num_pages = 32768,
+                         uint64_t request_base_cycles = 11'000'000);
+    ~HttpHarness();
+
+    /** Creates a served file with deterministic contents. */
+    void createFile(const std::string &path, std::size_t size);
+
+    /** Fetches @p path over a fresh connection; measures latency. */
+    FetchResult fetch(const std::string &path);
+
+    core::System &sys() { return *sys_; }
+    NginxComponent &nginx() { return *nginx_; }
+    libos::FrameChannel &wire() { return *wire_; }
+
+  private:
+    void pumpOnce();
+
+    std::unique_ptr<core::System> sys_;
+    std::unique_ptr<libos::FrameChannel> wire_;
+    std::unique_ptr<libos::TcpIpStack> client_;
+    core::CrossFn<int64_t(uint64_t)> nginxPoll_;
+    NginxComponent *nginx_ = nullptr;
+    uint64_t requestBaseCycles_;
+    uint64_t now_ = 0;
+    core::Cid nginxCid_ = core::kNoCubicle;
+};
+
+} // namespace cubicleos::httpd
+
+#endif // CUBICLEOS_APPS_HTTPD_HARNESS_H_

@@ -1,0 +1,208 @@
+#include "apps/httpd/httpd.h"
+
+#include <cstring>
+
+#include "hw/prng.h"
+
+namespace cubicleos::httpd {
+
+using libos::NetErr;
+
+void
+NginxComponent::init()
+{
+    sock_ = std::make_unique<libos::CubicleSockApi>(*sys());
+    fs_ = std::make_unique<libos::CubicleFileApi>(*sys(), "ramfs");
+
+    auto buf_range =
+        sys()->monitor().allocPagesFor(self(), hw::pagesFor(kIoChunk),
+                                       mem::PageType::kHeap);
+    if (!buf_range.valid())
+        throw core::OutOfMemory("nginx I/O buffer");
+    ioBuf_ = reinterpret_cast<char *>(buf_range.ptr);
+
+    listenFd_ = sock_->socket();
+    if (sock_->bind(listenFd_, port_) != 0 ||
+        sock_->listen(listenFd_, 32) != 0) {
+        throw core::LoaderError("nginx: cannot listen on port " +
+                                std::to_string(port_));
+    }
+}
+
+void
+NginxComponent::registerExports(core::Exporter &exp)
+{
+    exp.fn<int64_t(uint64_t)>(
+        "nginx_poll", [this](uint64_t now_ns) { return poll(now_ns); });
+}
+
+void
+NginxComponent::createFile(const std::string &path, std::size_t size)
+{
+    sys()->runAs(self(), [&] {
+        const int fd =
+            fs_->open(path.c_str(), libos::kCreate | libos::kWrOnly |
+                                        libos::kTrunc);
+        if (fd < 0)
+            throw core::LoaderError("nginx: cannot create " + path);
+        hw::Prng prng(std::hash<std::string>{}(path));
+        std::size_t written = 0;
+        while (written < size) {
+            const std::size_t chunk =
+                std::min(kIoChunk, size - written);
+            for (std::size_t i = 0; i < chunk; ++i) {
+                ioBuf_[i] = static_cast<char>(
+                    'A' + ((written + i + prng.nextBelow(3)) % 26));
+            }
+            fs_->pwrite(fd, ioBuf_, chunk, written);
+            written += chunk;
+        }
+        fs_->close(fd);
+    });
+}
+
+int64_t
+NginxComponent::poll(uint64_t now_ns)
+{
+    // Drive the network stack, accept new connections, advance all.
+    sock_->poll(now_ns);
+
+    for (;;) {
+        const int fd = sock_->accept(listenFd_);
+        if (fd < 0)
+            break;
+        Conn conn;
+        conn.fd = fd;
+        conn.buf = static_cast<char *>(sys()->heapAlloc(kIoChunk));
+        conns_.push_back(conn);
+    }
+
+    int64_t active = 0;
+    for (auto &conn : conns_) {
+        if (conn.fd >= 0) {
+            progress(conn);
+            ++active;
+        }
+    }
+    std::erase_if(conns_, [](const Conn &c) { return c.fd < 0; });
+    return active;
+}
+
+void
+NginxComponent::handleRequest(Conn &conn)
+{
+    // Parse "GET <path> HTTP/1.x".
+    std::string path = "/";
+    if (conn.request.compare(0, 4, "GET ") == 0) {
+        const std::size_t sp = conn.request.find(' ', 4);
+        if (sp != std::string::npos)
+            path = conn.request.substr(4, sp - 4);
+    }
+
+    libos::VfsStat st;
+    const int rc = fs_->stat(path.c_str(), &st);
+    if (rc != 0 || !st.isFile()) {
+        conn.header = "HTTP/1.1 404 Not Found\r\n"
+                      "Content-Length: 0\r\n"
+                      "Connection: close\r\n\r\n";
+        conn.fileFd = -1;
+        conn.fileSize = 0;
+        ++stats_.errors;
+    } else {
+        conn.fileFd = fs_->open(path.c_str(), libos::kRdOnly);
+        conn.fileSize = st.size;
+        conn.header = "HTTP/1.1 200 OK\r\n"
+                      "Content-Length: " +
+                      std::to_string(st.size) +
+                      "\r\n"
+                      "Content-Type: application/octet-stream\r\n"
+                      "Connection: close\r\n\r\n";
+    }
+    conn.state = Conn::kSendHeader;
+    conn.headerSent = 0;
+}
+
+void
+NginxComponent::progress(Conn &conn)
+{
+    switch (conn.state) {
+      case Conn::kReadRequest: {
+        const int64_t n = sock_->recv(conn.fd, conn.buf, kIoChunk);
+        if (n > 0) {
+            conn.request.append(conn.buf, static_cast<std::size_t>(n));
+            if (conn.request.find("\r\n\r\n") != std::string::npos)
+                handleRequest(conn);
+        } else if (n == 0 || (n < 0 && n != NetErr::kNetAgain)) {
+            sock_->close(conn.fd);
+            sys()->heapFree(conn.buf);
+            conn.buf = nullptr;
+            conn.fd = -1;
+        }
+        break;
+      }
+      case Conn::kSendHeader: {
+        // Stage the header in the cubicle buffer and push it out.
+        const std::size_t remaining =
+            conn.header.size() - conn.headerSent;
+        const std::size_t chunk = std::min(remaining, kIoChunk);
+        std::memcpy(conn.buf, conn.header.data() + conn.headerSent,
+                    chunk);
+        const int64_t n = sock_->send(conn.fd, conn.buf, chunk);
+        if (n > 0)
+            conn.headerSent += static_cast<std::size_t>(n);
+        if (conn.headerSent == conn.header.size()) {
+            ++stats_.requests;
+            if (conn.fileFd >= 0) {
+                conn.state = Conn::kSendBody;
+                conn.fileOff = 0;
+                conn.chunkLen = conn.chunkSent = 0;
+            } else {
+                conn.state = Conn::kClosing;
+            }
+        }
+        break;
+      }
+      case Conn::kSendBody: {
+        if (conn.chunkSent == conn.chunkLen) {
+            // Refill from the file system.
+            if (conn.fileOff >= conn.fileSize) {
+                fs_->close(conn.fileFd);
+                conn.fileFd = -1;
+                conn.state = Conn::kClosing;
+                break;
+            }
+            const int64_t got = fs_->pread(conn.fileFd, conn.buf,
+                                           kIoChunk, conn.fileOff);
+            if (got <= 0) {
+                fs_->close(conn.fileFd);
+                conn.fileFd = -1;
+                conn.state = Conn::kClosing;
+                break;
+            }
+            conn.chunkLen = static_cast<std::size_t>(got);
+            conn.chunkSent = 0;
+            conn.fileOff += static_cast<uint64_t>(got);
+        }
+        // memmove-free partial sends: send from the staged chunk.
+        const int64_t n = sock_->send(conn.fd,
+                                      conn.buf + conn.chunkSent,
+                                      conn.chunkLen - conn.chunkSent);
+        if (n > 0) {
+            conn.chunkSent += static_cast<std::size_t>(n);
+            stats_.bytesSent += static_cast<uint64_t>(n);
+        }
+        break;
+      }
+      case Conn::kClosing: {
+        if (sock_->sendDrained(conn.fd)) {
+            sock_->close(conn.fd);
+            sys()->heapFree(conn.buf);
+            conn.buf = nullptr;
+            conn.fd = -1;
+        }
+        break;
+      }
+    }
+}
+
+} // namespace cubicleos::httpd

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The NGINX stand-in: a static-file HTTP/1.1 server component.
+ *
+ * Runs as the application cubicle of the paper's Fig. 5 deployment:
+ * accepts connections through the LWIP cubicle (CubicleSockApi),
+ * serves files from RAMFS through VFSCORE (CubicleFileApi), with all
+ * buffers in its own cubicle memory and window-managed per call.
+ *
+ * Non-blocking design: nginx_poll() advances every connection's state
+ * machine one step, exactly like an event-loop web server.
+ */
+
+#ifndef CUBICLEOS_APPS_HTTPD_HTTPD_H_
+#define CUBICLEOS_APPS_HTTPD_HTTPD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "libos/sockapi.h"
+#include "libos/ukapi.h"
+
+namespace cubicleos::httpd {
+
+/** Server statistics. */
+struct HttpdStats {
+    uint64_t requests = 0;
+    uint64_t bytesSent = 0;
+    uint64_t errors = 0;
+};
+
+/** The isolated NGINX application component. */
+class NginxComponent : public core::Component {
+  public:
+    explicit NginxComponent(uint16_t port = 80) : port_(port) {}
+
+    core::ComponentSpec spec() const override
+    {
+        core::ComponentSpec s;
+        s.name = "nginx";
+        s.kind = core::CubicleKind::kIsolated;
+        s.stackPages = 32;
+        return s;
+    }
+
+    void registerExports(core::Exporter &exp) override;
+    void init() override;
+
+    /**
+     * Creates a served file of @p size deterministic bytes (host-side
+     * test/bench setup; runs inside this cubicle).
+     */
+    void createFile(const std::string &path, std::size_t size);
+
+    const HttpdStats &stats() const { return stats_; }
+
+  private:
+    static constexpr std::size_t kIoChunk = 8192;
+
+    struct Conn {
+        int fd = -1;
+        char *buf = nullptr; ///< per-connection cubicle I/O buffer
+        enum State { kReadRequest, kSendHeader, kSendBody, kClosing }
+            state = kReadRequest;
+        std::string request;
+        std::string header;
+        std::size_t headerSent = 0;
+        int fileFd = -1;
+        uint64_t fileSize = 0;
+        uint64_t fileOff = 0;
+        std::size_t chunkLen = 0; ///< bytes of body staged in buffer
+        std::size_t chunkSent = 0;
+    };
+
+    int64_t poll(uint64_t now_ns);
+    void progress(Conn &conn);
+    void handleRequest(Conn &conn);
+
+    uint16_t port_;
+    int listenFd_ = -1;
+    std::unique_ptr<libos::CubicleSockApi> sock_;
+    std::unique_ptr<libos::CubicleFileApi> fs_;
+    char *ioBuf_ = nullptr; ///< cubicle-owned I/O staging buffer
+    std::vector<Conn> conns_;
+    HttpdStats stats_;
+};
+
+} // namespace cubicleos::httpd
+
+#endif // CUBICLEOS_APPS_HTTPD_HTTPD_H_

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Abstract syntax tree for the SQL subset.
+ *
+ * Supported statements: CREATE TABLE / CREATE [UNIQUE] INDEX / DROP
+ * TABLE / INSERT / SELECT (single table or one inner join, WHERE,
+ * GROUP BY, ORDER BY, LIMIT, aggregates) / UPDATE / DELETE / BEGIN /
+ * COMMIT / ROLLBACK / PRAGMA.
+ */
+
+#ifndef CUBICLEOS_APPS_MINISQL_AST_H_
+#define CUBICLEOS_APPS_MINISQL_AST_H_
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "apps/minisql/value.h"
+
+namespace cubicleos::minisql {
+
+/** Expression node kinds. */
+enum class ExprOp : uint8_t {
+    kLiteral,
+    kColumn,
+    kStar, ///< '*' in select lists and count(*)
+    kNeg,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+    kLike,    ///< arg0 LIKE arg1 (literal pattern)
+    kBetween, ///< arg0 BETWEEN arg1 AND arg2
+    kIn,      ///< arg0 IN (arg1..argN)
+    kCall,    ///< aggregate call: count/sum/avg/min/max
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** One expression node. */
+struct Expr {
+    ExprOp op = ExprOp::kLiteral;
+    Value lit;          ///< kLiteral
+    std::string table;  ///< kColumn: optional qualifier
+    std::string column; ///< kColumn
+    std::string func;   ///< kCall (lower-cased)
+    std::vector<ExprPtr> args;
+
+    static ExprPtr literal(Value v)
+    {
+        auto e = std::make_unique<Expr>();
+        e->op = ExprOp::kLiteral;
+        e->lit = std::move(v);
+        return e;
+    }
+
+    static ExprPtr columnRef(std::string table, std::string column)
+    {
+        auto e = std::make_unique<Expr>();
+        e->op = ExprOp::kColumn;
+        e->table = std::move(table);
+        e->column = std::move(column);
+        return e;
+    }
+
+    static ExprPtr node(ExprOp op, std::vector<ExprPtr> args)
+    {
+        auto e = std::make_unique<Expr>();
+        e->op = op;
+        e->args = std::move(args);
+        return e;
+    }
+};
+
+/** Column definition in CREATE TABLE. */
+struct ColumnDef {
+    std::string name;
+    ValueType type = ValueType::kText;
+    bool primaryKey = false;
+};
+
+struct CreateTableStmt {
+    std::string name;
+    std::vector<ColumnDef> columns;
+    bool ifNotExists = false;
+};
+
+struct CreateIndexStmt {
+    std::string name;
+    std::string table;
+    std::string column;
+    bool unique = false;
+};
+
+struct DropTableStmt {
+    std::string name;
+};
+
+struct InsertStmt {
+    std::string table;
+    std::vector<std::string> columns; ///< empty: positional
+    std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct SelectItem {
+    ExprPtr expr;
+    std::string alias;
+};
+
+struct JoinClause {
+    std::string table;
+    std::string alias;
+    ExprPtr on;
+};
+
+struct SelectStmt {
+    std::vector<SelectItem> items;
+    std::string table;
+    std::string tableAlias;
+    std::vector<JoinClause> joins; ///< inner joins, left to right
+    ExprPtr where;
+    std::vector<ExprPtr> groupBy;
+    struct OrderKey {
+        ExprPtr expr;
+        bool desc = false;
+    };
+    std::vector<OrderKey> orderBy;
+    int64_t limit = -1;
+};
+
+struct UpdateStmt {
+    std::string table;
+    std::vector<std::pair<std::string, ExprPtr>> sets;
+    ExprPtr where;
+};
+
+struct DeleteStmt {
+    std::string table;
+    ExprPtr where;
+};
+
+struct TxnStmt {
+    enum Kind { kBegin, kCommit, kRollback } kind;
+};
+
+struct PragmaStmt {
+    std::string name;
+};
+
+using Stmt =
+    std::variant<CreateTableStmt, CreateIndexStmt, DropTableStmt,
+                 InsertStmt, SelectStmt, UpdateStmt, DeleteStmt, TxnStmt,
+                 PragmaStmt>;
+
+/** Error raised by the SQL layers (parse and execution). */
+class SqlError : public std::runtime_error {
+  public:
+    explicit SqlError(const std::string &what)
+        : std::runtime_error("SQL error: " + what) {}
+};
+
+} // namespace cubicleos::minisql
+
+#endif // CUBICLEOS_APPS_MINISQL_AST_H_

@@ -1,0 +1,693 @@
+#include "apps/minisql/btree.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cubicleos::minisql {
+
+namespace {
+
+constexpr uint8_t kLeaf = 1;
+constexpr uint8_t kInterior = 2;
+constexpr std::size_t kHdrSize = 12;
+
+/** Node header at the start of every btree page. */
+struct NodeHdr {
+    uint8_t type;
+    uint8_t pad;
+    uint16_t ncells;
+    uint16_t cellStart; ///< lowest used content offset
+    uint16_t frag;      ///< bytes freed by cell removal
+    uint32_t right;     ///< leaf: next sibling; interior: rightmost child
+};
+static_assert(sizeof(NodeHdr) == kHdrSize);
+
+/** Raw accessors over one btree page. */
+class Node {
+  public:
+    explicit Node(uint8_t *data) : d_(data) {}
+
+    NodeHdr *hdr() { return reinterpret_cast<NodeHdr *>(d_); }
+    const NodeHdr *hdr() const
+    {
+        return reinterpret_cast<const NodeHdr *>(d_);
+    }
+
+    bool leaf() const { return hdr()->type == kLeaf; }
+    uint16_t ncells() const { return hdr()->ncells; }
+
+    uint16_t cellOffset(uint16_t i) const
+    {
+        uint16_t off;
+        std::memcpy(&off, d_ + kHdrSize + 2 * i, 2);
+        return off;
+    }
+
+    void setCellOffset(uint16_t i, uint16_t off)
+    {
+        std::memcpy(d_ + kHdrSize + 2 * i, &off, 2);
+    }
+
+    std::span<const uint8_t> cellKey(uint16_t i) const
+    {
+        const uint8_t *cell = d_ + cellOffset(i);
+        uint16_t klen;
+        std::memcpy(&klen, cell, 2);
+        return {cell + (leaf() ? 4 : 6), klen};
+    }
+
+    std::span<const uint8_t> cellValue(uint16_t i) const
+    {
+        assert(leaf());
+        const uint8_t *cell = d_ + cellOffset(i);
+        uint16_t klen, vlen;
+        std::memcpy(&klen, cell, 2);
+        std::memcpy(&vlen, cell + 2, 2);
+        return {cell + 4 + klen, vlen};
+    }
+
+    uint32_t cellChild(uint16_t i) const
+    {
+        assert(!leaf());
+        uint32_t child;
+        std::memcpy(&child, d_ + cellOffset(i) + 2, 4);
+        return child;
+    }
+
+    void setCellChild(uint16_t i, uint32_t child)
+    {
+        assert(!leaf());
+        std::memcpy(d_ + cellOffset(i) + 2, &child, 4);
+    }
+
+    std::size_t cellSize(uint16_t i) const
+    {
+        const uint8_t *cell = d_ + cellOffset(i);
+        uint16_t klen;
+        std::memcpy(&klen, cell, 2);
+        if (leaf()) {
+            uint16_t vlen;
+            std::memcpy(&vlen, cell + 2, 2);
+            return 4 + klen + vlen;
+        }
+        return 6 + klen;
+    }
+
+    std::size_t freeSpace() const
+    {
+        return hdr()->cellStart - (kHdrSize + 2 * ncells());
+    }
+
+    void initialise(uint8_t type)
+    {
+        std::memset(d_, 0, kDbPageSize);
+        hdr()->type = type;
+        hdr()->cellStart = static_cast<uint16_t>(kDbPageSize);
+    }
+
+    /** First index whose key >= @p key; sets @p exact on equality. */
+    uint16_t lowerBound(std::span<const uint8_t> key, bool *exact) const
+    {
+        if (exact)
+            *exact = false;
+        uint16_t lo = 0, hi = ncells();
+        while (lo < hi) {
+            const uint16_t mid = (lo + hi) / 2;
+            const auto mk = cellKey(mid);
+            const int c = compareKeys(mk, key);
+            if (c < 0) {
+                lo = mid + 1;
+            } else {
+                if (c == 0 && exact)
+                    *exact = true;
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    static int compareKeys(std::span<const uint8_t> a,
+                           std::span<const uint8_t> b)
+    {
+        const std::size_t n = std::min(a.size(), b.size());
+        const int c = n ? std::memcmp(a.data(), b.data(), n) : 0;
+        if (c != 0)
+            return c;
+        return a.size() < b.size() ? -1 : a.size() > b.size() ? 1 : 0;
+    }
+
+    /**
+     * Inserts a cell at position @p i.
+     * @return false if the page lacks contiguous space (compact or
+     *         split first).
+     */
+    bool insertLeafCell(uint16_t i, std::span<const uint8_t> key,
+                        std::span<const uint8_t> value)
+    {
+        const std::size_t size = 4 + key.size() + value.size();
+        if (freeSpace() < size + 2)
+            return false;
+        const auto off =
+            static_cast<uint16_t>(hdr()->cellStart - size);
+        uint8_t *cell = d_ + off;
+        const auto klen = static_cast<uint16_t>(key.size());
+        const auto vlen = static_cast<uint16_t>(value.size());
+        std::memcpy(cell, &klen, 2);
+        std::memcpy(cell + 2, &vlen, 2);
+        std::memcpy(cell + 4, key.data(), key.size());
+        if (!value.empty())
+            std::memcpy(cell + 4 + key.size(), value.data(),
+                        value.size());
+        openSlot(i, off);
+        hdr()->cellStart = off;
+        return true;
+    }
+
+    bool insertInteriorCell(uint16_t i, std::span<const uint8_t> key,
+                            uint32_t child)
+    {
+        const std::size_t size = 6 + key.size();
+        if (freeSpace() < size + 2)
+            return false;
+        const auto off =
+            static_cast<uint16_t>(hdr()->cellStart - size);
+        uint8_t *cell = d_ + off;
+        const auto klen = static_cast<uint16_t>(key.size());
+        std::memcpy(cell, &klen, 2);
+        std::memcpy(cell + 2, &child, 4);
+        std::memcpy(cell + 6, key.data(), key.size());
+        openSlot(i, off);
+        hdr()->cellStart = off;
+        return true;
+    }
+
+    void removeCell(uint16_t i)
+    {
+        hdr()->frag =
+            static_cast<uint16_t>(hdr()->frag + cellSize(i));
+        std::memmove(d_ + kHdrSize + 2 * i, d_ + kHdrSize + 2 * (i + 1),
+                     2 * (ncells() - i - 1));
+        hdr()->ncells--;
+    }
+
+    /** Rewrites the page dropping fragmentation. */
+    void compact()
+    {
+        std::vector<uint8_t> copy(d_, d_ + kDbPageSize);
+        Node old(copy.data());
+        const uint8_t type = hdr()->type;
+        const uint32_t right = hdr()->right;
+        const uint16_t n = old.ncells();
+        initialise(type);
+        hdr()->right = right;
+        for (uint16_t i = 0; i < n; ++i) {
+            if (type == kLeaf) {
+                insertLeafCell(i, old.cellKey(i), old.cellValue(i));
+            } else {
+                insertInteriorCell(i, old.cellKey(i), old.cellChild(i));
+            }
+        }
+    }
+
+  private:
+    void openSlot(uint16_t i, uint16_t off)
+    {
+        std::memmove(d_ + kHdrSize + 2 * (i + 1), d_ + kHdrSize + 2 * i,
+                     2 * (ncells() - i));
+        hdr()->ncells++;
+        setCellOffset(i, off);
+    }
+
+    uint8_t *d_;
+};
+
+/** Materialised cell for redistribution during splits. */
+struct FlatCell {
+    std::vector<uint8_t> key;
+    std::vector<uint8_t> value; ///< leaf payload
+    uint32_t child = 0;         ///< interior child
+
+    std::size_t size(bool leaf) const
+    {
+        return leaf ? 4 + key.size() + value.size() : 6 + key.size();
+    }
+};
+
+std::vector<FlatCell>
+flatten(const Node &node)
+{
+    std::vector<FlatCell> cells;
+    cells.reserve(node.ncells());
+    for (uint16_t i = 0; i < node.ncells(); ++i) {
+        FlatCell fc;
+        const auto k = node.cellKey(i);
+        fc.key.assign(k.begin(), k.end());
+        if (node.leaf()) {
+            const auto v = node.cellValue(i);
+            fc.value.assign(v.begin(), v.end());
+        } else {
+            fc.child = node.cellChild(i);
+        }
+        cells.push_back(std::move(fc));
+    }
+    return cells;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+
+BTree::BTree(Pager *pager, uint32_t root) : pager_(pager), root_(root) {}
+
+uint32_t
+BTree::create(Pager *pager)
+{
+    const uint32_t pgno = pager->allocatePage();
+    DbPage *page = pager->fetch(pgno);
+    pager->markDirty(page);
+    Node(page->data).initialise(kLeaf);
+    pager->release(page);
+    return pgno;
+}
+
+std::optional<BTree::Split>
+BTree::insertInto(uint32_t pgno, Bytes key, Bytes value, bool *inserted)
+{
+    DbPage *page = pager_->fetch(pgno);
+    Node node(page->data);
+
+    if (node.leaf()) {
+        bool exact = false;
+        uint16_t pos = node.lowerBound(key, &exact);
+        pager_->markDirty(page);
+        if (exact) {
+            node.removeCell(pos);
+            *inserted = false;
+        } else {
+            *inserted = true;
+        }
+        if (node.insertLeafCell(pos, key, value)) {
+            pager_->release(page);
+            return std::nullopt;
+        }
+        if (node.hdr()->frag > 0) {
+            node.compact();
+            if (node.insertLeafCell(pos, key, value)) {
+                pager_->release(page);
+                return std::nullopt;
+            }
+        }
+
+        // Split: materialise all cells plus the new one, redistribute
+        // by bytes.
+        auto cells = flatten(node);
+        FlatCell fresh;
+        fresh.key.assign(key.begin(), key.end());
+        fresh.value.assign(value.begin(), value.end());
+        cells.insert(cells.begin() + pos, std::move(fresh));
+
+        const uint32_t right_pgno = pager_->allocatePage();
+        DbPage *right_page = pager_->fetch(right_pgno);
+        pager_->markDirty(right_page);
+        Node right(right_page->data);
+        right.initialise(kLeaf);
+        right.hdr()->right = node.hdr()->right;
+
+        std::size_t total = 0;
+        for (const auto &c : cells)
+            total += c.size(true);
+        const uint32_t old_sibling = node.hdr()->right;
+        (void)old_sibling;
+        node.initialise(kLeaf);
+        node.hdr()->right = right_pgno;
+
+        std::size_t acc = 0;
+        uint16_t li = 0, ri = 0;
+        for (const auto &c : cells) {
+            if (acc < total / 2) {
+                node.insertLeafCell(li++, c.key, c.value);
+                acc += c.size(true);
+            } else {
+                right.insertLeafCell(ri++, c.key, c.value);
+            }
+        }
+        Split split;
+        split.sepKey.assign(node.cellKey(node.ncells() - 1).begin(),
+                            node.cellKey(node.ncells() - 1).end());
+        split.rightPage = right_pgno;
+        pager_->release(right_page);
+        pager_->release(page);
+        return split;
+    }
+
+    // Interior node: descend.
+    bool exact = false;
+    uint16_t idx = node.lowerBound(key, &exact);
+    const uint32_t child =
+        idx < node.ncells() ? node.cellChild(idx) : node.hdr()->right;
+    auto child_split = insertInto(child, key, value, inserted);
+    if (!child_split) {
+        pager_->release(page);
+        return std::nullopt;
+    }
+
+    // The child split into (child, rightPage) separated by sepKey.
+    pager_->markDirty(page);
+    auto insert_sep = [&](uint16_t at) -> bool {
+        if (node.insertInteriorCell(at, child_split->sepKey, child))
+            return true;
+        if (node.hdr()->frag > 0) {
+            node.compact();
+            return node.insertInteriorCell(at, child_split->sepKey,
+                                           child);
+        }
+        return false;
+    };
+
+    bool fits;
+    if (idx < node.ncells()) {
+        fits = insert_sep(idx);
+        if (fits)
+            node.setCellChild(idx + 1, child_split->rightPage);
+    } else {
+        fits = insert_sep(idx);
+        if (fits)
+            node.hdr()->right = child_split->rightPage;
+    }
+    if (fits) {
+        pager_->release(page);
+        return std::nullopt;
+    }
+
+    // Interior overflow: rebuild with the new cell included, split at
+    // the middle separator.
+    auto cells = flatten(node);
+    FlatCell fresh;
+    fresh.key = child_split->sepKey;
+    fresh.child = child;
+    cells.insert(cells.begin() + idx, std::move(fresh));
+    uint32_t rightmost = node.hdr()->right;
+    if (idx < cells.size() - 1) {
+        cells[idx + 1].child = child_split->rightPage;
+    } else {
+        rightmost = child_split->rightPage;
+    }
+
+    const uint16_t mid = static_cast<uint16_t>(cells.size() / 2);
+    const uint32_t right_pgno = pager_->allocatePage();
+    DbPage *right_page = pager_->fetch(right_pgno);
+    pager_->markDirty(right_page);
+    Node right(right_page->data);
+    right.initialise(kInterior);
+    right.hdr()->right = rightmost;
+
+    node.initialise(kInterior);
+    node.hdr()->right = cells[mid].child;
+    for (uint16_t i = 0; i < mid; ++i)
+        node.insertInteriorCell(i, cells[i].key, cells[i].child);
+    for (uint16_t i = mid + 1; i < cells.size(); ++i)
+        right.insertInteriorCell(static_cast<uint16_t>(i - mid - 1),
+                                 cells[i].key, cells[i].child);
+
+    Split split;
+    split.sepKey = std::move(cells[mid].key);
+    split.rightPage = right_pgno;
+    pager_->release(right_page);
+    pager_->release(page);
+    return split;
+}
+
+void
+BTree::handleRootSplit(const Split &split)
+{
+    // Keep the root page number stable: copy the (left-half) root into
+    // a fresh page and rewrite the root as a one-cell interior node.
+    const uint32_t left_pgno = pager_->allocatePage();
+    DbPage *left_page = pager_->fetch(left_pgno);
+    DbPage *root_page = pager_->fetch(root_);
+    pager_->markDirty(left_page);
+    pager_->markDirty(root_page);
+    std::memcpy(left_page->data, root_page->data, kDbPageSize);
+
+    Node root(root_page->data);
+    root.initialise(kInterior);
+    root.hdr()->right = split.rightPage;
+    root.insertInteriorCell(0, split.sepKey, left_pgno);
+
+    pager_->release(left_page);
+    pager_->release(root_page);
+}
+
+bool
+BTree::insert(Bytes key, Bytes value)
+{
+    assert(key.size() + value.size() <= kMaxEntryBytes);
+    bool inserted = false;
+    auto split = insertInto(root_, key, value, &inserted);
+    if (split)
+        handleRootSplit(*split);
+    return inserted;
+}
+
+uint32_t
+BTree::findLeaf(Bytes key) const
+{
+    uint32_t pgno = root_;
+    for (;;) {
+        DbPage *page = pager_->fetch(pgno);
+        Node node(page->data);
+        if (node.leaf()) {
+            pager_->release(page);
+            return pgno;
+        }
+        const uint16_t idx = node.lowerBound(key, nullptr);
+        pgno = idx < node.ncells() ? node.cellChild(idx)
+                                   : node.hdr()->right;
+        pager_->release(page);
+    }
+}
+
+bool
+BTree::erase(Bytes key)
+{
+    const uint32_t leaf = findLeaf(key);
+    DbPage *page = pager_->fetch(leaf);
+    Node node(page->data);
+    bool exact = false;
+    const uint16_t pos = node.lowerBound(key, &exact);
+    if (!exact) {
+        pager_->release(page);
+        return false;
+    }
+    pager_->markDirty(page);
+    node.removeCell(pos);
+    pager_->release(page);
+    return true;
+}
+
+bool
+BTree::find(Bytes key, std::vector<uint8_t> *value)
+{
+    const uint32_t leaf = findLeaf(key);
+    DbPage *page = pager_->fetch(leaf);
+    Node node(page->data);
+    bool exact = false;
+    const uint16_t pos = node.lowerBound(key, &exact);
+    if (exact && value) {
+        const auto v = node.cellValue(pos);
+        value->assign(v.begin(), v.end());
+    }
+    pager_->release(page);
+    return exact;
+}
+
+uint64_t
+BTree::countEntries()
+{
+    uint64_t n = 0;
+    Cursor cur = cursor();
+    for (cur.seekFirst(); cur.valid(); cur.next())
+        ++n;
+    return n;
+}
+
+// --- cursor -----------------------------------------------------------
+
+void
+BTree::Cursor::seekFirst()
+{
+    uint32_t pgno = tree_->root_;
+    for (;;) {
+        DbPage *page = tree_->pager_->fetch(pgno);
+        Node node(page->data);
+        if (node.leaf()) {
+            tree_->pager_->release(page);
+            break;
+        }
+        const uint32_t next =
+            node.ncells() > 0 ? node.cellChild(0) : node.hdr()->right;
+        tree_->pager_->release(page);
+        pgno = next;
+    }
+    leaf_ = pgno;
+    index_ = 0;
+    valid_ = true;
+    skipEmptyLeaves();
+}
+
+void
+BTree::Cursor::seek(Bytes key, bool *exact)
+{
+    leaf_ = tree_->findLeaf(key);
+    DbPage *page = tree_->pager_->fetch(leaf_);
+    Node node(page->data);
+    bool ex = false;
+    index_ = node.lowerBound(key, &ex);
+    if (exact)
+        *exact = ex;
+    valid_ = true;
+    tree_->pager_->release(page);
+    skipEmptyLeaves();
+}
+
+void
+BTree::Cursor::skipEmptyLeaves()
+{
+    for (;;) {
+        DbPage *page = tree_->pager_->fetch(leaf_);
+        Node node(page->data);
+        if (index_ < node.ncells()) {
+            tree_->pager_->release(page);
+            return;
+        }
+        const uint32_t next = node.hdr()->right;
+        tree_->pager_->release(page);
+        if (next == 0) {
+            valid_ = false;
+            return;
+        }
+        leaf_ = next;
+        index_ = 0;
+    }
+}
+
+void
+BTree::Cursor::next()
+{
+    assert(valid_);
+    ++index_;
+    skipEmptyLeaves();
+}
+
+std::vector<uint8_t>
+BTree::Cursor::key() const
+{
+    DbPage *page = tree_->pager_->fetch(leaf_);
+    Node node(page->data);
+    const auto k = node.cellKey(static_cast<uint16_t>(index_));
+    std::vector<uint8_t> out(k.begin(), k.end());
+    tree_->pager_->release(page);
+    return out;
+}
+
+std::vector<uint8_t>
+BTree::Cursor::value() const
+{
+    DbPage *page = tree_->pager_->fetch(leaf_);
+    Node node(page->data);
+    const auto v = node.cellValue(static_cast<uint16_t>(index_));
+    std::vector<uint8_t> out(v.begin(), v.end());
+    tree_->pager_->release(page);
+    return out;
+}
+
+// --- validation -------------------------------------------------------
+
+bool
+BTree::validatePage(uint32_t pgno, const std::vector<uint8_t> *lo,
+                    const std::vector<uint8_t> *hi, int depth,
+                    int *leaf_depth, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = "page " + std::to_string(pgno) + ": " + msg;
+        return false;
+    };
+    if (depth > 64)
+        return fail("depth exceeds 64 (cycle?)");
+
+    DbPage *page = pager_->fetch(pgno);
+    Node node(page->data);
+    const bool is_leaf = node.leaf();
+    if (node.hdr()->type != kLeaf && node.hdr()->type != kInterior) {
+        pager_->release(page);
+        return fail("bad node type");
+    }
+
+    // Ordering and bounds.
+    std::vector<uint8_t> prev;
+    bool have_prev = false;
+    for (uint16_t i = 0; i < node.ncells(); ++i) {
+        const auto k = node.cellKey(i);
+        std::vector<uint8_t> key(k.begin(), k.end());
+        if (have_prev && Node::compareKeys(prev, key) >= 0) {
+            pager_->release(page);
+            return fail("cells out of order");
+        }
+        if (lo && Node::compareKeys(*lo, key) >= 0) {
+            pager_->release(page);
+            return fail("key below lower bound");
+        }
+        if (hi && Node::compareKeys(key, *hi) > 0) {
+            pager_->release(page);
+            return fail("key above upper bound");
+        }
+        prev = std::move(key);
+        have_prev = true;
+    }
+
+    if (is_leaf) {
+        if (*leaf_depth == -1)
+            *leaf_depth = depth;
+        if (*leaf_depth != depth) {
+            pager_->release(page);
+            return fail("leaves at different depths");
+        }
+        pager_->release(page);
+        return true;
+    }
+
+    // Recurse into children with tightened bounds.
+    std::vector<uint8_t> lower = lo ? *lo : std::vector<uint8_t>{};
+    const uint16_t n = node.ncells();
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> children;
+    for (uint16_t i = 0; i < n; ++i) {
+        const auto k = node.cellKey(i);
+        children.emplace_back(node.cellChild(i),
+                              std::vector<uint8_t>(k.begin(), k.end()));
+    }
+    const uint32_t rightmost = node.hdr()->right;
+    pager_->release(page);
+
+    const std::vector<uint8_t> *cur_lo = lo;
+    std::vector<uint8_t> prev_sep;
+    for (auto &[child, sep] : children) {
+        if (!validatePage(child, cur_lo, &sep, depth + 1, leaf_depth,
+                          error)) {
+            return false;
+        }
+        prev_sep = sep;
+        cur_lo = &prev_sep;
+    }
+    return validatePage(rightmost, cur_lo, hi, depth + 1, leaf_depth,
+                        error);
+}
+
+bool
+BTree::validate(std::string *error)
+{
+    int leaf_depth = -1;
+    return validatePage(root_, nullptr, nullptr, 0, &leaf_depth, error);
+}
+
+} // namespace cubicleos::minisql

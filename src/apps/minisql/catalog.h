@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Schema catalog: table and index definitions, persisted in a schema
+ * B+tree whose root lives in the pager header (SQLite's
+ * sqlite_master analogue).
+ */
+
+#ifndef CUBICLEOS_APPS_MINISQL_CATALOG_H_
+#define CUBICLEOS_APPS_MINISQL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/minisql/ast.h"
+#include "apps/minisql/btree.h"
+
+namespace cubicleos::minisql {
+
+/** A persisted index definition. */
+struct IndexDef {
+    std::string name;
+    std::string table;
+    std::string column;
+    int columnIndex = -1;
+    bool unique = false;
+    uint32_t root = 0;
+    int64_t objId = 0;
+};
+
+/** A persisted table definition. */
+struct TableDef {
+    std::string name;
+    std::vector<ColumnDef> columns;
+    /** Column acting as rowid (INTEGER PRIMARY KEY), or -1. */
+    int rowidColumn = -1;
+    uint32_t root = 0;
+    int64_t objId = 0;
+    /** Next auto rowid; -1 until computed from the table contents. */
+    int64_t nextRowid = -1;
+
+    int columnIndexOf(const std::string &name) const
+    {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i].name == name)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+/**
+ * The schema catalog. All mutations run inside the caller's
+ * transaction; load() re-reads the persisted schema.
+ */
+class Catalog {
+  public:
+    explicit Catalog(Pager *pager) : pager_(pager) {}
+
+    /** Loads the schema from the file (creates the tree if absent). */
+    void load();
+
+    TableDef *table(const std::string &name);
+    IndexDef *index(const std::string &name);
+    std::vector<IndexDef *> indexesOn(const std::string &table);
+    const std::map<std::string, TableDef> &tables() const
+    {
+        return tables_;
+    }
+
+    /** Creates a table (btree + schema row). @throws SqlError. */
+    TableDef *createTable(const CreateTableStmt &stmt);
+    /** Creates an index definition (empty tree). @throws SqlError. */
+    IndexDef *createIndex(const CreateIndexStmt &stmt);
+    /** Drops a table, its indexes, and frees their pages. */
+    void dropTable(const std::string &name);
+
+  private:
+    void persistTable(TableDef *def);
+    void persistIndex(IndexDef *def);
+    void eraseObject(int64_t obj_id);
+    void freeTree(uint32_t root);
+    int64_t nextObjId();
+
+    Pager *pager_;
+    std::map<std::string, TableDef> tables_;
+    std::map<std::string, IndexDef> indexes_;
+    int64_t maxObjId_ = 0;
+};
+
+} // namespace cubicleos::minisql
+
+#endif // CUBICLEOS_APPS_MINISQL_CATALOG_H_

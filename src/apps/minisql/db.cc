@@ -1,0 +1,1178 @@
+#include "apps/minisql/db.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <map>
+
+namespace cubicleos::minisql {
+
+namespace {
+
+std::vector<uint8_t>
+rowidKey(int64_t rowid)
+{
+    std::vector<uint8_t> key;
+    Value(rowid).encodeKey(&key);
+    return key;
+}
+
+/** Length of the leading value encoding inside an index key. */
+std::size_t
+keyValueLen(std::span<const uint8_t> key)
+{
+    if (key.empty())
+        return 0;
+    switch (key[0]) {
+      case 0x05:
+        return 1; // NULL
+      case 0x10:
+        return 18; // numeric: tag + ordered(8) + subtag + raw(8)
+      case 0x30: {
+        // text: bytes with 0x00 escaped as 0x00 0xFF, terminated by
+        // 0x00 0x00.
+        std::size_t i = 1;
+        while (i + 1 < key.size()) {
+            if (key[i] == 0x00) {
+                if (key[i + 1] == 0x00)
+                    return i + 2;
+                i += 2; // escaped NUL
+            } else {
+                ++i;
+            }
+        }
+        return key.size();
+      }
+      default:
+        return 1;
+    }
+}
+
+/** Extracts the raw int64 from a numeric key encoding. */
+int64_t
+intFromKey(std::span<const uint8_t> key)
+{
+    // numeric layout: 0x10, ordered double (8), subtag, raw (8).
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | key[10 + i];
+    return static_cast<int64_t>(v);
+}
+
+std::vector<uint8_t>
+indexEntryKey(const Value &v, int64_t rowid)
+{
+    std::vector<uint8_t> key;
+    v.encodeKey(&key);
+    Value(rowid).encodeKey(&key);
+    return key;
+}
+
+/** SQL LIKE with % and _ wildcards (case-sensitive). */
+bool
+likeMatch(const char *s, const char *p)
+{
+    for (;;) {
+        if (*p == '\0')
+            return *s == '\0';
+        if (*p == '%') {
+            while (*p == '%')
+                ++p;
+            if (*p == '\0')
+                return true;
+            for (; *s; ++s) {
+                if (likeMatch(s, p))
+                    return true;
+            }
+            return false;
+        }
+        if (*s == '\0')
+            return false;
+        if (*p != '_' && *p != *s)
+            return false;
+        ++s;
+        ++p;
+    }
+}
+
+bool
+bothInt(const Value &a, const Value &b)
+{
+    return a.type() == ValueType::kInt && b.type() == ValueType::kInt;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+
+class Database::Executor {
+  public:
+    Executor(Pager *pager, Catalog *catalog)
+        : pager_(pager), catalog_(catalog)
+    {}
+
+    ResultSet exec(const Stmt &stmt)
+    {
+        return std::visit(
+            [this](const auto &s) { return execOne(s); }, stmt);
+    }
+
+  private:
+    struct Binding {
+        std::string alias;
+        const TableDef *def;
+        const Row *row;
+        int64_t rowid;
+    };
+    using Env = std::vector<Binding>;
+    using AggMap = std::map<const Expr *, Value>;
+
+    // --- expression evaluation ---------------------------------------
+
+    Value eval(const Expr &e, const Env &env, const AggMap *aggs)
+    {
+        switch (e.op) {
+          case ExprOp::kLiteral:
+            return e.lit;
+          case ExprOp::kColumn:
+            return resolveColumn(e, env);
+          case ExprOp::kStar:
+            throw SqlError("'*' not allowed here");
+          case ExprOp::kCall: {
+            if (!aggs)
+                throw SqlError("aggregate outside aggregation: " +
+                               e.func);
+            auto it = aggs->find(&e);
+            if (it == aggs->end())
+                throw SqlError("unresolved aggregate");
+            return it->second;
+          }
+          case ExprOp::kNeg: {
+            const Value v = eval(*e.args[0], env, aggs);
+            if (v.type() == ValueType::kInt)
+                return Value(-v.asInt());
+            return Value(-v.asReal());
+          }
+          case ExprOp::kAdd:
+          case ExprOp::kSub:
+          case ExprOp::kMul:
+          case ExprOp::kDiv:
+          case ExprOp::kMod:
+            return arithmetic(e, env, aggs);
+          case ExprOp::kEq:
+          case ExprOp::kNe:
+          case ExprOp::kLt:
+          case ExprOp::kLe:
+          case ExprOp::kGt:
+          case ExprOp::kGe: {
+            const Value a = eval(*e.args[0], env, aggs);
+            const Value b = eval(*e.args[1], env, aggs);
+            if (a.isNull() || b.isNull()) {
+                // Simplified NULL semantics: only IS NULL (= NULL)
+                // yields true.
+                return Value(static_cast<int64_t>(
+                    e.op == ExprOp::kEq && a.isNull() && b.isNull()));
+            }
+            const int c = a.compare(b);
+            bool r = false;
+            switch (e.op) {
+              case ExprOp::kEq: r = c == 0; break;
+              case ExprOp::kNe: r = c != 0; break;
+              case ExprOp::kLt: r = c < 0; break;
+              case ExprOp::kLe: r = c <= 0; break;
+              case ExprOp::kGt: r = c > 0; break;
+              default: r = c >= 0; break;
+            }
+            return Value(static_cast<int64_t>(r));
+          }
+          case ExprOp::kAnd:
+            return Value(static_cast<int64_t>(
+                eval(*e.args[0], env, aggs).truthy() &&
+                eval(*e.args[1], env, aggs).truthy()));
+          case ExprOp::kOr:
+            return Value(static_cast<int64_t>(
+                eval(*e.args[0], env, aggs).truthy() ||
+                eval(*e.args[1], env, aggs).truthy()));
+          case ExprOp::kNot:
+            return Value(static_cast<int64_t>(
+                !eval(*e.args[0], env, aggs).truthy()));
+          case ExprOp::kLike: {
+            const Value s = eval(*e.args[0], env, aggs);
+            const Value p = eval(*e.args[1], env, aggs);
+            if (s.isNull() || p.isNull())
+                return Value(static_cast<int64_t>(0));
+            return Value(static_cast<int64_t>(
+                likeMatch(s.asText().c_str(), p.asText().c_str())));
+          }
+          case ExprOp::kBetween: {
+            const Value v = eval(*e.args[0], env, aggs);
+            const Value lo = eval(*e.args[1], env, aggs);
+            const Value hi = eval(*e.args[2], env, aggs);
+            if (v.isNull())
+                return Value(static_cast<int64_t>(0));
+            return Value(static_cast<int64_t>(v.compare(lo) >= 0 &&
+                                              v.compare(hi) <= 0));
+          }
+          case ExprOp::kIn: {
+            const Value v = eval(*e.args[0], env, aggs);
+            for (std::size_t i = 1; i < e.args.size(); ++i) {
+                if (v.compare(eval(*e.args[i], env, aggs)) == 0)
+                    return Value(static_cast<int64_t>(1));
+            }
+            return Value(static_cast<int64_t>(0));
+          }
+        }
+        throw SqlError("unhandled expression");
+    }
+
+    Value arithmetic(const Expr &e, const Env &env, const AggMap *aggs)
+    {
+        const Value a = eval(*e.args[0], env, aggs);
+        const Value b = eval(*e.args[1], env, aggs);
+        if (a.isNull() || b.isNull())
+            return Value::null();
+        if (bothInt(a, b) && e.op != ExprOp::kDiv) {
+            const int64_t x = a.asInt(), y = b.asInt();
+            switch (e.op) {
+              case ExprOp::kAdd: return Value(x + y);
+              case ExprOp::kSub: return Value(x - y);
+              case ExprOp::kMul: return Value(x * y);
+              case ExprOp::kMod:
+                return y == 0 ? Value::null() : Value(x % y);
+              default: break;
+            }
+        }
+        const double x = a.asReal(), y = b.asReal();
+        switch (e.op) {
+          case ExprOp::kAdd: return Value(x + y);
+          case ExprOp::kSub: return Value(x - y);
+          case ExprOp::kMul: return Value(x * y);
+          case ExprOp::kDiv:
+            if (y == 0)
+                return Value::null();
+            if (bothInt(a, b))
+                return Value(a.asInt() / b.asInt());
+            return Value(x / y);
+          case ExprOp::kMod: {
+            const int64_t yi = b.asInt();
+            return yi == 0 ? Value::null() : Value(a.asInt() % yi);
+          }
+          default:
+            throw SqlError("bad arithmetic");
+        }
+    }
+
+    Value resolveColumn(const Expr &e, const Env &env)
+    {
+        for (const Binding &b : env) {
+            if (!e.table.empty() && e.table != b.alias &&
+                e.table != b.def->name) {
+                continue;
+            }
+            if (e.column == "rowid")
+                return Value(b.rowid);
+            const int idx = b.def->columnIndexOf(e.column);
+            if (idx >= 0)
+                return (*b.row)[static_cast<std::size_t>(idx)];
+            if (!e.table.empty())
+                break;
+        }
+        throw SqlError("no such column: " +
+                       (e.table.empty() ? e.column
+                                        : e.table + "." + e.column));
+    }
+
+    // --- access planning ----------------------------------------------
+
+    struct Bound {
+        Value v;
+        bool inclusive = true;
+        bool present = false;
+    };
+
+    struct AccessPath {
+        enum Kind { kFull, kRowid, kIndex } kind = kFull;
+        IndexDef *idx = nullptr;
+        Bound lo, hi;
+    };
+
+    static void collectConjuncts(const Expr *e,
+                                 std::vector<const Expr *> *out)
+    {
+        if (!e)
+            return;
+        if (e->op == ExprOp::kAnd) {
+            collectConjuncts(e->args[0].get(), out);
+            collectConjuncts(e->args[1].get(), out);
+        } else {
+            out->push_back(e);
+        }
+    }
+
+    /** True if @p e contains a column reference not resolvable in
+     * @p env (i.e. it depends on the scan target or is unknown). */
+    bool dependsOnTarget(const Expr &e, const Env &outer)
+    {
+        if (e.op == ExprOp::kColumn) {
+            for (const Binding &b : outer) {
+                if (!e.table.empty() && e.table != b.alias &&
+                    e.table != b.def->name)
+                    continue;
+                if (e.column == "rowid" ||
+                    b.def->columnIndexOf(e.column) >= 0)
+                    return false;
+            }
+            return true;
+        }
+        for (const auto &arg : e.args) {
+            if (dependsOnTarget(*arg, outer))
+                return true;
+        }
+        return false;
+    }
+
+    /** Is @p e a reference to @p column of the scan target? */
+    bool isTargetColumn(const Expr &e, const TableDef &def,
+                        const std::string &alias,
+                        const std::string &column)
+    {
+        return e.op == ExprOp::kColumn && e.column == column &&
+               (e.table.empty() || e.table == alias ||
+                e.table == def.name);
+    }
+
+    AccessPath planAccess(const TableDef &def, const std::string &alias,
+                          const Expr *where, const Env &outer)
+    {
+        AccessPath path;
+        std::vector<const Expr *> conjuncts;
+        collectConjuncts(where, &conjuncts);
+
+        auto indexes = catalog_->indexesOn(def.name);
+        const std::string rowid_col =
+            def.rowidColumn >= 0
+                ? def.columns[static_cast<std::size_t>(def.rowidColumn)]
+                      .name
+                : std::string("rowid");
+
+        struct Candidate {
+            AccessPath path;
+            int score = 0;
+        };
+        Candidate best;
+
+        auto consider = [&](const Expr &col_expr, ExprOp op,
+                            const Expr &val_expr) {
+            if (dependsOnTarget(val_expr, outer))
+                return;
+            Value v;
+            try {
+                v = eval(val_expr, outer, nullptr);
+            } catch (const SqlError &) {
+                return;
+            }
+
+            auto apply = [&](AccessPath::Kind kind, IndexDef *idx,
+                             int base_score) {
+                Candidate cand;
+                cand.path.kind = kind;
+                cand.path.idx = idx;
+                switch (op) {
+                  case ExprOp::kEq:
+                    cand.path.lo = {v, true, true};
+                    cand.path.hi = {v, true, true};
+                    cand.score = base_score + 2;
+                    break;
+                  case ExprOp::kGt:
+                    cand.path.lo = {v, false, true};
+                    cand.score = base_score;
+                    break;
+                  case ExprOp::kGe:
+                    cand.path.lo = {v, true, true};
+                    cand.score = base_score;
+                    break;
+                  case ExprOp::kLt:
+                    cand.path.hi = {v, false, true};
+                    cand.score = base_score;
+                    break;
+                  case ExprOp::kLe:
+                    cand.path.hi = {v, true, true};
+                    cand.score = base_score;
+                    break;
+                  default:
+                    return;
+                }
+                if (cand.score > best.score) {
+                    best = std::move(cand);
+                } else if (cand.score == best.score &&
+                           best.path.kind == cand.path.kind &&
+                           best.path.idx == cand.path.idx) {
+                    // Merge complementary range bounds (a > x AND
+                    // a < y).
+                    if (cand.path.lo.present && !best.path.lo.present)
+                        best.path.lo = cand.path.lo;
+                    if (cand.path.hi.present && !best.path.hi.present)
+                        best.path.hi = cand.path.hi;
+                }
+            };
+
+            if (isTargetColumn(col_expr, def, alias, rowid_col) ||
+                isTargetColumn(col_expr, def, alias, "rowid")) {
+                apply(AccessPath::kRowid, nullptr, 10);
+                return;
+            }
+            for (IndexDef *idx : indexes) {
+                if (isTargetColumn(col_expr, def, alias, idx->column)) {
+                    apply(AccessPath::kIndex, idx, 5);
+                    return;
+                }
+            }
+        };
+
+        static const auto flip = [](ExprOp op) {
+            switch (op) {
+              case ExprOp::kLt: return ExprOp::kGt;
+              case ExprOp::kLe: return ExprOp::kGe;
+              case ExprOp::kGt: return ExprOp::kLt;
+              case ExprOp::kGe: return ExprOp::kLe;
+              default: return op;
+            }
+        };
+
+        for (const Expr *c : conjuncts) {
+            switch (c->op) {
+              case ExprOp::kEq:
+              case ExprOp::kLt:
+              case ExprOp::kLe:
+              case ExprOp::kGt:
+              case ExprOp::kGe:
+                consider(*c->args[0], c->op, *c->args[1]);
+                consider(*c->args[1], flip(c->op), *c->args[0]);
+                break;
+              case ExprOp::kBetween:
+                consider(*c->args[0], ExprOp::kGe, *c->args[1]);
+                consider(*c->args[0], ExprOp::kLe, *c->args[2]);
+                break;
+              default:
+                break;
+            }
+        }
+        return best.score > 0 ? best.path : path;
+    }
+
+    // --- scanning -----------------------------------------------------
+
+    /** Calls @p fn(rowid, row) for rows selected by @p path. */
+    void scan(const TableDef &def, const AccessPath &path,
+              const std::function<bool(int64_t, const Row &)> &fn)
+    {
+        BTree table(pager_, def.root);
+
+        if (path.kind == AccessPath::kIndex) {
+            BTree index(pager_, path.idx->root);
+            auto cur = index.cursor();
+            std::vector<uint8_t> lo_enc, hi_enc;
+            if (path.lo.present)
+                path.lo.v.encodeKey(&lo_enc);
+            if (path.hi.present)
+                path.hi.v.encodeKey(&hi_enc);
+
+            if (path.lo.present)
+                cur.seek(lo_enc);
+            else
+                cur.seekFirst();
+            for (; cur.valid(); cur.next()) {
+                const auto key = cur.key();
+                const std::size_t vlen = keyValueLen(key);
+                std::span<const uint8_t> vpart(key.data(), vlen);
+                if (path.lo.present && !path.lo.inclusive) {
+                    if (vlen == lo_enc.size() &&
+                        std::memcmp(vpart.data(), lo_enc.data(), vlen) ==
+                            0) {
+                        continue;
+                    }
+                }
+                if (path.hi.present) {
+                    const int c = std::memcmp(
+                        vpart.data(), hi_enc.data(),
+                        std::min(vlen, hi_enc.size()));
+                    const int cmp =
+                        c != 0 ? c
+                               : (vlen < hi_enc.size()
+                                      ? -1
+                                      : vlen > hi_enc.size() ? 1 : 0);
+                    if (cmp > 0 || (cmp == 0 && !path.hi.inclusive))
+                        break;
+                }
+                const int64_t rowid = intFromKey(
+                    std::span<const uint8_t>(key).subspan(vlen));
+                std::vector<uint8_t> rec;
+                if (!table.find(rowidKey(rowid), &rec))
+                    continue; // dangling index entry
+                const Row row = decodeRow(rec.data(), rec.size());
+                if (!fn(rowid, row))
+                    return;
+            }
+            return;
+        }
+
+        // Rowid-ordered scan over the table tree (full or ranged).
+        auto cur = table.cursor();
+        std::vector<uint8_t> lo_enc, hi_enc;
+        if (path.kind == AccessPath::kRowid && path.lo.present) {
+            Value(path.lo.v.asInt()).encodeKey(&lo_enc);
+            cur.seek(lo_enc);
+        } else {
+            cur.seekFirst();
+        }
+        if (path.kind == AccessPath::kRowid && path.hi.present)
+            Value(path.hi.v.asInt()).encodeKey(&hi_enc);
+
+        for (; cur.valid(); cur.next()) {
+            const auto key = cur.key();
+            const int64_t rowid = intFromKey(key);
+            if (path.kind == AccessPath::kRowid) {
+                if (path.lo.present && !path.lo.inclusive &&
+                    rowid == path.lo.v.asInt()) {
+                    continue;
+                }
+                if (path.hi.present) {
+                    const int64_t hi = path.hi.v.asInt();
+                    if (rowid > hi || (rowid == hi && !path.hi.inclusive))
+                        break;
+                }
+            }
+            const auto rec = cur.value();
+            const Row row = decodeRow(rec.data(), rec.size());
+            if (!fn(rowid, row))
+                return;
+        }
+    }
+
+    // --- statement execution -------------------------------------------
+
+    ResultSet execOne(const CreateTableStmt &stmt)
+    {
+        catalog_->createTable(stmt);
+        return {};
+    }
+
+    ResultSet execOne(const CreateIndexStmt &stmt)
+    {
+        IndexDef *idx = catalog_->createIndex(stmt);
+        // Backfill from existing rows.
+        TableDef *def = catalog_->table(stmt.table);
+        BTree index(pager_, idx->root);
+        std::vector<std::pair<int64_t, Value>> entries;
+        scan(*def, AccessPath{}, [&](int64_t rowid, const Row &row) {
+            entries.emplace_back(
+                rowid, row[static_cast<std::size_t>(idx->columnIndex)]);
+            return true;
+        });
+        for (const auto &[rowid, v] : entries) {
+            if (idx->unique && indexHasValue(*idx, v)) {
+                throw SqlError("UNIQUE constraint failed: " +
+                               idx->table + "." + idx->column);
+            }
+            index.insert(indexEntryKey(v, rowid), {});
+        }
+        return {};
+    }
+
+    ResultSet execOne(const DropTableStmt &stmt)
+    {
+        catalog_->dropTable(stmt.name);
+        return {};
+    }
+
+    bool indexHasValue(const IndexDef &idx, const Value &v)
+    {
+        BTree index(pager_, idx.root);
+        std::vector<uint8_t> prefix;
+        v.encodeKey(&prefix);
+        auto cur = index.cursor();
+        cur.seek(prefix);
+        if (!cur.valid())
+            return false;
+        const auto key = cur.key();
+        return key.size() >= prefix.size() &&
+               std::memcmp(key.data(), prefix.data(), prefix.size()) ==
+                   0;
+    }
+
+    int64_t ensureNextRowid(TableDef *def)
+    {
+        if (def->nextRowid < 0) {
+            int64_t max_rowid = 0;
+            scan(*def, AccessPath{}, [&](int64_t rowid, const Row &) {
+                max_rowid = std::max(max_rowid, rowid);
+                return true;
+            });
+            def->nextRowid = max_rowid + 1;
+        }
+        return def->nextRowid;
+    }
+
+    void insertIndexEntries(const TableDef &def, int64_t rowid,
+                            const Row &row)
+    {
+        for (IndexDef *idx : catalog_->indexesOn(def.name)) {
+            const Value &v =
+                row[static_cast<std::size_t>(idx->columnIndex)];
+            if (idx->unique && indexHasValue(*idx, v)) {
+                throw SqlError("UNIQUE constraint failed: " +
+                               idx->table + "." + idx->column);
+            }
+            BTree index(pager_, idx->root);
+            index.insert(indexEntryKey(v, rowid), {});
+        }
+    }
+
+    void removeIndexEntries(const TableDef &def, int64_t rowid,
+                            const Row &row)
+    {
+        for (IndexDef *idx : catalog_->indexesOn(def.name)) {
+            const Value &v =
+                row[static_cast<std::size_t>(idx->columnIndex)];
+            BTree index(pager_, idx->root);
+            index.erase(indexEntryKey(v, rowid));
+        }
+    }
+
+    ResultSet execOne(const InsertStmt &stmt)
+    {
+        TableDef *def = catalog_->table(stmt.table);
+        if (!def)
+            throw SqlError("no such table: " + stmt.table);
+        BTree table(pager_, def->root);
+
+        int64_t changes = 0;
+        for (const auto &exprs : stmt.rows) {
+            Row row(def->columns.size());
+            if (stmt.columns.empty()) {
+                if (exprs.size() > def->columns.size())
+                    throw SqlError("too many values");
+                for (std::size_t i = 0; i < exprs.size(); ++i)
+                    row[i] = eval(*exprs[i], {}, nullptr);
+            } else {
+                if (exprs.size() != stmt.columns.size())
+                    throw SqlError("values/columns count mismatch");
+                for (std::size_t i = 0; i < exprs.size(); ++i) {
+                    const int idx =
+                        def->columnIndexOf(stmt.columns[i]);
+                    if (idx < 0)
+                        throw SqlError("no such column: " +
+                                       stmt.columns[i]);
+                    row[static_cast<std::size_t>(idx)] =
+                        eval(*exprs[i], {}, nullptr);
+                }
+            }
+
+            int64_t rowid;
+            if (def->rowidColumn >= 0 &&
+                !row[static_cast<std::size_t>(def->rowidColumn)]
+                     .isNull()) {
+                rowid =
+                    row[static_cast<std::size_t>(def->rowidColumn)]
+                        .asInt();
+                if (table.find(rowidKey(rowid), nullptr)) {
+                    throw SqlError(
+                        "UNIQUE constraint failed: " + def->name +
+                        " primary key");
+                }
+                def->nextRowid =
+                    std::max(ensureNextRowid(def), rowid + 1);
+            } else {
+                rowid = ensureNextRowid(def);
+                def->nextRowid = rowid + 1;
+                if (def->rowidColumn >= 0) {
+                    row[static_cast<std::size_t>(def->rowidColumn)] =
+                        Value(rowid);
+                }
+            }
+
+            table.insert(rowidKey(rowid), encodeRow(row));
+            insertIndexEntries(*def, rowid, row);
+            ++changes;
+        }
+        ResultSet rs;
+        rs.columns = {"rows_affected"};
+        rs.rows.push_back(Row{Value(changes)});
+        return rs;
+    }
+
+    ResultSet execOne(const UpdateStmt &stmt)
+    {
+        TableDef *def = catalog_->table(stmt.table);
+        if (!def)
+            throw SqlError("no such table: " + stmt.table);
+
+        const AccessPath path =
+            planAccess(*def, stmt.table, stmt.where.get(), {});
+        std::vector<std::pair<int64_t, Row>> victims;
+        scan(*def, path, [&](int64_t rowid, const Row &row) {
+            Env env{{stmt.table, def, &row, rowid}};
+            if (!stmt.where || eval(*stmt.where, env, nullptr).truthy())
+                victims.emplace_back(rowid, row);
+            return true;
+        });
+
+        BTree table(pager_, def->root);
+        int64_t changes = 0;
+        for (auto &[rowid, old_row] : victims) {
+            Row new_row = old_row;
+            Env env{{stmt.table, def, &old_row, rowid}};
+            for (const auto &[col, expr] : stmt.sets) {
+                const int idx = def->columnIndexOf(col);
+                if (idx < 0)
+                    throw SqlError("no such column: " + col);
+                new_row[static_cast<std::size_t>(idx)] =
+                    eval(*expr, env, nullptr);
+            }
+
+            int64_t new_rowid = rowid;
+            if (def->rowidColumn >= 0) {
+                new_rowid =
+                    new_row[static_cast<std::size_t>(def->rowidColumn)]
+                        .asInt();
+            }
+            removeIndexEntries(*def, rowid, old_row);
+            if (new_rowid != rowid) {
+                table.erase(rowidKey(rowid));
+                if (table.find(rowidKey(new_rowid), nullptr)) {
+                    throw SqlError("UNIQUE constraint failed: " +
+                                   def->name + " primary key");
+                }
+            }
+            table.insert(rowidKey(new_rowid), encodeRow(new_row));
+            insertIndexEntries(*def, new_rowid, new_row);
+            ++changes;
+        }
+        ResultSet rs;
+        rs.columns = {"rows_affected"};
+        rs.rows.push_back(Row{Value(changes)});
+        return rs;
+    }
+
+    ResultSet execOne(const DeleteStmt &stmt)
+    {
+        TableDef *def = catalog_->table(stmt.table);
+        if (!def)
+            throw SqlError("no such table: " + stmt.table);
+
+        const AccessPath path =
+            planAccess(*def, stmt.table, stmt.where.get(), {});
+        std::vector<std::pair<int64_t, Row>> victims;
+        scan(*def, path, [&](int64_t rowid, const Row &row) {
+            Env env{{stmt.table, def, &row, rowid}};
+            if (!stmt.where || eval(*stmt.where, env, nullptr).truthy())
+                victims.emplace_back(rowid, row);
+            return true;
+        });
+
+        BTree table(pager_, def->root);
+        for (auto &[rowid, row] : victims) {
+            removeIndexEntries(*def, rowid, row);
+            table.erase(rowidKey(rowid));
+        }
+        ResultSet rs;
+        rs.columns = {"rows_affected"};
+        rs.rows.push_back(
+            Row{Value(static_cast<int64_t>(victims.size()))});
+        return rs;
+    }
+
+    // --- SELECT ---------------------------------------------------------
+
+    static void collectAggregates(const Expr &e,
+                                  std::vector<const Expr *> *out)
+    {
+        if (e.op == ExprOp::kCall) {
+            out->push_back(&e);
+            return; // no nested aggregates
+        }
+        for (const auto &arg : e.args)
+            collectAggregates(*arg, out);
+    }
+
+    /**
+     * Runs the FROM/JOIN/WHERE pipeline, invoking @p fn once per
+     * joined row environment.
+     */
+    void scanJoined(const SelectStmt &sel,
+                    const std::function<void(const Env &)> &fn)
+    {
+        if (sel.table.empty()) {
+            // FROM-less SELECT: one empty row.
+            Env env;
+            if (!sel.where || eval(*sel.where, env, nullptr).truthy())
+                fn(env);
+            return;
+        }
+        TableDef *base = catalog_->table(sel.table);
+        if (!base)
+            throw SqlError("no such table: " + sel.table);
+        const std::string base_alias =
+            sel.tableAlias.empty() ? sel.table : sel.tableAlias;
+
+        // Recursive nested-loop join.
+        std::function<void(std::size_t, Env &)> step =
+            [&](std::size_t join_idx, Env &env) {
+                if (join_idx == sel.joins.size()) {
+                    if (!sel.where ||
+                        eval(*sel.where, env, nullptr).truthy()) {
+                        fn(env);
+                    }
+                    return;
+                }
+                const JoinClause &jc = sel.joins[join_idx];
+                TableDef *def = catalog_->table(jc.table);
+                if (!def)
+                    throw SqlError("no such table: " + jc.table);
+                const std::string alias =
+                    jc.alias.empty() ? jc.table : jc.alias;
+                const AccessPath path =
+                    planAccess(*def, alias, jc.on.get(), env);
+                scan(*def, path, [&](int64_t rowid, const Row &row) {
+                    env.push_back(Binding{alias, def, &row, rowid});
+                    if (!jc.on ||
+                        eval(*jc.on, env, nullptr).truthy()) {
+                        step(join_idx + 1, env);
+                    }
+                    env.pop_back();
+                    return true;
+                });
+            };
+
+        const AccessPath base_path =
+            planAccess(*base, base_alias, sel.where.get(), {});
+        scan(*base, base_path, [&](int64_t rowid, const Row &row) {
+            Env env{Binding{base_alias, base, &row, rowid}};
+            if (sel.joins.empty()) {
+                if (!sel.where ||
+                    eval(*sel.where, env, nullptr).truthy()) {
+                    fn(env);
+                }
+            } else {
+                step(0, env);
+            }
+            return true;
+        });
+    }
+
+    std::string itemName(const SelectItem &item, std::size_t idx)
+    {
+        if (!item.alias.empty())
+            return item.alias;
+        if (item.expr->op == ExprOp::kColumn)
+            return item.expr->column;
+        if (item.expr->op == ExprOp::kCall)
+            return item.expr->func;
+        return "col" + std::to_string(idx);
+    }
+
+    ResultSet execOne(const SelectStmt &sel)
+    {
+        // Detect aggregation.
+        std::vector<const Expr *> agg_nodes;
+        for (const auto &item : sel.items)
+            collectAggregates(*item.expr, &agg_nodes);
+        for (const auto &key : sel.orderBy)
+            collectAggregates(*key.expr, &agg_nodes);
+        const bool aggregated =
+            !agg_nodes.empty() || !sel.groupBy.empty();
+
+        ResultSet rs;
+        bool star_expanded = false;
+        std::vector<std::pair<Row, Row>> keyed_rows; ///< (order, row)
+
+        auto emitProjected = [&](const Env &env, const AggMap *aggs) {
+            Row out;
+            for (std::size_t i = 0; i < sel.items.size(); ++i) {
+                const Expr &e = *sel.items[i].expr;
+                if (e.op == ExprOp::kStar) {
+                    for (const Binding &b : env) {
+                        for (std::size_t c = 0;
+                             c < b.def->columns.size(); ++c) {
+                            out.push_back((*b.row)[c]);
+                            if (!star_expanded)
+                                rs.columns.push_back(
+                                    b.def->columns[c].name);
+                        }
+                    }
+                    continue;
+                }
+                out.push_back(eval(e, env, aggs));
+            }
+            star_expanded = true;
+            Row order_key;
+            for (const auto &key : sel.orderBy)
+                order_key.push_back(eval(*key.expr, env, aggs));
+            keyed_rows.emplace_back(std::move(order_key),
+                                    std::move(out));
+        };
+
+        // Column headers for non-star items.
+        for (std::size_t i = 0; i < sel.items.size(); ++i) {
+            if (sel.items[i].expr->op != ExprOp::kStar)
+                rs.columns.push_back(itemName(sel.items[i], i));
+        }
+
+        if (!aggregated) {
+            scanJoined(sel, [&](const Env &env) {
+                emitProjected(env, nullptr);
+            });
+        } else {
+            // Group rows; keep a representative row set per group so
+            // non-aggregate expressions (the GROUP BY keys) evaluate.
+            struct Group {
+                std::vector<Row> rows;
+                std::vector<int64_t> rowids;
+                std::vector<std::string> aliases;
+                std::vector<const TableDef *> defs;
+                struct Acc {
+                    int64_t count = 0;
+                    double rsum = 0;
+                    int64_t isum = 0;
+                    bool real = false;
+                    bool any = false;
+                    Value minv, maxv;
+                };
+                std::vector<Acc> accs;
+            };
+            std::map<std::string, Group> groups;
+
+            scanJoined(sel, [&](const Env &env) {
+                std::vector<uint8_t> gk;
+                for (const auto &g : sel.groupBy)
+                    eval(*g, env, nullptr).encodeKey(&gk);
+                std::string key(gk.begin(), gk.end());
+                Group &grp = groups[key];
+                if (grp.rows.empty()) {
+                    for (const Binding &b : env) {
+                        grp.rows.push_back(*b.row);
+                        grp.rowids.push_back(b.rowid);
+                        grp.aliases.push_back(b.alias);
+                        grp.defs.push_back(b.def);
+                    }
+                    grp.accs.resize(agg_nodes.size());
+                }
+                for (std::size_t i = 0; i < agg_nodes.size(); ++i) {
+                    const Expr &call = *agg_nodes[i];
+                    Group::Acc &acc = grp.accs[i];
+                    Value v;
+                    const bool star =
+                        call.args.empty() ||
+                        call.args[0]->op == ExprOp::kStar;
+                    if (!star)
+                        v = eval(*call.args[0], env, nullptr);
+                    if (call.func == "count") {
+                        if (star || !v.isNull())
+                            ++acc.count;
+                        continue;
+                    }
+                    if (v.isNull())
+                        continue;
+                    ++acc.count;
+                    acc.rsum += v.asReal();
+                    acc.isum += v.asInt();
+                    acc.real = acc.real ||
+                               v.type() == ValueType::kReal;
+                    if (!acc.any || v.compare(acc.minv) < 0)
+                        acc.minv = v;
+                    if (!acc.any || v.compare(acc.maxv) > 0)
+                        acc.maxv = v;
+                    acc.any = true;
+                }
+            });
+
+            // Aggregates over an empty input without GROUP BY still
+            // produce one row.
+            if (groups.empty() && sel.groupBy.empty())
+                groups.emplace("", Group{});
+
+            for (auto &[key, grp] : groups) {
+                if (grp.accs.empty())
+                    grp.accs.resize(agg_nodes.size());
+                AggMap aggs;
+                for (std::size_t i = 0; i < agg_nodes.size(); ++i) {
+                    const Expr &call = *agg_nodes[i];
+                    const Group::Acc &acc = grp.accs[i];
+                    Value v;
+                    if (call.func == "count") {
+                        v = Value(acc.count);
+                    } else if (!acc.any) {
+                        v = Value::null();
+                    } else if (call.func == "sum" ||
+                               call.func == "total") {
+                        v = acc.real ? Value(acc.rsum)
+                                     : Value(acc.isum);
+                    } else if (call.func == "avg") {
+                        v = Value(acc.rsum /
+                                  static_cast<double>(acc.count));
+                    } else if (call.func == "min") {
+                        v = acc.minv;
+                    } else if (call.func == "max") {
+                        v = acc.maxv;
+                    } else {
+                        throw SqlError("unknown function: " +
+                                       call.func);
+                    }
+                    aggs[&call] = std::move(v);
+                }
+                Env env;
+                for (std::size_t b = 0; b < grp.rows.size(); ++b) {
+                    env.push_back(Binding{grp.aliases[b], grp.defs[b],
+                                          &grp.rows[b],
+                                          grp.rowids[b]});
+                }
+                emitProjected(env, &aggs);
+            }
+        }
+
+        // ORDER BY + LIMIT.
+        if (!sel.orderBy.empty()) {
+            std::stable_sort(
+                keyed_rows.begin(), keyed_rows.end(),
+                [&](const auto &a, const auto &b) {
+                    for (std::size_t i = 0; i < sel.orderBy.size();
+                         ++i) {
+                        const int c = a.first[i].compare(b.first[i]);
+                        if (c != 0)
+                            return sel.orderBy[i].desc ? c > 0 : c < 0;
+                    }
+                    return false;
+                });
+        }
+        for (auto &[key, row] : keyed_rows) {
+            if (sel.limit >= 0 &&
+                rs.rows.size() >=
+                    static_cast<std::size_t>(sel.limit)) {
+                break;
+            }
+            rs.rows.push_back(std::move(row));
+        }
+        return rs;
+    }
+
+    ResultSet execOne(const TxnStmt &)
+    {
+        throw SqlError("transaction control handled by Database");
+    }
+
+    ResultSet execOne(const PragmaStmt &stmt)
+    {
+        ResultSet rs;
+        if (stmt.name == "integrity_check") {
+            rs.columns = {"integrity_check"};
+            std::string err;
+            bool ok = true;
+            for (const auto &[name, def] : catalog_->tables()) {
+                BTree tree(pager_, def.root);
+                if (!tree.validate(&err)) {
+                    ok = false;
+                    rs.rows.push_back(
+                        Row{Value(name + ": " + err)});
+                }
+            }
+            if (ok)
+                rs.rows.push_back(Row{Value(std::string("ok"))});
+            return rs;
+        }
+        if (stmt.name == "stats" || stmt.name == "analyze") {
+            rs.columns = {"table", "rows"};
+            for (const auto &[name, def] : catalog_->tables()) {
+                BTree tree(pager_, def.root);
+                rs.rows.push_back(
+                    Row{Value(name),
+                        Value(static_cast<int64_t>(
+                            tree.countEntries()))});
+            }
+            return rs;
+        }
+        rs.columns = {"pragma"};
+        return rs;
+    }
+
+    Pager *pager_;
+    Catalog *catalog_;
+};
+
+// ----------------------------------------------------------------------
+
+Database::Database(libos::FileApi *fs, std::string path,
+                   std::size_t cache_pages, DbAllocator mem)
+    : pager_(std::make_unique<Pager>(fs, std::move(path), cache_pages,
+                                     std::move(mem))),
+      catalog_(pager_.get())
+{
+}
+
+Database::~Database()
+{
+    if (pager_->inTransaction())
+        pager_->commit();
+}
+
+int
+Database::open(bool create)
+{
+    const int rc = pager_->open(create);
+    if (rc != 0)
+        return rc;
+    catalog_.load();
+    return 0;
+}
+
+ResultSet
+Database::exec(const std::string &sql)
+{
+    std::vector<Stmt> stmts = parseSql(sql);
+    Executor executor(pager_.get(), &catalog_);
+    ResultSet last;
+
+    for (Stmt &stmt : stmts) {
+        if (auto *txn = std::get_if<TxnStmt>(&stmt)) {
+            switch (txn->kind) {
+              case TxnStmt::kBegin:
+                if (pager_->inTransaction())
+                    throw SqlError("nested BEGIN");
+                pager_->begin();
+                explicitTxn_ = true;
+                break;
+              case TxnStmt::kCommit:
+                if (!explicitTxn_)
+                    throw SqlError("COMMIT outside transaction");
+                pager_->commit();
+                explicitTxn_ = false;
+                break;
+              case TxnStmt::kRollback:
+                if (!explicitTxn_)
+                    throw SqlError("ROLLBACK outside transaction");
+                pager_->rollback();
+                explicitTxn_ = false;
+                catalog_.load(); // schema may have rolled back
+                break;
+            }
+            continue;
+        }
+
+        const bool auto_txn = !pager_->inTransaction();
+        if (auto_txn)
+            pager_->begin();
+        try {
+            last = executor.exec(stmt);
+        } catch (...) {
+            if (auto_txn) {
+                pager_->rollback();
+                catalog_.load();
+            }
+            throw;
+        }
+        if (auto_txn)
+            pager_->commit();
+    }
+    return last;
+}
+
+} // namespace cubicleos::minisql

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The minisql database facade: the public API applications use.
+ *
+ * A Database binds to a FileApi (CubicleOS deployment, microkernel
+ * baseline, or direct) and executes SQL text, mirroring how the paper
+ * runs unmodified SQLite over different OS substrates.
+ */
+
+#ifndef CUBICLEOS_APPS_MINISQL_DB_H_
+#define CUBICLEOS_APPS_MINISQL_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/minisql/catalog.h"
+#include "apps/minisql/parser.h"
+
+namespace cubicleos::minisql {
+
+/** Query result: column names and rows of values. */
+struct ResultSet {
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+
+    /** Convenience: the single int value of a 1×1 result. */
+    int64_t scalarInt() const
+    {
+        return rows.empty() || rows[0].empty() ? 0 : rows[0][0].asInt();
+    }
+};
+
+/** An embedded SQL database over one file. */
+class Database {
+  public:
+    /**
+     * @param fs file API binding
+     * @param path database file path
+     * @param cache_pages pager LRU capacity (SQLite default ~2000;
+     *        the Fig. 6 cache dynamics depend on this)
+     */
+    Database(libos::FileApi *fs, std::string path,
+             std::size_t cache_pages = 256, DbAllocator mem = {});
+    ~Database();
+
+    Database(const Database &) = delete;
+    Database &operator=(const Database &) = delete;
+
+    /** Opens/creates the database. @return 0 or a VfsErr. */
+    int open(bool create = true);
+
+    /**
+     * Parses and executes @p sql (possibly several statements);
+     * returns the result of the last statement.
+     * @throws SqlError on parse or execution errors.
+     */
+    ResultSet exec(const std::string &sql);
+
+    /** Pager statistics (cache hit rates etc.). */
+    const PagerStats &pagerStats() const { return pager_->stats(); }
+    void resetPagerStats() { pager_->resetStats(); }
+
+    Pager &pager() { return *pager_; }
+    Catalog &catalog() { return catalog_; }
+
+  private:
+    class Executor;
+
+    std::unique_ptr<Pager> pager_;
+    Catalog catalog_;
+    bool explicitTxn_ = false;
+};
+
+} // namespace cubicleos::minisql
+
+#endif // CUBICLEOS_APPS_MINISQL_DB_H_

@@ -1,0 +1,385 @@
+#include "apps/minisql/pager.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "libos/vfs_types.h"
+
+namespace cubicleos::minisql {
+
+using libos::VfsErr;
+
+/** On-disk header, stored at the start of page 1. */
+struct Pager::Header {
+    char magic[8];
+    uint32_t pageCount;
+    uint32_t freelistHead;
+    uint32_t schemaRoot;
+    uint32_t reserved;
+};
+
+namespace {
+constexpr char kMagic[8] = {'M', 'I', 'N', 'I', 'S', 'Q', 'L', '1'};
+constexpr std::size_t kJournalRec = 4 + kDbPageSize;
+
+uint64_t
+pageOffset(uint32_t pgno)
+{
+    return static_cast<uint64_t>(pgno - 1) * kDbPageSize;
+}
+} // namespace
+
+Pager::Pager(libos::FileApi *fs, std::string path,
+             std::size_t cache_pages, DbAllocator alloc)
+    : fs_(fs), path_(std::move(path)), journalPath_(path_ + "-journal"),
+      cachePages_(cache_pages < 4 ? 4 : cache_pages),
+      mem_(std::move(alloc))
+{
+}
+
+Pager::~Pager()
+{
+    if (fd_ >= 0) {
+        if (!inTxn_)
+            flushAll();
+        fs_->close(fd_);
+    }
+    if (journalFd_ >= 0) {
+        // Destroyed mid-transaction: keep the journal on disk so the
+        // next open performs hot-journal recovery (crash semantics).
+        fs_->close(journalFd_);
+        if (!inTxn_)
+            fs_->unlink(journalPath_.c_str());
+    }
+    for (auto &[pgno, page] : cache_)
+        freeBuffer(page->data);
+    if (journalBuf_)
+        mem_.free(journalBuf_);
+}
+
+uint8_t *
+Pager::allocBuffer()
+{
+    return static_cast<uint8_t *>(mem_.alloc(kDbPageSize));
+}
+
+void
+Pager::freeBuffer(uint8_t *buf)
+{
+    mem_.free(buf);
+}
+
+Pager::Header *
+Pager::header()
+{
+    return reinterpret_cast<Header *>(headerPage_->data);
+}
+
+int
+Pager::open(bool create)
+{
+    int flags = libos::kRdWr;
+    if (create)
+        flags |= libos::kCreate;
+    fd_ = fs_->open(path_.c_str(), flags);
+    if (fd_ < 0)
+        return fd_;
+
+    libos::VfsStat st;
+    const int rc = fs_->fstat(fd_, &st);
+    if (rc < 0)
+        return rc;
+
+    if (st.size == 0) {
+        // Fresh database: lay down the header page.
+        pageCount_ = 1;
+        auto page = std::make_unique<DbPage>();
+        page->pgno = 1;
+        page->data = allocBuffer();
+        std::memset(page->data, 0, kDbPageSize);
+        auto *hdr = reinterpret_cast<Header *>(page->data);
+        std::memcpy(hdr->magic, kMagic, 8);
+        hdr->pageCount = 1;
+        page->pins = 1;
+        headerPage_ = page.get();
+        cache_.emplace(1, std::move(page));
+        const int wrc = writePage(*headerPage_);
+        if (wrc < 0)
+            return wrc;
+        return 0;
+    }
+
+    headerPage_ = fetch(1);
+    if (!headerPage_)
+        return VfsErr::kErrIo;
+    if (std::memcmp(header()->magic, kMagic, 8) != 0)
+        return VfsErr::kErrInval;
+    pageCount_ = header()->pageCount;
+
+    // A leftover journal means a previous run aborted mid-transaction;
+    // roll it back (hot-journal recovery).
+    libos::VfsStat jst;
+    if (fs_->stat(journalPath_.c_str(), &jst) == 0 && jst.size > 0) {
+        journalFd_ = fs_->open(journalPath_.c_str(), libos::kRdWr);
+        if (journalFd_ >= 0) {
+            inTxn_ = true;
+            rollback();
+        }
+    }
+    return 0;
+}
+
+DbPage *
+Pager::fetch(uint32_t pgno)
+{
+    assert(pgno >= 1);
+    auto it = cache_.find(pgno);
+    if (it != cache_.end()) {
+        ++stats_.cacheHits;
+        it->second->pins++;
+        it->second->lastUse = ++useTick_;
+        return it->second.get();
+    }
+
+    ++stats_.cacheMisses;
+    evictIfNeeded();
+
+    auto page = std::make_unique<DbPage>();
+    page->pgno = pgno;
+    page->data = allocBuffer();
+    page->pins = 1;
+    page->lastUse = ++useTick_;
+
+    const int64_t got =
+        fs_->pread(fd_, page->data, kDbPageSize, pageOffset(pgno));
+    ++stats_.pageReads;
+    if (got < 0) {
+        freeBuffer(page->data);
+        return nullptr;
+    }
+    if (static_cast<std::size_t>(got) < kDbPageSize) {
+        // Beyond EOF (freshly allocated page): zero-fill.
+        std::memset(page->data + got, 0,
+                    kDbPageSize - static_cast<std::size_t>(got));
+    }
+    DbPage *raw = page.get();
+    cache_.emplace(pgno, std::move(page));
+    return raw;
+}
+
+void
+Pager::release(DbPage *page)
+{
+    assert(page && page->pins > 0);
+    page->pins--;
+}
+
+void
+Pager::markDirty(DbPage *page)
+{
+    assert(page->pins > 0);
+    assert(inTxn_ && "modifications require a transaction");
+    if (!page->journaled) {
+        journalPage(*page);
+        page->journaled = true;
+        journaledSet_.insert(page->pgno);
+    }
+    page->dirty = true;
+}
+
+void
+Pager::journalPage(const DbPage &page)
+{
+    if (journaledSet_.count(page.pgno))
+        return; // pre-image already captured (page was evicted since)
+    if (journalFd_ < 0) {
+        journalFd_ = fs_->open(journalPath_.c_str(),
+                               libos::kCreate | libos::kRdWr |
+                                   libos::kTrunc);
+        journalSize_ = 0;
+        if (journalFd_ < 0)
+            return;
+    }
+    if (!journalBuf_)
+        journalBuf_ = static_cast<uint8_t *>(mem_.alloc(kJournalRec));
+    std::memcpy(journalBuf_, &page.pgno, 4);
+    std::memcpy(journalBuf_ + 4, page.data, kDbPageSize);
+    fs_->pwrite(journalFd_, journalBuf_, kJournalRec, journalSize_);
+    journalSize_ += kJournalRec;
+    ++stats_.pageWrites;
+}
+
+int
+Pager::writePage(const DbPage &page)
+{
+    const int64_t put =
+        fs_->pwrite(fd_, page.data, kDbPageSize, pageOffset(page.pgno));
+    ++stats_.pageWrites;
+    return put == static_cast<int64_t>(kDbPageSize) ? 0
+                                                    : VfsErr::kErrIo;
+}
+
+void
+Pager::evictIfNeeded()
+{
+    while (cache_.size() >= cachePages_) {
+        DbPage *victim = nullptr;
+        for (auto &[pgno, page] : cache_) {
+            if (page->pins > 0)
+                continue;
+            if (!victim || page->lastUse < victim->lastUse)
+                victim = page.get();
+        }
+        if (!victim)
+            return; // everything pinned; allow temporary overflow
+        if (victim->dirty)
+            writePage(*victim);
+        ++stats_.evictions;
+        freeBuffer(victim->data);
+        cache_.erase(victim->pgno);
+    }
+}
+
+uint32_t
+Pager::allocatePage()
+{
+    assert(inTxn_);
+    Header *hdr = header();
+    if (hdr->freelistHead != 0) {
+        const uint32_t pgno = hdr->freelistHead;
+        DbPage *page = fetch(pgno);
+        uint32_t next = 0;
+        std::memcpy(&next, page->data, 4);
+        markDirty(headerPage_);
+        header()->freelistHead = next;
+        markDirty(page);
+        std::memset(page->data, 0, kDbPageSize);
+        release(page);
+        return pgno;
+    }
+    markDirty(headerPage_);
+    header()->pageCount = ++pageCount_;
+    return pageCount_;
+}
+
+void
+Pager::freePage(uint32_t pgno)
+{
+    assert(inTxn_);
+    DbPage *page = fetch(pgno);
+    markDirty(page);
+    std::memset(page->data, 0, kDbPageSize);
+    std::memcpy(page->data, &header()->freelistHead, 4);
+    release(page);
+    markDirty(headerPage_);
+    header()->freelistHead = pgno;
+}
+
+void
+Pager::begin()
+{
+    assert(!inTxn_);
+    // The journal file is created lazily on the first page
+    // modification so read-only transactions cost no file churn.
+    journalFd_ = -1;
+    journalSize_ = 0;
+    inTxn_ = true;
+    journaledSet_.clear();
+}
+
+int
+Pager::commit()
+{
+    assert(inTxn_);
+    const int rc = flushAll();
+    fs_->fsync(fd_);
+    if (journalFd_ >= 0) {
+        fs_->close(journalFd_);
+        journalFd_ = -1;
+        fs_->unlink(journalPath_.c_str());
+    }
+    for (auto &[pgno, page] : cache_)
+        page->journaled = false;
+    journaledSet_.clear();
+    inTxn_ = false;
+    return rc;
+}
+
+int
+Pager::rollback()
+{
+    assert(inTxn_);
+    if (journalFd_ >= 0) {
+        if (!journalBuf_)
+            journalBuf_ = static_cast<uint8_t *>(mem_.alloc(kJournalRec));
+        libos::VfsStat st;
+        uint64_t size = journalSize_;
+        if (fs_->fstat(journalFd_, &st) == 0)
+            size = st.size;
+        for (uint64_t off = 0; off + kJournalRec <= size;
+             off += kJournalRec) {
+            if (fs_->pread(journalFd_, journalBuf_, kJournalRec, off) !=
+                static_cast<int64_t>(kJournalRec)) {
+                break;
+            }
+            uint32_t pgno = 0;
+            std::memcpy(&pgno, journalBuf_, 4);
+            if (pgno == 0)
+                break;
+            fs_->pwrite(fd_, journalBuf_ + 4, kDbPageSize,
+                        pageOffset(pgno));
+            // Refresh any cached copy.
+            auto it = cache_.find(pgno);
+            if (it != cache_.end()) {
+                std::memcpy(it->second->data, journalBuf_ + 4,
+                            kDbPageSize);
+                it->second->dirty = false;
+                it->second->journaled = false;
+            }
+        }
+        fs_->close(journalFd_);
+        journalFd_ = -1;
+        fs_->unlink(journalPath_.c_str());
+    }
+    // Drop dirty non-journaled state and restore the header fields.
+    for (auto &[pgno, page] : cache_) {
+        page->journaled = false;
+        page->dirty = false;
+    }
+    journaledSet_.clear();
+    pageCount_ = header()->pageCount;
+    inTxn_ = false;
+    return 0;
+}
+
+int
+Pager::flushAll()
+{
+    int rc = 0;
+    for (auto &[pgno, page] : cache_) {
+        if (page->dirty) {
+            const int wrc = writePage(*page);
+            if (wrc < 0)
+                rc = wrc;
+            else
+                page->dirty = false;
+        }
+    }
+    return rc;
+}
+
+uint32_t
+Pager::schemaRoot() const
+{
+    return reinterpret_cast<const Header *>(headerPage_->data)
+        ->schemaRoot;
+}
+
+void
+Pager::setSchemaRoot(uint32_t pgno)
+{
+    markDirty(headerPage_);
+    header()->schemaRoot = pgno;
+}
+
+} // namespace cubicleos::minisql

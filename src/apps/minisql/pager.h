@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The pager: a page cache with transactions over a FileApi database
+ * file, modelled on SQLite's pager.
+ *
+ * Responsibilities:
+ *  - page-granular reads and writes against the database file;
+ *  - an LRU page cache (the cache whose hit rate separates the two
+ *    query populations of the paper's Fig. 6);
+ *  - a rollback journal providing atomic transactions: the original
+ *    content of every page first modified in a transaction is written
+ *    to a side journal; COMMIT flushes dirty pages and deletes the
+ *    journal; ROLLBACK restores the originals;
+ *  - page allocation with an intrusive free list.
+ *
+ * All page buffers are allocated through the caller-supplied allocator
+ * so they live in the application cubicle's memory and move through
+ * windows on every file operation.
+ */
+
+#ifndef CUBICLEOS_APPS_MINISQL_PAGER_H_
+#define CUBICLEOS_APPS_MINISQL_PAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "libos/fileapi.h"
+
+namespace cubicleos::minisql {
+
+/** Database page size (matches the simulated machine's pages). */
+inline constexpr std::size_t kDbPageSize = 4096;
+
+/** Memory hooks so I/O buffers live in cubicle memory. */
+struct DbAllocator {
+    std::function<void *(std::size_t)> alloc = [](std::size_t n) {
+        return ::operator new(n);
+    };
+    std::function<void(void *)> free = [](void *p) {
+        ::operator delete(p);
+    };
+};
+
+/** A pinned database page. */
+struct DbPage {
+    uint32_t pgno = 0;
+    uint8_t *data = nullptr;
+    bool dirty = false;
+    bool journaled = false;
+    int pins = 0;
+    uint64_t lastUse = 0;
+};
+
+/** Pager statistics (cache behaviour drives the Fig. 6 split). */
+struct PagerStats {
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t pageReads = 0;   ///< file reads
+    uint64_t pageWrites = 0;  ///< file writes (incl. journal)
+    uint64_t evictions = 0;
+};
+
+/**
+ * Page cache + transaction manager over one database file.
+ */
+class Pager {
+  public:
+    /**
+     * @param fs file API (bound to the deployment under test)
+     * @param path database file path
+     * @param cache_pages LRU capacity in pages
+     */
+    Pager(libos::FileApi *fs, std::string path, std::size_t cache_pages,
+          DbAllocator alloc = {});
+    ~Pager();
+
+    Pager(const Pager &) = delete;
+    Pager &operator=(const Pager &) = delete;
+
+    /** Opens or creates the database file. @return 0 or a VfsErr. */
+    int open(bool create);
+
+    /** Fetches and pins a page. @return nullptr on I/O error. */
+    DbPage *fetch(uint32_t pgno);
+    /** Unpins a page previously fetched. */
+    void release(DbPage *page);
+    /**
+     * Marks a pinned page dirty, journaling its pre-image if this is
+     * its first modification in the current transaction.
+     */
+    void markDirty(DbPage *page);
+
+    /** Allocates a fresh page (from the free list or file growth). */
+    uint32_t allocatePage();
+    /** Returns a page to the free list. */
+    void freePage(uint32_t pgno);
+
+    /** Begins an explicit transaction. */
+    void begin();
+    /** Commits: flush dirty pages, drop the journal. @return 0/err. */
+    int commit();
+    /** Rolls back to the state at begin(). */
+    int rollback();
+    bool inTransaction() const { return inTxn_; }
+
+    /** Flushes every dirty page to the file. */
+    int flushAll();
+
+    // Header slots usable by the database layer (persisted in page 1).
+    uint32_t schemaRoot() const;
+    void setSchemaRoot(uint32_t pgno);
+
+    uint32_t pageCount() const { return pageCount_; }
+    const PagerStats &stats() const { return stats_; }
+    void resetStats() { stats_ = PagerStats{}; }
+
+  private:
+    struct Header;
+
+    Header *header();
+    void journalPage(const DbPage &page);
+    int writePage(const DbPage &page);
+    void evictIfNeeded();
+    uint8_t *allocBuffer();
+    void freeBuffer(uint8_t *buf);
+
+    libos::FileApi *fs_;
+    std::string path_;
+    std::string journalPath_;
+    std::size_t cachePages_;
+    DbAllocator mem_;
+
+    int fd_ = -1;
+    int journalFd_ = -1;
+    bool inTxn_ = false;
+    bool autoTxn_ = false;
+    uint32_t pageCount_ = 0;
+    uint64_t useTick_ = 0;
+
+    std::unordered_map<uint32_t, std::unique_ptr<DbPage>> cache_;
+    DbPage *headerPage_ = nullptr; ///< page 1, pinned for the lifetime
+    PagerStats stats_;
+
+    /** Pages whose pre-image is already journaled this transaction. */
+    std::unordered_set<uint32_t> journaledSet_;
+    uint8_t *journalBuf_ = nullptr; ///< staging record (cubicle memory)
+    uint64_t journalSize_ = 0;
+};
+
+} // namespace cubicleos::minisql
+
+#endif // CUBICLEOS_APPS_MINISQL_PAGER_H_

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * SQL tokenizer and recursive-descent parser for the minisql subset.
+ */
+
+#ifndef CUBICLEOS_APPS_MINISQL_PARSER_H_
+#define CUBICLEOS_APPS_MINISQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/minisql/ast.h"
+
+namespace cubicleos::minisql {
+
+/**
+ * Parses @p sql into a list of statements (semicolon separated).
+ * @throws SqlError on syntax errors.
+ */
+std::vector<Stmt> parseSql(const std::string &sql);
+
+} // namespace cubicleos::minisql
+
+#endif // CUBICLEOS_APPS_MINISQL_PARSER_H_

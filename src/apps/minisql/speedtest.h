@@ -1,0 +1,74 @@
+/**
+ * @file
+ * speedtest1-equivalent workload for minisql (paper §6.4, Fig. 6).
+ *
+ * Reproduces the structure of SQLite's speedtest1 benchmark: a series
+ * of numbered tests — the same IDs that label the x-axis of the
+ * paper's Fig. 6 — covering INSERTs (batched and autocommit), point
+ * and range SELECTs, LIKE scans, index creation and use, UPDATEs,
+ * DELETEs, JOINs, GROUP BY, ORDER BY and integrity checking.
+ *
+ * The tests split into the paper's two populations:
+ *  - cache-friendly tests that batch statements in transactions and
+ *    touch hot pages (low CubicleOS overhead, ≈1.8×);
+ *  - OS-intensive tests that run autocommit statements (journal +
+ *    fsync churn) or scan far beyond the page cache (high overhead,
+ *    ≈8×, dominated by trap-and-map and cubicle switches).
+ */
+
+#ifndef CUBICLEOS_APPS_MINISQL_SPEEDTEST_H_
+#define CUBICLEOS_APPS_MINISQL_SPEEDTEST_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/minisql/db.h"
+#include "hw/prng.h"
+
+namespace cubicleos::minisql {
+
+/** One speedtest query's outcome. */
+struct SpeedtestResult {
+    int id = 0;
+    std::string label;
+    uint64_t rowsTouched = 0;
+};
+
+/** The speedtest1-style workload driver. */
+class Speedtest {
+  public:
+    /**
+     * @param db target database (already open)
+     * @param scale row-count scale (speedtest1's --size analogue;
+     *        1000 keeps a full run in the low seconds)
+     */
+    explicit Speedtest(Database *db, int scale = 1000,
+                       uint64_t seed = 2021);
+
+    /** The test IDs, in execution order (Fig. 6 x-axis). */
+    static const std::vector<int> &queryIds();
+
+    /** Short description of one test. */
+    static const char *labelOf(int id);
+
+    /**
+     * Runs one test. Tests build on earlier ones; call in queryIds()
+     * order (runAll() does).
+     */
+    SpeedtestResult run(int id);
+
+    /** Runs the whole suite in order. */
+    std::vector<SpeedtestResult> runAll();
+
+  private:
+    uint64_t execCount(const std::string &sql);
+    std::string randomText(int len);
+
+    Database *db_;
+    int scale_;
+    hw::Prng prng_;
+};
+
+} // namespace cubicleos::minisql
+
+#endif // CUBICLEOS_APPS_MINISQL_SPEEDTEST_H_

@@ -1,0 +1,335 @@
+#include "apps/minisql/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace cubicleos::minisql {
+
+int64_t
+Value::asInt() const
+{
+    switch (type()) {
+      case ValueType::kInt:
+        return std::get<int64_t>(v_);
+      case ValueType::kReal:
+        return static_cast<int64_t>(std::get<double>(v_));
+      case ValueType::kText:
+        return std::strtoll(text().c_str(), nullptr, 10);
+      default:
+        return 0;
+    }
+}
+
+double
+Value::asReal() const
+{
+    switch (type()) {
+      case ValueType::kInt:
+        return static_cast<double>(std::get<int64_t>(v_));
+      case ValueType::kReal:
+        return std::get<double>(v_);
+      case ValueType::kText:
+        return std::strtod(text().c_str(), nullptr);
+      default:
+        return 0.0;
+    }
+}
+
+std::string
+Value::asText() const
+{
+    switch (type()) {
+      case ValueType::kNull:
+        return "NULL";
+      case ValueType::kInt:
+        return std::to_string(std::get<int64_t>(v_));
+      case ValueType::kReal: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", std::get<double>(v_));
+        return buf;
+      }
+      case ValueType::kText:
+        return text();
+    }
+    return "";
+}
+
+namespace {
+
+/** Storage-class rank for cross-type ordering (NULL < numeric < text). */
+int
+rank(ValueType t)
+{
+    switch (t) {
+      case ValueType::kNull: return 0;
+      case ValueType::kInt:
+      case ValueType::kReal: return 1;
+      case ValueType::kText: return 2;
+    }
+    return 3;
+}
+
+} // namespace
+
+int
+Value::compare(const Value &other) const
+{
+    const int ra = rank(type());
+    const int rb = rank(other.type());
+    if (ra != rb)
+        return ra < rb ? -1 : 1;
+    switch (rank(type())) {
+      case 0:
+        return 0; // NULLs equal for ordering purposes
+      case 1: {
+        if (type() == ValueType::kInt &&
+            other.type() == ValueType::kInt) {
+            const int64_t a = std::get<int64_t>(v_);
+            const int64_t b = std::get<int64_t>(other.v_);
+            return a < b ? -1 : a > b ? 1 : 0;
+        }
+        const double a = asReal();
+        const double b = other.asReal();
+        return a < b ? -1 : a > b ? 1 : 0;
+      }
+      default: {
+        const int c = text().compare(other.text());
+        return c < 0 ? -1 : c > 0 ? 1 : 0;
+      }
+    }
+}
+
+bool
+Value::truthy() const
+{
+    switch (type()) {
+      case ValueType::kInt:
+        return std::get<int64_t>(v_) != 0;
+      case ValueType::kReal:
+        return std::get<double>(v_) != 0.0;
+      default:
+        return false;
+    }
+}
+
+// --- key encoding -----------------------------------------------------
+//
+// Tags chosen so memcmp order matches compare(): 0x05 NULL, 0x10
+// numeric, 0x30 text. Numbers (including REAL) are encoded through a
+// common order-preserving double encoding when mixed; pure integers
+// use a big-endian sign-flipped form under the same tag by mapping
+// them through double would lose precision, so integers are encoded
+// as 9 bytes: 0x10, then sign-flipped big-endian int64; reals as
+// 0x10, then the IEEE-754 order-preserving transform. To keep both
+// comparable, integers outside the exact-double range fall back to
+// the integer form with a sub-tag.
+
+namespace {
+
+void
+putU64BigEndian(uint64_t v, std::vector<uint8_t> *out)
+{
+    for (int shift = 56; shift >= 0; shift -= 8)
+        out->push_back(static_cast<uint8_t>(v >> shift));
+}
+
+uint64_t
+getU64BigEndian(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** IEEE-754 double -> uint64 with memcmp order == numeric order. */
+uint64_t
+doubleToOrdered(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    if (bits & (1ull << 63))
+        return ~bits; // negative: flip everything
+    return bits | (1ull << 63); // positive: flip sign bit
+}
+
+double
+orderedToDouble(uint64_t enc)
+{
+    uint64_t bits;
+    if (enc & (1ull << 63))
+        bits = enc & ~(1ull << 63);
+    else
+        bits = ~enc;
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+} // namespace
+
+void
+Value::encodeKey(std::vector<uint8_t> *out) const
+{
+    switch (type()) {
+      case ValueType::kNull:
+        out->push_back(0x05);
+        break;
+      case ValueType::kInt:
+      case ValueType::kReal: {
+        // Numeric: common tag + ordered double encoding. Integers are
+        // exact up to 2^53, ample for the workloads; the raw integer
+        // is appended after the ordered form so exact round-trips work
+        // for the full 64-bit range while ordering stays numeric.
+        out->push_back(0x10);
+        putU64BigEndian(doubleToOrdered(asReal()), out);
+        if (type() == ValueType::kInt) {
+            out->push_back(0x01);
+            putU64BigEndian(static_cast<uint64_t>(asInt()), out);
+        } else {
+            out->push_back(0x02);
+            uint64_t bits;
+            const double d = std::get<double>(v_);
+            std::memcpy(&bits, &d, 8);
+            putU64BigEndian(bits, out);
+        }
+        break;
+      }
+      case ValueType::kText: {
+        out->push_back(0x30);
+        for (const char ch : text()) {
+            // 0x00 escaped as 0x00 0xFF so the 0x00 0x00 terminator
+            // stays unambiguous and order-preserving.
+            out->push_back(static_cast<uint8_t>(ch));
+            if (ch == '\0')
+                out->push_back(0xFF);
+        }
+        out->push_back(0x00);
+        out->push_back(0x00);
+        break;
+      }
+    }
+}
+
+// --- record encoding ----------------------------------------------------
+
+namespace {
+
+void
+putVarint(uint64_t v, std::vector<uint8_t> *out)
+{
+    while (v >= 0x80) {
+        out->push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t
+getVarint(const uint8_t *data, std::size_t size, std::size_t *pos)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    while (*pos < size) {
+        const uint8_t b = data[(*pos)++];
+        v |= static_cast<uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+    }
+    return v;
+}
+
+} // namespace
+
+void
+Value::encodeRecord(std::vector<uint8_t> *out) const
+{
+    out->push_back(static_cast<uint8_t>(type()));
+    switch (type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        putVarint(static_cast<uint64_t>(std::get<int64_t>(v_)), out);
+        break;
+      case ValueType::kReal: {
+        uint64_t bits;
+        const double d = std::get<double>(v_);
+        std::memcpy(&bits, &d, 8);
+        putU64BigEndian(bits, out);
+        break;
+      }
+      case ValueType::kText:
+        putVarint(text().size(), out);
+        out->insert(out->end(), text().begin(), text().end());
+        break;
+    }
+}
+
+Value
+Value::decodeRecord(const uint8_t *data, std::size_t size,
+                    std::size_t *pos)
+{
+    if (*pos >= size)
+        return Value();
+    const auto tag = static_cast<ValueType>(data[(*pos)++]);
+    switch (tag) {
+      case ValueType::kNull:
+        return Value();
+      case ValueType::kInt:
+        return Value(
+            static_cast<int64_t>(getVarint(data, size, pos)));
+      case ValueType::kReal: {
+        if (*pos + 8 > size)
+            return Value();
+        double d;
+        const uint64_t bits = getU64BigEndian(data + *pos);
+        *pos += 8;
+        std::memcpy(&d, &bits, 8);
+        return Value(d);
+      }
+      case ValueType::kText: {
+        const uint64_t len = getVarint(data, size, pos);
+        if (*pos + len > size)
+            return Value();
+        std::string s(reinterpret_cast<const char *>(data + *pos),
+                      static_cast<std::size_t>(len));
+        *pos += static_cast<std::size_t>(len);
+        return Value(std::move(s));
+      }
+    }
+    return Value();
+}
+
+std::vector<uint8_t>
+encodeRow(const Row &row)
+{
+    std::vector<uint8_t> out;
+    putVarint(row.size(), &out);
+    for (const Value &v : row)
+        v.encodeRecord(&out);
+    return out;
+}
+
+Row
+decodeRow(const uint8_t *data, std::size_t size)
+{
+    std::size_t pos = 0;
+    const uint64_t n = getVarint(data, size, &pos);
+    Row row;
+    row.reserve(static_cast<std::size_t>(n));
+    for (uint64_t i = 0; i < n; ++i)
+        row.push_back(Value::decodeRecord(data, size, &pos));
+    return row;
+}
+
+// Round-trip note: orderedToDouble is used by tests via the key codec
+// below; keep the symbol referenced.
+double
+keyDecodeDoubleForTest(const uint8_t *p)
+{
+    return orderedToDouble(getU64BigEndian(p));
+}
+
+} // namespace cubicleos::minisql

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SQL values: a small dynamically-typed variant (NULL, INTEGER, REAL,
+ * TEXT) with SQLite-flavoured comparison and arithmetic semantics, and
+ * an order-preserving binary key encoding used by the B+tree.
+ */
+
+#ifndef CUBICLEOS_APPS_MINISQL_VALUE_H_
+#define CUBICLEOS_APPS_MINISQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cubicleos::minisql {
+
+/** SQL storage classes. */
+enum class ValueType : uint8_t {
+    kNull = 0,
+    kInt = 1,
+    kReal = 2,
+    kText = 3,
+};
+
+/** One SQL value. */
+class Value {
+  public:
+    Value() : v_(std::monostate{}) {}
+    explicit Value(int64_t i) : v_(i) {}
+    explicit Value(double d) : v_(d) {}
+    explicit Value(std::string s) : v_(std::move(s)) {}
+
+    static Value null() { return Value(); }
+
+    ValueType type() const
+    {
+        return static_cast<ValueType>(v_.index());
+    }
+
+    bool isNull() const { return type() == ValueType::kNull; }
+    int64_t asInt() const;   ///< numeric coercion (0 for non-numeric)
+    double asReal() const;   ///< numeric coercion
+    /** Text rendering (SQL display form). */
+    std::string asText() const;
+    const std::string &text() const { return std::get<std::string>(v_); }
+
+    /**
+     * Three-way comparison with SQLite ordering: NULL < numbers <
+     * text; INTEGER and REAL compare numerically across types.
+     */
+    int compare(const Value &other) const;
+
+    bool operator==(const Value &other) const
+    {
+        return compare(other) == 0;
+    }
+
+    /** SQL truthiness: non-zero number; NULL and text are false. */
+    bool truthy() const;
+
+    /**
+     * Appends an order-preserving key encoding: memcmp order over the
+     * encodings equals compare() order. Used for B+tree keys.
+     */
+    void encodeKey(std::vector<uint8_t> *out) const;
+
+    /** Appends a compact tagged record encoding (not order-preserving). */
+    void encodeRecord(std::vector<uint8_t> *out) const;
+
+    /** Decodes one record-encoded value; advances @p pos. */
+    static Value decodeRecord(const uint8_t *data, std::size_t size,
+                              std::size_t *pos);
+
+  private:
+    std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/** A row of values. */
+using Row = std::vector<Value>;
+
+/** Encodes a whole row in record format. */
+std::vector<uint8_t> encodeRow(const Row &row);
+
+/** Decodes a record-format row. */
+Row decodeRow(const uint8_t *data, std::size_t size);
+
+} // namespace cubicleos::minisql
+
+#endif // CUBICLEOS_APPS_MINISQL_VALUE_H_

@@ -1,0 +1,204 @@
+#include "baselines/memfs.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cubicleos::baselines {
+
+using namespace libos;
+
+std::string *
+MemFileApi::fileOf(int fd)
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size() ||
+        !fds_[static_cast<std::size_t>(fd)].used) {
+        return nullptr;
+    }
+    auto it = files_.find(fds_[static_cast<std::size_t>(fd)].path);
+    return it == files_.end() ? nullptr : &it->second;
+}
+
+int
+MemFileApi::open(const char *path, int flags)
+{
+    charge();
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+        if (!(flags & kCreate))
+            return kErrNoEnt;
+        it = files_.emplace(path, std::string()).first;
+    } else if (flags & kTrunc) {
+        it->second.clear();
+    }
+    for (std::size_t fd = 0; fd < fds_.size(); ++fd) {
+        if (!fds_[fd].used) {
+            fds_[fd] = OpenFile{true, path,
+                                (flags & kAppend) ? it->second.size()
+                                                  : 0};
+            return static_cast<int>(fd);
+        }
+    }
+    fds_.push_back(OpenFile{true, path,
+                            (flags & kAppend) ? it->second.size() : 0});
+    return static_cast<int>(fds_.size() - 1);
+}
+
+int
+MemFileApi::close(int fd)
+{
+    charge();
+    if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size())
+        return kErrBadF;
+    fds_[static_cast<std::size_t>(fd)].used = false;
+    return 0;
+}
+
+int64_t
+MemFileApi::pread(int fd, void *buf, std::size_t n, uint64_t off)
+{
+    charge();
+    std::string *file = fileOf(fd);
+    if (!file)
+        return kErrBadF;
+    if (off >= file->size())
+        return 0;
+    const std::size_t take =
+        std::min<uint64_t>(n, file->size() - off);
+    std::memcpy(buf, file->data() + off, take);
+    return static_cast<int64_t>(take);
+}
+
+int64_t
+MemFileApi::pwrite(int fd, const void *buf, std::size_t n, uint64_t off)
+{
+    charge();
+    std::string *file = fileOf(fd);
+    if (!file)
+        return kErrBadF;
+    if (file->size() < off + n)
+        file->resize(off + n, '\0');
+    std::memcpy(file->data() + off, buf, n);
+    return static_cast<int64_t>(n);
+}
+
+int64_t
+MemFileApi::read(int fd, void *buf, std::size_t n)
+{
+    std::string *file = fileOf(fd);
+    if (!file)
+        return kErrBadF;
+    auto &of = fds_[static_cast<std::size_t>(fd)];
+    const int64_t got = pread(fd, buf, n, of.offset);
+    if (got > 0)
+        of.offset += static_cast<uint64_t>(got);
+    return got;
+}
+
+int64_t
+MemFileApi::write(int fd, const void *buf, std::size_t n)
+{
+    std::string *file = fileOf(fd);
+    if (!file)
+        return kErrBadF;
+    auto &of = fds_[static_cast<std::size_t>(fd)];
+    const int64_t put = pwrite(fd, buf, n, of.offset);
+    if (put > 0)
+        of.offset += static_cast<uint64_t>(put);
+    return put;
+}
+
+int64_t
+MemFileApi::lseek(int fd, int64_t off, int whence)
+{
+    charge();
+    std::string *file = fileOf(fd);
+    if (!file)
+        return kErrBadF;
+    auto &of = fds_[static_cast<std::size_t>(fd)];
+    int64_t base = 0;
+    switch (whence) {
+      case kSeekSet: base = 0; break;
+      case kSeekCur: base = static_cast<int64_t>(of.offset); break;
+      case kSeekEnd: base = static_cast<int64_t>(file->size()); break;
+      default: return kErrInval;
+    }
+    const int64_t pos = base + off;
+    if (pos < 0)
+        return kErrInval;
+    of.offset = static_cast<uint64_t>(pos);
+    return pos;
+}
+
+int
+MemFileApi::stat(const char *path, VfsStat *st)
+{
+    charge();
+    auto it = files_.find(path);
+    if (it == files_.end())
+        return kErrNoEnt;
+    st->size = it->second.size();
+    st->mode = kModeFile;
+    st->nlink = 1;
+    return 0;
+}
+
+int
+MemFileApi::fstat(int fd, VfsStat *st)
+{
+    charge();
+    std::string *file = fileOf(fd);
+    if (!file)
+        return kErrBadF;
+    st->size = file->size();
+    st->mode = kModeFile;
+    st->nlink = 1;
+    return 0;
+}
+
+int
+MemFileApi::unlink(const char *path)
+{
+    charge();
+    return files_.erase(path) ? 0 : kErrNoEnt;
+}
+
+int
+MemFileApi::mkdir(const char *)
+{
+    charge();
+    return 0; // flat namespace: directories are implicit
+}
+
+int
+MemFileApi::ftruncate(int fd, uint64_t size)
+{
+    charge();
+    std::string *file = fileOf(fd);
+    if (!file)
+        return kErrBadF;
+    file->resize(size, '\0');
+    return 0;
+}
+
+int
+MemFileApi::fsync(int fd)
+{
+    charge();
+    return fileOf(fd) ? 0 : kErrBadF;
+}
+
+int
+MemFileApi::readdir(const char *, uint64_t idx, VfsDirent *out)
+{
+    charge();
+    if (idx >= files_.size())
+        return kErrNoEnt;
+    auto it = files_.begin();
+    std::advance(it, static_cast<long>(idx));
+    std::snprintf(out->name, sizeof(out->name), "%s",
+                  it->first.c_str());
+    out->type = kModeFile;
+    return 0;
+}
+
+} // namespace cubicleos::baselines

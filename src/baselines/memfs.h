@@ -1,0 +1,80 @@
+/**
+ * @file
+ * MemFileApi: a host-memory file system implementing FileApi.
+ *
+ * Used two ways:
+ *  - as the "Linux" baseline of Fig. 10a (direct calls, with an
+ *    optional per-operation syscall cost charged to a cycle clock);
+ *  - as a fast substrate for unit-testing the database engine without
+ *    booting a full cubicle system.
+ */
+
+#ifndef CUBICLEOS_BASELINES_MEMFS_H_
+#define CUBICLEOS_BASELINES_MEMFS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/cycles.h"
+#include "libos/fileapi.h"
+
+namespace cubicleos::baselines {
+
+/** In-memory FileApi with optional syscall-cost accounting. */
+class MemFileApi : public libos::FileApi {
+  public:
+    /**
+     * @param clock if non-null, every operation charges
+     *        hw::cost::kSyscall (the Linux baseline's kernel entry).
+     */
+    explicit MemFileApi(hw::CycleClock *clock = nullptr)
+        : clock_(clock)
+    {}
+
+    int open(const char *path, int flags) override;
+    int close(int fd) override;
+    int64_t read(int fd, void *buf, std::size_t n) override;
+    int64_t write(int fd, const void *buf, std::size_t n) override;
+    int64_t pread(int fd, void *buf, std::size_t n,
+                  uint64_t off) override;
+    int64_t pwrite(int fd, const void *buf, std::size_t n,
+                   uint64_t off) override;
+    int64_t lseek(int fd, int64_t off, int whence) override;
+    int stat(const char *path, libos::VfsStat *st) override;
+    int fstat(int fd, libos::VfsStat *st) override;
+    int unlink(const char *path) override;
+    int mkdir(const char *path) override;
+    int ftruncate(int fd, uint64_t size) override;
+    int fsync(int fd) override;
+    int readdir(const char *path, uint64_t idx,
+                libos::VfsDirent *out) override;
+
+    /** Number of operations performed (the baseline's syscall count). */
+    uint64_t opCount() const { return ops_; }
+
+  private:
+    struct OpenFile {
+        bool used = false;
+        std::string path;
+        uint64_t offset = 0;
+    };
+
+    void charge()
+    {
+        ++ops_;
+        if (clock_)
+            clock_->charge(hw::cost::kSyscall);
+    }
+
+    std::string *fileOf(int fd);
+
+    hw::CycleClock *clock_;
+    std::map<std::string, std::string> files_;
+    std::vector<OpenFile> fds_;
+    uint64_t ops_ = 0;
+};
+
+} // namespace cubicleos::baselines
+
+#endif // CUBICLEOS_BASELINES_MEMFS_H_

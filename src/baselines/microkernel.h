@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Message-based componentisation baselines (paper §6.5, Fig. 9/10).
+ *
+ * Models Genode-style component systems over different kernels: every
+ * operation against a component in another protection domain is a
+ * synchronous RPC — arguments and data payloads are marshalled into a
+ * message (a real copy), the kernel is entered (a modelled cycle
+ * cost), the server unmarshals and executes, and the reply travels
+ * the same way back (Figure 1b of the paper).
+ *
+ * MicrokernelFileApi wraps an inner file system "server": with one
+ * hop it models the 3-component deployment of Fig. 9a (application |
+ * core | timer); with two hops the separated-RAMFS deployment of
+ * Fig. 9b, where the VFS must itself RPC to the file system backend,
+ * copying all data twice more.
+ */
+
+#ifndef CUBICLEOS_BASELINES_MICROKERNEL_H_
+#define CUBICLEOS_BASELINES_MICROKERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cycles.h"
+#include "libos/fileapi.h"
+
+namespace cubicleos::baselines {
+
+/** Cost profile of one kernel's IPC mechanisms. */
+struct KernelProfile {
+    std::string name;
+    /** Cycles for one synchronous call+reply between servers. */
+    uint64_t rpcRoundTripCycles;
+    /**
+     * Cycles for one operation on the application's file session:
+     * Genode backs it with a shared dataspace, so bulk data avoids a
+     * full RPC round trip per block — this is why the 3-component
+     * deployments stay cheap (Fig. 10a, Genode-3 = 1.4x).
+     */
+    uint64_t bulkSessionCycles;
+    /** Extra per-byte marshalling cost beyond the real memcpy. */
+    double perByteCycles;
+    /**
+     * Synchronous round trips per 4 KiB block on the separated
+     * VFS->backend boundary (submit/ack protocol). This is what makes
+     * the fourth compartment expensive (Fig. 10b).
+     */
+    double rpcsPerBlock;
+};
+
+/** Kernel profiles used in the paper's Fig. 10. */
+namespace kernels {
+
+/** seL4 under Genode (capability transfer + Genode RPC framework). */
+KernelProfile seL4();
+/** Fiasco.OC under Genode. */
+KernelProfile fiascoOC();
+/** NOVA microhypervisor under Genode. */
+KernelProfile nova();
+/** Genode on the Linux kernel: socket-based IPC, scheduler hops. */
+KernelProfile genodeLinux();
+
+} // namespace kernels
+
+/** IPC statistics. */
+struct IpcStats {
+    uint64_t rpcs = 0;
+    uint64_t bytesCopied = 0;
+};
+
+/**
+ * FileApi over message-based IPC with a configurable number of
+ * protection-domain hops between the application and the backing
+ * store.
+ */
+class MicrokernelFileApi : public libos::FileApi {
+  public:
+    /**
+     * @param profile kernel cost profile
+     * @param clock clock charged for modelled IPC costs
+     * @param inner the file system server implementation
+     * @param hops protection domains crossed per operation (1 =
+     *        Fig. 9a, 2 = Fig. 9b with RAMFS separated)
+     */
+    MicrokernelFileApi(KernelProfile profile, hw::CycleClock *clock,
+                       libos::FileApi *inner, int hops);
+
+    int open(const char *path, int flags) override;
+    int close(int fd) override;
+    int64_t read(int fd, void *buf, std::size_t n) override;
+    int64_t write(int fd, const void *buf, std::size_t n) override;
+    int64_t pread(int fd, void *buf, std::size_t n,
+                  uint64_t off) override;
+    int64_t pwrite(int fd, const void *buf, std::size_t n,
+                   uint64_t off) override;
+    int64_t lseek(int fd, int64_t off, int whence) override;
+    int stat(const char *path, libos::VfsStat *st) override;
+    int fstat(int fd, libos::VfsStat *st) override;
+    int unlink(const char *path) override;
+    int mkdir(const char *path) override;
+    int ftruncate(int fd, uint64_t size) override;
+    int fsync(int fd) override;
+    int readdir(const char *path, uint64_t idx,
+                libos::VfsDirent *out) override;
+
+    const IpcStats &stats() const { return stats_; }
+    const KernelProfile &profile() const { return profile_; }
+
+  private:
+    /** Charges the app->core session cost of one operation. */
+    void chargeRpc(std::size_t meta_bytes);
+    /** Charges the separated backend's per-block RPC protocol. */
+    void chargeBackendBlocks(std::size_t payload_bytes);
+    /** Copies a payload through per-hop message buffers. */
+    void marshalIn(const void *src, std::size_t n);
+    void marshalOut(void *dst, std::size_t n);
+
+    KernelProfile profile_;
+    hw::CycleClock *clock_;
+    libos::FileApi *inner_;
+    int hops_;
+    std::vector<std::vector<uint8_t>> msgBufs_; ///< one per hop
+    IpcStats stats_;
+};
+
+} // namespace cubicleos::baselines
+
+#endif // CUBICLEOS_BASELINES_MICROKERNEL_H_

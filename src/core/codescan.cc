@@ -1,0 +1,81 @@
+#include "core/codescan.h"
+
+#include "hw/prng.h"
+
+namespace cubicleos::core {
+
+namespace {
+
+struct Pattern {
+    const char *mnemonic;
+    uint8_t bytes[3];
+    std::size_t len;
+};
+
+/**
+ * Forbidden encodings. wrpkru changes MPK permissions directly; the
+ * syscall family could ask the host kernel to change page tags
+ * (pkey_mprotect) or permissions (mprotect).
+ */
+constexpr Pattern kForbidden[] = {
+    {"wrpkru", {0x0F, 0x01, 0xEF}, 3},
+    {"xsetbv", {0x0F, 0x01, 0xD1}, 3},
+    {"syscall", {0x0F, 0x05, 0x00}, 2},
+    {"sysenter", {0x0F, 0x34, 0x00}, 2},
+    {"int80", {0xCD, 0x80, 0x00}, 2},
+};
+
+bool
+matchAt(std::span<const uint8_t> image, std::size_t pos, const Pattern &p)
+{
+    if (pos + p.len > image.size())
+        return false;
+    for (std::size_t i = 0; i < p.len; ++i) {
+        if (image[pos + i] != p.bytes[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<ForbiddenInsn>
+scanCodeImage(std::span<const uint8_t> image)
+{
+    for (std::size_t pos = 0; pos < image.size(); ++pos) {
+        for (const Pattern &p : kForbidden) {
+            if (matchAt(image, pos, p))
+                return ForbiddenInsn{pos, p.mnemonic};
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<ForbiddenInsn>
+scanCodeImageAll(std::span<const uint8_t> image)
+{
+    std::vector<ForbiddenInsn> out;
+    for (std::size_t pos = 0; pos < image.size(); ++pos) {
+        for (const Pattern &p : kForbidden) {
+            if (matchAt(image, pos, p))
+                out.push_back(ForbiddenInsn{pos, p.mnemonic});
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+makeBenignImage(std::size_t size, uint64_t seed)
+{
+    std::vector<uint8_t> image(size);
+    hw::Prng prng(seed | 1);
+    for (auto &b : image) {
+        // Only single-byte NOP/arith opcodes: cannot form any multi-byte
+        // forbidden sequence (none begins with these values).
+        static constexpr uint8_t kSafe[] = {0x90, 0x50, 0x58, 0x48, 0x89};
+        b = kSafe[prng.nextBelow(sizeof(kSafe))];
+    }
+    return image;
+}
+
+} // namespace cubicleos::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Load-time binary scanner for isolation-subverting instructions.
+ *
+ * The loader refuses to make code pages executable if they contain byte
+ * sequences encoding instructions that could undermine the isolation
+ * mechanisms (paper §5.4): wrpkru (0F 01 EF), xrstor with PKRU,
+ * syscall (0F 05), sysenter (0F 34) and int 0x80 (CD 80). The scan is
+ * performed over the full image so sequences spanning page boundaries
+ * are found too.
+ */
+
+#ifndef CUBICLEOS_CORE_CODESCAN_H_
+#define CUBICLEOS_CORE_CODESCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cubicleos::core {
+
+/** A forbidden instruction found by the scanner. */
+struct ForbiddenInsn {
+    std::size_t offset;   ///< byte offset in the image
+    std::string mnemonic; ///< e.g. "wrpkru"
+};
+
+/**
+ * Scans @p image for forbidden instruction encodings.
+ *
+ * @return the first match, or no value if the image is clean.
+ */
+std::optional<ForbiddenInsn> scanCodeImage(std::span<const uint8_t> image);
+
+/**
+ * Scans and collects every match (diagnostics / tests).
+ */
+std::vector<ForbiddenInsn> scanCodeImageAll(std::span<const uint8_t> image);
+
+/**
+ * Generates a benign pseudo code image of @p size bytes, deterministic
+ * in @p seed, guaranteed to contain no forbidden sequence. Components in
+ * this reproduction are native C++, so their "binary image" — the thing
+ * the loader scans and maps execute-only — is synthesised.
+ */
+std::vector<uint8_t> makeBenignImage(std::size_t size, uint64_t seed);
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_CODESCAN_H_

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The component model: what third-party code looks like to CubicleOS.
+ *
+ * A Component is the unit of isolation — one Unikraft-style library (VFS,
+ * RAMFS, the network stack, the application...). Components declare a
+ * spec (name, cubicle kind, image/stack/heap sizes), register exported
+ * functions with the trusted builder, and get an init() hook executed
+ * inside their freshly loaded cubicle at boot.
+ *
+ * This mirrors the paper's §5.2 build flow: Unikraft's exportsyms.uk
+ * becomes registerExports(); the builder generates one cross-cubicle
+ * trampoline per exported symbol; callback tables are resolved as
+ * dynamic symbols so the loader can interpose trampolines.
+ */
+
+#ifndef CUBICLEOS_CORE_COMPONENT_H_
+#define CUBICLEOS_CORE_COMPONENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace cubicleos::core {
+
+class System;
+
+/** Static description of a component, consumed by the loader. */
+struct ComponentSpec {
+    std::string name;
+    CubicleKind kind = CubicleKind::kIsolated;
+
+    /**
+     * Binary code image scanned by the loader. Components in this
+     * reproduction are native C++, so when empty the loader synthesises
+     * a benign image of @c codePages pages; tests supply hostile images.
+     */
+    std::vector<uint8_t> image;
+
+    std::size_t codePages = 2;
+    std::size_t globalPages = 2;
+    std::size_t stackPages = 0;     ///< 0: use system default
+    std::size_t heapChunkPages = 0; ///< 0: use system default
+
+    /**
+     * If non-empty, load this component into the cubicle of the named
+     * (earlier-registered) component instead of a fresh one. This is
+     * how coarser partitionings are expressed — e.g. the paper's
+     * Fig. 9a merges VFS, RAMFS and the platform code into one "core"
+     * module. Calls between colocated components are plain calls; no
+     * trampoline, no permission switch.
+     */
+    std::string colocateWith;
+};
+
+/**
+ * One exported symbol: a type-erased function owned by a component.
+ *
+ * @c fn points to a std::function with the exact signature recorded in
+ * @c sigName; resolution checks the signature before handing out a
+ * callable, the software analogue of the builder parsing the function
+ * definition to generate a matching trampoline thunk.
+ */
+struct ExportSlot {
+    std::string name;
+    Cid owner = kNoCubicle;
+    CubicleKind ownerKind = CubicleKind::kIsolated;
+    std::shared_ptr<void> fn;
+    const char *sigName = nullptr;
+};
+
+/** Collects a component's exports during boot (trusted builder side). */
+class Exporter {
+  public:
+    Exporter(Cid owner, CubicleKind kind,
+             std::vector<ExportSlot> *out)
+        : owner_(owner), kind_(kind), out_(out)
+    {}
+
+    /**
+     * Exports @p f under @p name with signature @p Sig.
+     *
+     * Example: @code exp.fn<int(int, int)>("add", ...); @endcode
+     */
+    template <typename Sig>
+    void fn(const std::string &name, std::function<Sig> f)
+    {
+        ExportSlot slot;
+        slot.name = name;
+        slot.owner = owner_;
+        slot.ownerKind = kind_;
+        slot.fn = std::make_shared<std::function<Sig>>(std::move(f));
+        slot.sigName = typeid(Sig).name();
+        out_->push_back(std::move(slot));
+    }
+
+  private:
+    Cid owner_;
+    CubicleKind kind_;
+    std::vector<ExportSlot> *out_;
+};
+
+/**
+ * Base class for all components (library OS pieces and applications).
+ */
+class Component {
+  public:
+    virtual ~Component() = default;
+
+    /** Static description used by the loader. */
+    virtual ComponentSpec spec() const = 0;
+
+    /** Registers public entry points with the trusted builder. */
+    virtual void registerExports(Exporter &exp) = 0;
+
+    /**
+     * One-time initialisation, executed inside this component's cubicle
+     * after every component is loaded (so imports resolve).
+     */
+    virtual void init() {}
+
+    /** The cubicle this component was loaded into. */
+    Cid self() const { return self_; }
+
+    /** The owning system (valid from load time). */
+    System *sys() const { return sys_; }
+
+    /**
+     * Deployment-time colocation override: load this component into
+     * the named component's cubicle (takes precedence over the spec's
+     * colocateWith). Lets one component set serve several
+     * partitionings, as in Fig. 9's CORE vs CORE+RAMFS splits.
+     */
+    void colocateWith(std::string host)
+    {
+        colocationOverride_ = std::move(host);
+    }
+
+    const std::string &colocationOverride() const
+    {
+        return colocationOverride_;
+    }
+
+  private:
+    friend class System;
+    System *sys_ = nullptr;
+    Cid self_ = kNoCubicle;
+    std::string colocationOverride_;
+};
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_COMPONENT_H_

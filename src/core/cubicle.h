@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cubicle descriptors: spatial memory isolation units (paper §3).
+ *
+ * Each component is loaded into its own cubicle containing its code,
+ * global data, heap and per-thread stacks. Isolated cubicles map to one
+ * MPK protection key each; shared cubicles (small, stateless helpers such
+ * as LIBC) use a common key readable from every cubicle and execute with
+ * their caller's privileges.
+ */
+
+#ifndef CUBICLEOS_CORE_CUBICLE_H_
+#define CUBICLEOS_CORE_CUBICLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/window.h"
+#include "mem/arena.h"
+#include "mem/suballoc.h"
+
+namespace cubicleos::core {
+
+/**
+ * Runtime state of one cubicle.
+ *
+ * Created by the loader; owned by the monitor. Untrusted code never holds
+ * a Cubicle pointer — it interacts through the System facade.
+ */
+struct Cubicle {
+    Cid id = kNoCubicle;
+    std::string name;
+    CubicleKind kind = CubicleKind::kIsolated;
+
+    /** MPK key assigned by the loader (shared key for shared cubicles). */
+    int pkey = -1;
+
+    /** Code image pages (execute-only after load). */
+    mem::PageRange codeRange;
+
+    /** Global data pages. */
+    mem::PageRange globalRange;
+
+    /** Per-cubicle stack pages with a bump offset (see StackFrame). */
+    mem::PageRange stackRange;
+    std::size_t stackUsed = 0;
+
+    /** Fine-grained heap backed by pages tagged with this cubicle's key. */
+    std::unique_ptr<mem::HeapAllocator> heap;
+
+    /** The per-cubicle window descriptor arrays. */
+    WindowTable windows;
+
+    /**
+     * Extra PKRU grants from hot windows opened for this cubicle
+     * (merged into pkruFor's result at every switch).
+     */
+    hw::Pkru extraAllow = hw::Pkru::denyAll();
+
+    bool isolated() const { return kind == CubicleKind::kIsolated; }
+};
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_CUBICLE_H_

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error types raised by the CubicleOS trusted components.
+ */
+
+#ifndef CUBICLEOS_CORE_ERRORS_H_
+#define CUBICLEOS_CORE_ERRORS_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace cubicleos::core {
+
+/** Misuse of the window API (non-owner management, bad wid, ...). */
+class WindowError : public std::runtime_error {
+  public:
+    explicit WindowError(const std::string &what)
+        : std::runtime_error("window error: " + what) {}
+};
+
+/** The loader refused an image or ran out of resources. */
+class LoaderError : public std::runtime_error {
+  public:
+    explicit LoaderError(const std::string &what)
+        : std::runtime_error("loader error: " + what) {}
+};
+
+/** Symbol resolution failure (unknown component/symbol, bad signature). */
+class LinkError : public std::runtime_error {
+  public:
+    explicit LinkError(const std::string &what)
+        : std::runtime_error("link error: " + what) {}
+};
+
+/** Control-flow-integrity violation in cross-cubicle calls. */
+class CfiError : public std::runtime_error {
+  public:
+    explicit CfiError(const std::string &what)
+        : std::runtime_error("CFI violation: " + what) {}
+};
+
+/** Out of memory in the monitor's page pool or a cubicle heap. */
+class OutOfMemory : public std::runtime_error {
+  public:
+    explicit OutOfMemory(const std::string &what)
+        : std::runtime_error("out of memory: " + what) {}
+};
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_ERRORS_H_

@@ -1,0 +1,434 @@
+#include "core/monitor.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "core/codescan.h"
+
+namespace cubicleos::core {
+
+const char *
+isolationModeName(IsolationMode mode)
+{
+    switch (mode) {
+      case IsolationMode::kUnikraft: return "unikraft";
+      case IsolationMode::kNoMpk: return "cubicleos-no-mpk";
+      case IsolationMode::kNoAcl: return "cubicleos-no-acl";
+      case IsolationMode::kFull: return "cubicleos";
+    }
+    return "unknown";
+}
+
+Monitor::Monitor(const SystemConfig &cfg, Stats *stats)
+    : cfg_(cfg), stats_(stats), clock_(),
+      space_(cfg.numPages, &clock_),
+      mpk_(cfg.modifiedExecSemantics),
+      meta_(cfg.numPages),
+      pageAlloc_(&space_, &meta_, /*reserve_first=*/0)
+{
+    // One key for all shared cubicles' static data; readable everywhere.
+    sharedKey_ = mpk_.allocKey();
+    assert(sharedKey_ == 1);
+}
+
+Cid
+Monitor::loadComponent(const ComponentSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    if (cubicles_.size() >= static_cast<std::size_t>(kMaxCubicles))
+        throw LoaderError("too many cubicles for ACL bitmask width");
+
+    // Rule 2 (§5.4): refuse code that could subvert isolation.
+    std::vector<uint8_t> image = spec.image.empty()
+        ? makeBenignImage(spec.codePages * hw::kPageSize,
+                          cubicles_.size() + 1)
+        : spec.image;
+    if (auto insn = scanCodeImage(image)) {
+        throw LoaderError("component '" + spec.name +
+                          "' contains forbidden instruction '" +
+                          insn->mnemonic + "' at offset " +
+                          std::to_string(insn->offset));
+    }
+
+    auto cub = std::make_unique<Cubicle>();
+    cub->id = static_cast<Cid>(cubicles_.size());
+    cub->name = spec.name;
+    cub->kind = spec.kind;
+
+    if (spec.kind == CubicleKind::kIsolated) {
+        cub->pkey = mpk_.allocKey(cfg_.virtualizeTags);
+        if (cub->pkey < 0) {
+            throw LoaderError(
+                "MPK keys exhausted loading '" + spec.name +
+                "' (enable virtualizeTags for >14 isolated cubicles)");
+        }
+    } else {
+        cub->pkey = sharedKey_;
+    }
+    const auto pkey = static_cast<uint8_t>(cub->pkey);
+    const Cid cid = cub->id;
+
+    // Code pages: map writable to copy the image, then execute-only
+    // (rule 1, §5.4: cubicles cannot change execute permissions later).
+    const std::size_t code_pages = hw::pagesFor(image.size());
+    cub->codeRange = pageAlloc_.allocPages(code_pages, cid,
+                                           mem::PageType::kCode,
+                                           hw::kPermWrite, pkey);
+    if (!cub->codeRange.valid())
+        throw OutOfMemory("code pages for '" + spec.name + "'");
+    std::memcpy(cub->codeRange.ptr, image.data(), image.size());
+    space_.setPerms(cub->codeRange.first, cub->codeRange.count,
+                    hw::kPermExec);
+
+    // Global data pages.
+    if (spec.globalPages > 0) {
+        cub->globalRange = pageAlloc_.allocPages(
+            spec.globalPages, cid, mem::PageType::kGlobal,
+            hw::kPermRead | hw::kPermWrite, pkey);
+        if (!cub->globalRange.valid())
+            throw OutOfMemory("global pages for '" + spec.name + "'");
+    }
+
+    // Per-cubicle stack arena.
+    const std::size_t stack_pages =
+        spec.stackPages ? spec.stackPages : cfg_.stackPages;
+    cub->stackRange = pageAlloc_.allocPages(
+        stack_pages, cid, mem::PageType::kStack,
+        hw::kPermRead | hw::kPermWrite, pkey);
+    if (!cub->stackRange.valid())
+        throw OutOfMemory("stack pages for '" + spec.name + "'");
+
+    // Heap: default page source is the monitor's pool. The boot code may
+    // rewire it to cross-call the ALLOC component (see System::boot).
+    const std::size_t chunk_pages =
+        spec.heapChunkPages ? spec.heapChunkPages : cfg_.heapChunkPages;
+    cub->heap = std::make_unique<mem::HeapAllocator>(
+        [this, cid](std::size_t pages) {
+            std::lock_guard<std::mutex> l(mutex_);
+            return pageAlloc_.allocPages(
+                pages, cid, mem::PageType::kHeap,
+                hw::kPermRead | hw::kPermWrite,
+                static_cast<uint8_t>(cubicles_[cid]->pkey));
+        },
+        [this](const mem::PageRange &r) {
+            std::lock_guard<std::mutex> l(mutex_);
+            pageAlloc_.freePages(r);
+        },
+        chunk_pages);
+
+    cubicles_.push_back(std::move(cub));
+    return cid;
+}
+
+Cubicle &
+Monitor::cubicle(Cid cid)
+{
+    assert(cid < cubicles_.size());
+    return *cubicles_[cid];
+}
+
+const Cubicle &
+Monitor::cubicle(Cid cid) const
+{
+    assert(cid < cubicles_.size());
+    return *cubicles_[cid];
+}
+
+hw::Pkru
+Monitor::pkruFor(Cid cid) const
+{
+    hw::Pkru pkru = hw::Pkru::denyAll();
+    if (cid < cubicles_.size()) {
+        pkru.allow(cubicles_[cid]->pkey);
+        // Hot-window keys granted to this cubicle (paper §8).
+        pkru.mergeAllow(cubicles_[cid]->extraAllow);
+    }
+    // Shared cubicles' static data is accessible from every cubicle.
+    pkru.allow(sharedKey_);
+    return pkru;
+}
+
+// ----------------------------------------------------------------------
+// Window API
+// ----------------------------------------------------------------------
+
+Window &
+Monitor::windowChecked(Cid caller, Wid wid, const char *op)
+{
+    if (wid >= windows_.size() || !windows_[wid].live)
+        throw WindowError(std::string(op) + ": invalid window id");
+    Window &w = windows_[wid];
+    // Windows are assigned to the creating cubicle and can only be
+    // managed by it (paper §4).
+    if (w.owner != caller)
+        throw WindowError(std::string(op) + ": cubicle " +
+                          std::to_string(caller) +
+                          " does not own window " + std::to_string(wid));
+    return w;
+}
+
+Wid
+Monitor::windowInit(Cid caller)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    // Reuse a dead slot if available.
+    for (Wid wid = 0; wid < windows_.size(); ++wid) {
+        if (!windows_[wid].live) {
+            windows_[wid] = Window{caller, 0, true, 0};
+            return wid;
+        }
+    }
+    windows_.push_back(Window{caller, 0, true, 0});
+    return static_cast<Wid>(windows_.size() - 1);
+}
+
+void
+Monitor::windowAdd(Cid caller, Wid wid, const void *ptr, std::size_t size)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_add");
+
+    if (!space_.contains(ptr) || size == 0)
+        throw WindowError("window_add: range outside the address space");
+    const auto &pm = meta_.at(space_.pageIndexOf(ptr));
+    // Only memory owned by the calling cubicle may be shared.
+    if (pm.owner != caller)
+        throw WindowError("window_add: cubicle " + std::to_string(caller) +
+                          " does not own the memory range");
+    cubicles_[caller]->windows.add(pm.type, ptr, size, wid);
+    ++w.rangeCount;
+
+    if (w.hotKey >= 0) {
+        // Hot window: tag the pages with the window key now, so uses
+        // by any ACL member need no trap at all.
+        const std::size_t first = space_.pageIndexOf(ptr);
+        const std::size_t last = space_.pageIndexOf(
+            static_cast<const uint8_t *>(ptr) + size - 1);
+        space_.setKey(first, last - first + 1,
+                      static_cast<uint8_t>(w.hotKey));
+        stats_->countRetag();
+    }
+}
+
+void
+Monitor::windowRemove(Cid caller, Wid wid, const void *ptr)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_remove");
+    if (!cubicles_[caller]->windows.remove(wid, ptr))
+        throw WindowError("window_remove: no such range in window");
+    --w.rangeCount;
+}
+
+void
+Monitor::windowOpen(Cid caller, Wid wid, Cid peer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_open");
+    w.acl |= aclBit(peer);
+    if (w.hotKey >= 0 && peer < cubicles_.size())
+        cubicles_[peer]->extraAllow.allow(w.hotKey);
+}
+
+void
+Monitor::windowClose(Cid caller, Wid wid, Cid peer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_close");
+    // Lazy revocation: the ACL bit is cleared but pages keep their
+    // current tag (causal tag consistency, §5.6). Hot windows revoke
+    // eagerly through the PKRU mask instead.
+    w.acl &= ~aclBit(peer);
+    if (w.hotKey >= 0 && peer < cubicles_.size())
+        cubicles_[peer]->extraAllow.deny(w.hotKey);
+}
+
+void
+Monitor::windowCloseAll(Cid caller, Wid wid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_close_all");
+    if (w.hotKey >= 0) {
+        for (Cid cid = 0; cid < cubicles_.size(); ++cid) {
+            if ((w.acl & aclBit(cid)) && cid != caller)
+                cubicles_[cid]->extraAllow.deny(w.hotKey);
+        }
+    }
+    w.acl = 0;
+}
+
+void
+Monitor::windowDestroy(Cid caller, Wid wid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_destroy");
+    if (w.hotKey >= 0) {
+        // Return the window's pages to the owner's tag and revoke the
+        // key from every PKRU mask. (The key itself is not recycled;
+        // hardware keys are a scarce, explicitly-requested resource.)
+        for (std::size_t page = 0; page < space_.numPages(); ++page) {
+            if (space_.entryAt(page).present &&
+                space_.entryAt(page).pkey == w.hotKey) {
+                space_.setKey(page, 1,
+                              static_cast<uint8_t>(
+                                  cubicles_[caller]->pkey));
+            }
+        }
+        for (auto &cub : cubicles_)
+            cub->extraAllow.deny(w.hotKey);
+    }
+    cubicles_[caller]->windows.removeAll(wid);
+    w = Window{}; // live = false; slot reusable
+}
+
+void
+Monitor::windowSetHot(Cid caller, Wid wid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_set_hot");
+    if (w.hotKey >= 0)
+        return;
+    const int key = mpk_.allocKey();
+    if (key < 0) {
+        throw WindowError(
+            "window_set_hot: MPK keys exhausted (hot windows use one "
+            "dedicated hardware key each)");
+    }
+    w.hotKey = key;
+    cubicles_[caller]->extraAllow.allow(key);
+    for (Cid cid = 0; cid < cubicles_.size(); ++cid) {
+        if (w.acl & aclBit(cid))
+            cubicles_[cid]->extraAllow.allow(key);
+    }
+}
+
+AclMask
+Monitor::windowAcl(Wid wid) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wid >= windows_.size() || !windows_[wid].live)
+        throw WindowError("windowAcl: invalid window id");
+    return windows_[wid].acl;
+}
+
+// ----------------------------------------------------------------------
+// Trap-and-map
+// ----------------------------------------------------------------------
+
+bool
+Monitor::handleFault(const hw::Fault &fault, Cid accessor,
+                     IsolationMode mode)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    clock_.charge(hw::cost::kFaultTrap);
+    stats_->countTrap();
+
+    // Only MPK faults are resolvable; page-permission and not-present
+    // faults are genuine errors.
+    if (fault.reason != hw::FaultReason::kPkuRead &&
+        fault.reason != hw::FaultReason::kPkuWrite) {
+        return false;
+    }
+    if (!space_.contains(fault.addr) || accessor >= cubicles_.size())
+        return false;
+
+    // ❷ page metadata: owner and type in O(1).
+    const std::size_t page = space_.pageIndexOf(fault.addr);
+    const mem::PageMeta &pm = meta_.at(page);
+    if (pm.owner == kNoCubicle || pm.owner >= cubicles_.size())
+        return false;
+
+    const auto accessor_key =
+        static_cast<uint8_t>(cubicles_[accessor]->pkey);
+
+    // The owner always has access to its own pages (implicit window 0):
+    // a fault here means the page was lazily left tagged for a previous
+    // accessor; retag it back.
+    if (pm.owner == accessor) {
+        space_.setKey(page, 1, accessor_key);
+        stats_->countRetag();
+        return true;
+    }
+
+    // "CubicleOS w/o ACLs": MPK enforced, windows open for any access.
+    if (mode == IsolationMode::kNoAcl) {
+        space_.setKey(page, 1, accessor_key);
+        stats_->countRetag();
+        return true;
+    }
+
+    // ❸ linear search of the owner's window-descriptor array.
+    Cubicle &owner = *cubicles_[pm.owner];
+    const Wid wid = owner.windows.findWindowFor(pm.type, fault.addr);
+    if (wid == kInvalidWindow)
+        return false;
+
+    // ❹ O(1) ACL bitmask check.
+    const Window &w = windows_[wid];
+    if (!w.live || (w.acl & aclBit(accessor)) == 0)
+        return false;
+
+    // ❺ grant: retag the page to the accessor's cubicle.
+    space_.setKey(page, 1, accessor_key);
+    stats_->countRetag();
+    return true;
+}
+
+// ----------------------------------------------------------------------
+// Memory management
+// ----------------------------------------------------------------------
+
+mem::PageRange
+Monitor::allocPagesFor(Cid cid, std::size_t n, mem::PageType type,
+                       uint8_t perms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(cid < cubicles_.size());
+    return pageAlloc_.allocPages(
+        n, cid, type, perms, static_cast<uint8_t>(cubicles_[cid]->pkey));
+}
+
+void
+Monitor::freePages(const mem::PageRange &range)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pageAlloc_.freePages(range);
+}
+
+std::byte *
+Monitor::stackAlloc(Cid cid, std::size_t size, std::size_t align)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cubicle &cub = cubicle(cid);
+    std::size_t off = (cub.stackUsed + align - 1) & ~(align - 1);
+    if (off + size > cub.stackRange.sizeBytes())
+        throw OutOfMemory("stack arena of '" + cub.name + "'");
+    cub.stackUsed = off + size;
+    return cub.stackRange.ptr + off;
+}
+
+std::size_t
+Monitor::stackOffset(Cid cid) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cubicles_[cid]->stackUsed;
+}
+
+void
+Monitor::stackRestore(Cid cid, std::size_t saved)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cubicles_[cid]->stackUsed = saved;
+}
+
+} // namespace cubicleos::core

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The trusted memory monitor (paper §4, §5.3) and cubicle loader (§5.4).
+ *
+ * The monitor bootstraps the system and enforces cubicle isolation and
+ * window access permissions. It owns the simulated address space, the
+ * MPK key allocator, the page metadata map and the page pool, plus the
+ * cubicle and window tables. Its central operation is the lazy
+ * trap-and-map fault handler:
+ *
+ *   ❶ a cross-cubicle access faults (simulated MPK check fails);
+ *   ❷ the faulting page's metadata yields its owner and type in O(1);
+ *   ❸ the owner's window-descriptor array for that type is searched
+ *     linearly for a range containing the address;
+ *   ❹ the window's ACL bitmask is indexed by the accessor's cubicle ID;
+ *   ❺ on success the page's MPK tag is reassigned to the accessor.
+ *
+ * Closing a window does not retag pages (causal tag consistency, §5.6):
+ * the page keeps its tag until a cubicle with access — including the
+ * owner — touches it again and traps.
+ */
+
+#ifndef CUBICLEOS_CORE_MONITOR_H_
+#define CUBICLEOS_CORE_MONITOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/component.h"
+#include "core/cubicle.h"
+#include "core/errors.h"
+#include "core/stats.h"
+#include "core/window.h"
+#include "hw/cycles.h"
+#include "hw/mpk.h"
+#include "hw/page_table.h"
+#include "mem/arena.h"
+#include "mem/page_meta.h"
+#include "mem/suballoc.h"
+
+namespace cubicleos::core {
+
+/** System-wide configuration knobs. */
+struct SystemConfig {
+    /** Size of the simulated address space in pages (default 64 MiB). */
+    std::size_t numPages = 16384;
+    /** Isolation mode (Fig. 6 ablation switch). */
+    IsolationMode mode = IsolationMode::kFull;
+    /** Allow >16 cubicles by multiplexing spilled ones onto one key. */
+    bool virtualizeTags = false;
+    /** Model the paper's modified-MPK execute semantics. */
+    bool modifiedExecSemantics = true;
+    /** Default per-cubicle stack arena size in pages. */
+    std::size_t stackPages = 16;
+    /** Default heap growth granularity in pages. */
+    std::size_t heapChunkPages = 16;
+};
+
+/**
+ * Trusted memory monitor + cubicle loader.
+ *
+ * Thread-safety: mutating entry points (loading, window ops, page
+ * allocation, fault handling) serialise on an internal mutex; the fast
+ * no-fault access check path in System::touch reads page entries without
+ * locking, mirroring how the hardware TLB check is free of software
+ * synchronisation.
+ */
+class Monitor {
+  public:
+    explicit Monitor(const SystemConfig &cfg, Stats *stats);
+
+    Monitor(const Monitor &) = delete;
+    Monitor &operator=(const Monitor &) = delete;
+
+    hw::AddressSpace &space() { return space_; }
+    const hw::AddressSpace &space() const { return space_; }
+    hw::Mpk &mpk() { return mpk_; }
+    hw::CycleClock &clock() { return clock_; }
+    mem::PageMetaMap &pageMeta() { return meta_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** MPK key shared by all shared cubicles' static data. */
+    int sharedKey() const { return sharedKey_; }
+
+    // ------------------------------------------------------------------
+    // Loader (paper §5.4)
+    // ------------------------------------------------------------------
+
+    /**
+     * Loads a component into a fresh cubicle.
+     *
+     * Scans the code image for forbidden instructions, allocates an MPK
+     * key (isolated cubicles), maps code pages execute-only, and sets up
+     * globals, the stack arena and the heap sub-allocator.
+     *
+     * @throws LoaderError on hostile images or key exhaustion.
+     */
+    Cid loadComponent(const ComponentSpec &spec);
+
+    Cubicle &cubicle(Cid cid);
+    const Cubicle &cubicle(Cid cid) const;
+    std::size_t cubicleCount() const { return cubicles_.size(); }
+
+    /** Computes the PKRU register value for a thread running in @p cid. */
+    hw::Pkru pkruFor(Cid cid) const;
+
+    // ------------------------------------------------------------------
+    // Window API (paper Table 1); @p caller is the invoking cubicle
+    // ------------------------------------------------------------------
+
+    /** cubicle_window_init: creates an empty window owned by @p caller. */
+    Wid windowInit(Cid caller);
+    /** cubicle_window_add: associates [ptr, ptr+size) with @p wid. */
+    void windowAdd(Cid caller, Wid wid, const void *ptr, std::size_t size);
+    /** cubicle_window_remove: removes the range starting at @p ptr. */
+    void windowRemove(Cid caller, Wid wid, const void *ptr);
+    /** cubicle_window_open: allows @p peer to access @p wid's contents. */
+    void windowOpen(Cid caller, Wid wid, Cid peer);
+    /** cubicle_window_close: disallows @p peer. Lazy: no retagging. */
+    void windowClose(Cid caller, Wid wid, Cid peer);
+    /** cubicle_window_close_all: clears the whole ACL. */
+    void windowCloseAll(Cid caller, Wid wid);
+    /** cubicle_window_destroy: removes all ranges and frees @p wid. */
+    void windowDestroy(Cid caller, Wid wid);
+
+    /**
+     * Promotes @p wid to a hot window (paper §8: window-specific
+     * tags): allocates a dedicated MPK key, eagerly tags the window's
+     * pages with it, and folds the key into the PKRU of the owner and
+     * every cubicle currently in the ACL. Subsequent opens/closes
+     * update PKRU masks instead of relying on trap-and-map.
+     * @throws WindowError if the hardware keys are exhausted.
+     */
+    void windowSetHot(Cid caller, Wid wid);
+
+    /** Returns the ACL of a window (introspection for tests/tools). */
+    AclMask windowAcl(Wid wid) const;
+
+    // ------------------------------------------------------------------
+    // Trap-and-map (paper §5.3, Fig. 4)
+    // ------------------------------------------------------------------
+
+    /**
+     * Attempts to resolve a protection fault taken by @p accessor.
+     *
+     * @return true if the page was retagged and the access may be
+     *         retried; false if this is a genuine isolation violation.
+     */
+    bool handleFault(const hw::Fault &fault, Cid accessor,
+                     IsolationMode mode);
+
+    // ------------------------------------------------------------------
+    // Memory management for cubicles
+    // ------------------------------------------------------------------
+
+    /**
+     * Allocates @p n pages for cubicle @p cid, tagged with its key and
+     * typed @p type in the metadata map.
+     */
+    mem::PageRange allocPagesFor(Cid cid, std::size_t n,
+                                 mem::PageType type,
+                                 uint8_t perms = hw::kPermRead |
+                                                 hw::kPermWrite);
+
+    /** Returns pages to the pool. */
+    void freePages(const mem::PageRange &range);
+
+    /** Bump-allocates @p size bytes from @p cid's stack arena. */
+    std::byte *stackAlloc(Cid cid, std::size_t size, std::size_t align);
+    /** Current stack offset (for StackFrame save/restore). */
+    std::size_t stackOffset(Cid cid) const;
+    /** Restores the stack offset to @p saved. */
+    void stackRestore(Cid cid, std::size_t saved);
+
+    /** Free pages remaining in the monitor's pool. */
+    std::size_t freePageCount() const { return pageAlloc_.freePageCount(); }
+
+  private:
+    Window &windowChecked(Cid caller, Wid wid, const char *op);
+
+    SystemConfig cfg_;
+    Stats *stats_;
+    hw::CycleClock clock_;
+    hw::AddressSpace space_;
+    hw::Mpk mpk_;
+    mem::PageMetaMap meta_;
+    mem::PageAllocator pageAlloc_;
+    int sharedKey_;
+
+    /**
+     * Declared before the cubicle table: cubicle heap destructors
+     * return chunks through callbacks that lock this mutex, so it must
+     * outlive them.
+     */
+    mutable std::mutex mutex_;
+
+    std::vector<std::unique_ptr<Cubicle>> cubicles_;
+    std::vector<Window> windows_;
+};
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_MONITOR_H_

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Runtime statistics: cross-cubicle call edges, traps, retags.
+ *
+ * The per-edge call counters regenerate the annotations on the component
+ * graphs of Fig. 5 (NGINX) and Fig. 8 (SQLite).
+ */
+
+#ifndef CUBICLEOS_CORE_STATS_H_
+#define CUBICLEOS_CORE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace cubicleos::core {
+
+/** One (caller → callee) edge with its call count. */
+struct CallEdge {
+    Cid caller;
+    Cid callee;
+    uint64_t count;
+};
+
+/** Aggregated runtime counters for one System. */
+class Stats {
+  public:
+    Stats() : edgeMatrix_(kMaxCubicles * kMaxCubicles, 0) {}
+
+    /**
+     * Records one cross-cubicle call on the (caller, callee) edge.
+     * A flat-matrix increment: cheap enough to keep on in every mode.
+     */
+    void countCall(Cid caller, Cid callee)
+    {
+        edgeMatrix_[matrixIndex(caller, callee)]++;
+    }
+
+    /** Memory-protection traps taken (trap-and-map entries). */
+    void countTrap() { ++traps_; }
+    /** Pages retagged by the trap handler. */
+    void countRetag() { ++retags_; }
+    /** PKRU register writes. */
+    void countWrpkru(uint64_t n = 1) { wrpkrus_ += n; }
+    /** Window API operations (init/add/open/close/...). */
+    void countWindowOp() { ++windowOps_; }
+    /** Faults the monitor could not resolve (isolation violations). */
+    void countViolation() { ++violations_; }
+
+    uint64_t traps() const { return traps_; }
+    uint64_t retags() const { return retags_; }
+    uint64_t wrpkrus() const { return wrpkrus_; }
+    uint64_t windowOps() const { return windowOps_; }
+    uint64_t violations() const { return violations_; }
+
+    /** Returns the call count on one edge. */
+    uint64_t callsOnEdge(Cid caller, Cid callee) const
+    {
+        return edgeMatrix_[matrixIndex(caller, callee)];
+    }
+
+    /** Total cross-cubicle calls over all edges. */
+    uint64_t totalCalls() const
+    {
+        uint64_t n = 0;
+        for (uint64_t v : edgeMatrix_)
+            n += v;
+        return n;
+    }
+
+    /** All edges with non-zero counts. */
+    std::vector<CallEdge> edges() const
+    {
+        std::vector<CallEdge> out;
+        for (int c = 0; c < kMaxCubicles; ++c) {
+            for (int e = 0; e < kMaxCubicles; ++e) {
+                uint64_t v = edgeMatrix_[c * kMaxCubicles + e];
+                if (v > 0) {
+                    out.push_back(CallEdge{static_cast<Cid>(c),
+                                           static_cast<Cid>(e), v});
+                }
+            }
+        }
+        return out;
+    }
+
+    /** Resets every counter (benchmark warm-up boundary). */
+    void reset()
+    {
+        std::fill(edgeMatrix_.begin(), edgeMatrix_.end(), 0);
+        traps_ = retags_ = wrpkrus_ = windowOps_ = violations_ = 0;
+    }
+
+  private:
+    static std::size_t matrixIndex(Cid caller, Cid callee)
+    {
+        return (caller % kMaxCubicles) * kMaxCubicles
+            + (callee % kMaxCubicles);
+    }
+
+    std::vector<uint64_t> edgeMatrix_;
+    uint64_t traps_ = 0;
+    uint64_t retags_ = 0;
+    uint64_t wrpkrus_ = 0;
+    uint64_t windowOps_ = 0;
+    uint64_t violations_ = 0;
+};
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_STATS_H_

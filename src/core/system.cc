@@ -1,0 +1,314 @@
+#include "core/system.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace cubicleos::core {
+
+namespace {
+
+/** Monotonic serial so TLS entries never alias across System lifetimes. */
+std::atomic<uint64_t> g_system_serial{1};
+
+struct TlsEntry {
+    uint64_t serial;
+    std::unique_ptr<ThreadCtx> ctx;
+};
+
+thread_local std::vector<TlsEntry> tls_entries;
+thread_local uint64_t tls_cached_serial = 0;
+thread_local ThreadCtx *tls_cached_ctx = nullptr;
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// CrossCallGuard: the cross-cubicle call trampoline (paper §5.5)
+// ----------------------------------------------------------------------
+
+CrossCallGuard::CrossCallGuard(System &sys, ThreadCtx &ctx, Cid callee)
+    : sys_(sys), ctx_(ctx), caller_(ctx.current), savedPkru_(ctx.pkru)
+{
+    const IsolationMode mode = sys.mode();
+    if (mode >= IsolationMode::kNoMpk) {
+        // Trampoline bookkeeping + per-cubicle stack switch.
+        sys.clock().charge(hw::cost::kTrampoline + hw::cost::kStackSwitch);
+    }
+    if (mode >= IsolationMode::kNoAcl) {
+        // Guard-page wrpkru (enables the trampoline in the monitor's
+        // cubicle) + the trampoline's wrpkru to the callee's key set.
+        sys.clock().charge(2 * hw::cost::kWrpkru);
+        sys.stats().countWrpkru(2);
+        ctx.pkru = sys.monitor().pkruFor(callee);
+    }
+    ctx.callStack.push_back(caller_);
+    ctx.current = callee;
+}
+
+CrossCallGuard::~CrossCallGuard()
+{
+    // Return CFI: returns must unwind through the trampoline that made
+    // the call, back to the recorded caller.
+    assert(!ctx_.callStack.empty() && ctx_.callStack.back() == caller_ &&
+           "cross-cubicle return CFI violated");
+    ctx_.callStack.pop_back();
+    ctx_.current = caller_;
+
+    const IsolationMode mode = sys_.mode();
+    if (mode >= IsolationMode::kNoAcl) {
+        sys_.clock().charge(2 * hw::cost::kWrpkru);
+        sys_.stats().countWrpkru(2);
+        ctx_.pkru = savedPkru_;
+    }
+    if (mode >= IsolationMode::kNoMpk) {
+        sys_.clock().charge(hw::cost::kTrampoline +
+                            hw::cost::kStackSwitch);
+    }
+}
+
+// ----------------------------------------------------------------------
+// System
+// ----------------------------------------------------------------------
+
+System::System(SystemConfig cfg)
+    : stats_(), monitor_(cfg, &stats_), mode_(cfg.mode),
+      serial_(g_system_serial.fetch_add(1))
+{
+}
+
+System::~System()
+{
+    // Detach heap page sources that route through components: export
+    // slots die before the monitor's cubicles, so a heap destructor
+    // must not cross-call into them. Chunks go down with the pool.
+    for (Cid cid = 0; cid < static_cast<Cid>(monitor_.cubicleCount());
+         ++cid) {
+        if (auto &heap = monitor_.cubicle(cid).heap)
+            heap->setSource([](std::size_t) { return mem::PageRange{}; },
+                            nullptr);
+    }
+
+    // Invalidate this thread's cache; other threads' stale entries are
+    // harmless because serials are never reused.
+    if (tls_cached_serial == serial_) {
+        tls_cached_serial = 0;
+        tls_cached_ctx = nullptr;
+    }
+    std::erase_if(tls_entries,
+                  [this](const TlsEntry &e) { return e.serial == serial_; });
+}
+
+ThreadCtx &
+System::currentCtx()
+{
+    if (tls_cached_serial == serial_)
+        return *tls_cached_ctx;
+    for (auto &e : tls_entries) {
+        if (e.serial == serial_) {
+            tls_cached_serial = serial_;
+            tls_cached_ctx = e.ctx.get();
+            return *e.ctx;
+        }
+    }
+    tls_entries.push_back(TlsEntry{serial_, std::make_unique<ThreadCtx>()});
+    tls_cached_serial = serial_;
+    tls_cached_ctx = tls_entries.back().ctx.get();
+    return *tls_cached_ctx;
+}
+
+Component &
+System::addComponent(std::unique_ptr<Component> comp)
+{
+    if (booted_)
+        throw LoaderError("cannot add components after boot");
+    componentNames_.push_back(comp->spec().name);
+    components_.push_back(std::move(comp));
+    return *components_.back();
+}
+
+void
+System::boot()
+{
+    if (booted_)
+        throw LoaderError("system already booted");
+
+    // Loader: every component into its own cubicle, except colocated
+    // ones, which join an earlier component's cubicle (coarser
+    // partitioning, paper Fig. 9).
+    for (auto &comp : components_) {
+        ComponentSpec spec = comp->spec();
+        comp->sys_ = this;
+        if (!comp->colocationOverride().empty())
+            spec.colocateWith = comp->colocationOverride();
+        if (!spec.colocateWith.empty()) {
+            Cid host = kNoCubicle;
+            for (auto &other : components_) {
+                if (other->self_ != kNoCubicle &&
+                    monitor_.cubicle(other->self_).name ==
+                        spec.colocateWith) {
+                    host = other->self_;
+                }
+            }
+            if (host == kNoCubicle) {
+                throw LoaderError("colocation target '" +
+                                  spec.colocateWith +
+                                  "' not loaded before '" + spec.name +
+                                  "'");
+            }
+            comp->self_ = host;
+            continue;
+        }
+        comp->self_ = monitor_.loadComponent(spec);
+    }
+
+    // Builder: collect public entry points; each export slot is the
+    // software analogue of a generated trampoline thunk.
+    for (auto &comp : components_) {
+        Exporter exp(comp->self_, comp->spec().kind, &exports_);
+        comp->registerExports(exp);
+    }
+
+    booted_ = true;
+
+    // Init hooks, each inside its own cubicle, in registration order
+    // (components list dependencies first, like Unikraft's link order).
+    for (auto &comp : components_) {
+        runAs(comp->self_, [&] { comp->init(); });
+    }
+}
+
+Cid
+System::cidOf(std::string_view name) const
+{
+    // Component names resolve to the cubicle they were loaded into;
+    // colocated components resolve to their host cubicle.
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (componentNames_[i] == name &&
+            components_[i]->self_ != kNoCubicle) {
+            return components_[i]->self_;
+        }
+    }
+    throw LinkError("unknown component '" + std::string(name) + "'");
+}
+
+Component &
+System::componentAt(Cid cid)
+{
+    for (auto &comp : components_) {
+        if (comp->self_ == cid)
+            return *comp;
+    }
+    throw LinkError("no component in cubicle " + std::to_string(cid));
+}
+
+const ExportSlot &
+System::findSlot(std::string_view comp_name, std::string_view fn_name,
+                 const char *sig_name) const
+{
+    if (!booted_)
+        throw LinkError("resolution before boot");
+    const Cid cid = cidOf(comp_name);
+    for (const auto &slot : exports_) {
+        if (slot.owner == cid && slot.name == fn_name) {
+            if (std::strcmp(slot.sigName, sig_name) != 0) {
+                throw LinkError(
+                    "signature mismatch resolving '" +
+                    std::string(comp_name) + ":" + std::string(fn_name) +
+                    "'");
+            }
+            return slot;
+        }
+    }
+    throw LinkError("component '" + std::string(comp_name) +
+                    "' does not export '" + std::string(fn_name) + "'");
+}
+
+void
+System::touchSlow(ThreadCtx &ctx, const void *ptr, std::size_t len,
+                  hw::Access access)
+{
+    for (;;) {
+        auto fault = monitor_.space().check(monitor_.mpk(), ctx.pkru,
+                                            ptr, len, access);
+        if (!fault)
+            return;
+        // Pointers outside the simulated space are host memory private
+        // to the running component (unsimulated); allow them.
+        if (fault->reason == hw::FaultReason::kOutsideSpace)
+            return;
+        // The thread's PKRU may be stale (a hot-window grant arrived
+        // since the last switch): refresh it first, as the monitor's
+        // fault handler would before escalating.
+        const hw::Pkru fresh = monitor_.pkruFor(ctx.current);
+        if (!(fresh == ctx.pkru)) {
+            ctx.pkru = fresh;
+            clock().charge(hw::cost::kWrpkru);
+            stats_.countWrpkru();
+            continue;
+        }
+        if (!monitor_.handleFault(*fault, ctx.current, mode_)) {
+            stats_.countViolation();
+            throw hw::CubicleFault(*fault);
+        }
+        // handleFault retagged the faulting page; re-check continues
+        // with the next page, guaranteeing progress.
+    }
+}
+
+void
+System::checkExec(const void *ptr)
+{
+    if (mode_ < IsolationMode::kNoAcl)
+        return;
+    ThreadCtx &ctx = currentCtx();
+    auto fault = monitor_.space().check(monitor_.mpk(), ctx.pkru, ptr, 1,
+                                        hw::Access::kExec);
+    if (fault) {
+        // Execute faults are never resolvable by trap-and-map: windows
+        // grant data access only.
+        stats_.countViolation();
+        throw hw::CubicleFault(*fault);
+    }
+}
+
+void *
+System::heapAlloc(std::size_t size)
+{
+    const Cid cid = currentCtx().current;
+    if (cid == kNoCubicle)
+        throw LoaderError("heapAlloc outside any cubicle");
+    void *p = monitor_.cubicle(cid).heap->alloc(size);
+    if (!p)
+        throw OutOfMemory("heap of '" + monitor_.cubicle(cid).name + "'");
+    return p;
+}
+
+void *
+System::heapAllocZeroed(std::size_t size)
+{
+    const Cid cid = currentCtx().current;
+    if (cid == kNoCubicle)
+        throw LoaderError("heapAlloc outside any cubicle");
+    void *p = monitor_.cubicle(cid).heap->allocZeroed(size);
+    if (!p)
+        throw OutOfMemory("heap of '" + monitor_.cubicle(cid).name + "'");
+    return p;
+}
+
+void
+System::heapFree(void *ptr)
+{
+    const Cid cid = currentCtx().current;
+    if (cid == kNoCubicle)
+        throw LoaderError("heapFree outside any cubicle");
+    monitor_.cubicle(cid).heap->free(ptr);
+}
+
+void
+System::setHeapSource(Cid cid, mem::HeapAllocator::PageSource source,
+                      mem::HeapAllocator::PageReturn ret)
+{
+    monitor_.cubicle(cid).heap->setSource(std::move(source),
+                                          std::move(ret));
+}
+
+} // namespace cubicleos::core

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Windows: user-managed temporal memory isolation (paper §3, §5.3).
+ *
+ * A window is a set of memory ranges owned by one cubicle plus an ACL
+ * bitmask of the cubicles allowed to access those ranges. Windows are
+ * discretionary ACLs consulted lazily by the monitor's trap-and-map
+ * handler; opening or closing a window never touches page tables.
+ *
+ * Each cubicle keeps three window-descriptor arrays — for global, stack
+ * and heap data — so the trap handler can locate candidate ranges from
+ * the faulting page's type in O(1) + a short linear search.
+ */
+
+#ifndef CUBICLEOS_CORE_WINDOW_H_
+#define CUBICLEOS_CORE_WINDOW_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "mem/page_meta.h"
+
+namespace cubicleos::core {
+
+/** ACL bitmask over cubicle IDs (bit i = cubicle i may access). */
+using AclMask = uint64_t;
+
+/** Returns the ACL bit for cubicle @p cid. */
+constexpr AclMask
+aclBit(Cid cid)
+{
+    return AclMask{1} << (cid % kMaxCubicles);
+}
+
+/** One memory range associated with a window. */
+struct WindowRange {
+    const void *ptr = nullptr;
+    std::size_t size = 0;
+    Wid wid = kInvalidWindow;
+
+    bool contains(const void *p) const
+    {
+        auto a = reinterpret_cast<uintptr_t>(ptr);
+        auto q = reinterpret_cast<uintptr_t>(p);
+        return q >= a && q < a + size;
+    }
+};
+
+/** A window descriptor: owner, ACL, and liveness. */
+struct Window {
+    Cid owner = kNoCubicle;
+    AclMask acl = 0;
+    bool live = false;
+    uint32_t rangeCount = 0;
+    /**
+     * Dedicated MPK key for a "hot" window (paper §8's proposed
+     * window-specific tags), or -1. Pages added to a hot window are
+     * eagerly tagged with this key, and every cubicle in the ACL has
+     * the key in its PKRU — frequent use costs no trap-and-map.
+     */
+    int hotKey = -1;
+};
+
+/**
+ * The per-cubicle window-descriptor arrays (global / stack / heap).
+ *
+ * Ranges are stored by the data type of their pages so the trap handler
+ * goes straight from page metadata to the right array.
+ */
+class WindowTable {
+  public:
+    /** Adds a range (classified as @p type) belonging to window @p wid. */
+    void add(mem::PageType type, const void *ptr, std::size_t size, Wid wid)
+    {
+        arrayFor(type).push_back(WindowRange{ptr, size, wid});
+    }
+
+    /**
+     * Removes the range starting at @p ptr from window @p wid.
+     * @return true if a range was removed.
+     */
+    bool remove(Wid wid, const void *ptr)
+    {
+        for (auto &arr : arrays_) {
+            for (std::size_t i = 0; i < arr.size(); ++i) {
+                if (arr[i].wid == wid && arr[i].ptr == ptr) {
+                    arr[i] = arr.back();
+                    arr.pop_back();
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /** Removes every range belonging to window @p wid. */
+    void removeAll(Wid wid)
+    {
+        for (auto &arr : arrays_) {
+            std::erase_if(arr,
+                          [wid](const WindowRange &r) { return r.wid == wid; });
+        }
+    }
+
+    /**
+     * Linear search (paper §5.3 step ❸) for a range containing @p ptr
+     * in the array for @p type.
+     * @return the window id, or kInvalidWindow.
+     */
+    Wid findWindowFor(mem::PageType type, const void *ptr) const
+    {
+        for (const auto &r : arrayFor(type)) {
+            if (r.contains(ptr))
+                return r.wid;
+        }
+        return kInvalidWindow;
+    }
+
+    /** Number of ranges currently registered for @p type. */
+    std::size_t rangeCount(mem::PageType type) const
+    {
+        return arrayFor(type).size();
+    }
+
+    /** Total ranges across all three arrays. */
+    std::size_t totalRanges() const
+    {
+        std::size_t n = 0;
+        for (const auto &arr : arrays_)
+            n += arr.size();
+        return n;
+    }
+
+  private:
+    static std::size_t indexFor(mem::PageType type)
+    {
+        switch (type) {
+          case mem::PageType::kGlobal:
+          case mem::PageType::kCode:
+            return 0;
+          case mem::PageType::kStack:
+            return 1;
+          default:
+            return 2; // heap
+        }
+    }
+
+    std::vector<WindowRange> &arrayFor(mem::PageType type)
+    {
+        return arrays_[indexFor(type)];
+    }
+    const std::vector<WindowRange> &arrayFor(mem::PageType type) const
+    {
+        return arrays_[indexFor(type)];
+    }
+
+    std::array<std::vector<WindowRange>, 3> arrays_;
+};
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_WINDOW_H_

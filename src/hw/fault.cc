@@ -1,0 +1,42 @@
+#include "hw/fault.h"
+
+#include <sstream>
+
+namespace cubicleos::hw {
+
+const char *
+faultReasonName(FaultReason reason)
+{
+    switch (reason) {
+      case FaultReason::kNotPresent: return "not-present";
+      case FaultReason::kPagePerm: return "page-perm";
+      case FaultReason::kPkuRead: return "pku-read";
+      case FaultReason::kPkuWrite: return "pku-write";
+      case FaultReason::kExecDenied: return "exec-denied";
+      case FaultReason::kOutsideSpace: return "outside-space";
+    }
+    return "unknown";
+}
+
+const char *
+accessName(Access access)
+{
+    switch (access) {
+      case Access::kRead: return "read";
+      case Access::kWrite: return "write";
+      case Access::kExec: return "exec";
+    }
+    return "unknown";
+}
+
+std::string
+Fault::describe() const
+{
+    std::ostringstream os;
+    os << "memory protection fault: " << accessName(access) << " at "
+       << addr << " (" << faultReasonName(reason)
+       << ", pkey=" << static_cast<int>(pkey) << ")";
+    return os.str();
+}
+
+} // namespace cubicleos::hw

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memory fault types raised by the simulated machine.
+ *
+ * On real hardware these conditions are page faults delivered by the MMU
+ * and the Memory Protection Keys (MPK) check; in this reproduction the same
+ * conditions are produced by software checks in hw::AddressSpace::check().
+ */
+
+#ifndef CUBICLEOS_HW_FAULT_H_
+#define CUBICLEOS_HW_FAULT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cubicleos::hw {
+
+/** Kind of memory access being performed. */
+enum class Access : uint8_t {
+    kRead,
+    kWrite,
+    kExec,
+};
+
+/** Reason a simulated access check failed. */
+enum class FaultReason : uint8_t {
+    kNotPresent,   ///< page is not mapped
+    kPagePerm,     ///< page-table permission (R/W/X) violated
+    kPkuRead,      ///< MPK access-disable bit set for the page's key
+    kPkuWrite,     ///< MPK write-disable bit set for the page's key
+    kExecDenied,   ///< execution attempted on a key with AD+WD set
+                   ///< (the paper's proposed MPK hardware modification)
+    kOutsideSpace, ///< address outside the simulated address space
+};
+
+/** Returns a human-readable name for a fault reason. */
+const char *faultReasonName(FaultReason reason);
+
+/** Returns a human-readable name for an access kind. */
+const char *accessName(Access access);
+
+/**
+ * Description of a failed access, as the monitor's trap handler sees it.
+ *
+ * Mirrors the information a page-fault exception frame plus the PKRU
+ * state would provide on MPK hardware.
+ */
+struct Fault {
+    const void *addr = nullptr; ///< faulting address
+    Access access = Access::kRead;
+    FaultReason reason = FaultReason::kNotPresent;
+    uint8_t pkey = 0;           ///< protection key of the faulting page
+
+    /** Formats the fault for diagnostics. */
+    std::string describe() const;
+};
+
+/**
+ * Exception thrown when a fault cannot be resolved by the monitor,
+ * i.e., an actual isolation violation. Equivalent to the process being
+ * killed by SIGSEGV on real hardware.
+ */
+class CubicleFault : public std::runtime_error {
+  public:
+    explicit CubicleFault(const Fault &fault)
+        : std::runtime_error(fault.describe()), fault_(fault) {}
+
+    const Fault &fault() const { return fault_; }
+
+  private:
+    Fault fault_;
+};
+
+} // namespace cubicleos::hw
+
+#endif // CUBICLEOS_HW_FAULT_H_

@@ -1,0 +1,98 @@
+#include "hw/page_table.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+namespace cubicleos::hw {
+
+AddressSpace::AddressSpace(std::size_t num_pages, CycleClock *clock)
+    : memory_(static_cast<std::byte *>(
+          std::aligned_alloc(kPageSize, num_pages * kPageSize))),
+      entries_(num_pages),
+      clock_(clock)
+{
+    assert(memory_ && "address-space allocation failed");
+    std::memset(memory_.get(), 0, num_pages * kPageSize);
+}
+
+void
+AddressSpace::map(std::size_t first, std::size_t n, uint8_t perms,
+                  uint8_t pkey)
+{
+    assert(first + n <= entries_.size());
+    for (std::size_t i = first; i < first + n; ++i) {
+        entries_[i].present = true;
+        entries_[i].perms = perms;
+        entries_[i].pkey = pkey;
+    }
+}
+
+void
+AddressSpace::unmap(std::size_t first, std::size_t n)
+{
+    assert(first + n <= entries_.size());
+    for (std::size_t i = first; i < first + n; ++i)
+        entries_[i] = PageEntry{};
+}
+
+void
+AddressSpace::setKey(std::size_t first, std::size_t n, uint8_t pkey)
+{
+    assert(first + n <= entries_.size());
+    for (std::size_t i = first; i < first + n; ++i)
+        entries_[i].pkey = pkey;
+    ++retags_;
+    if (clock_)
+        clock_->charge(cost::kPkeyMprotect);
+}
+
+void
+AddressSpace::setPerms(std::size_t first, std::size_t n, uint8_t perms)
+{
+    assert(first + n <= entries_.size());
+    for (std::size_t i = first; i < first + n; ++i)
+        entries_[i].perms = perms;
+}
+
+std::optional<Fault>
+AddressSpace::check(const Mpk &mpk, const Pkru &pkru, const void *ptr,
+                    std::size_t len, Access access) const
+{
+    if (len == 0)
+        return std::nullopt;
+    if (!contains(ptr)) {
+        return Fault{ptr, access, FaultReason::kOutsideSpace, 0};
+    }
+    const auto *last =
+        static_cast<const std::byte *>(ptr) + (len - 1);
+    if (!contains(last)) {
+        return Fault{last, access, FaultReason::kOutsideSpace, 0};
+    }
+
+    const std::size_t first_page = pageIndexOf(ptr);
+    const std::size_t last_page = pageIndexOf(last);
+    const uint8_t need = access == Access::kRead ? kPermRead
+        : access == Access::kWrite ? kPermWrite : kPermExec;
+
+    for (std::size_t i = first_page; i <= last_page; ++i) {
+        const PageEntry &pe = entries_[i];
+        const void *page_addr =
+            memory_.get() + i * kPageSize;
+        const void *fault_addr = i == first_page ? ptr : page_addr;
+        if (!pe.present) {
+            return Fault{fault_addr, access, FaultReason::kNotPresent,
+                         pe.pkey};
+        }
+        if ((pe.perms & need) == 0) {
+            return Fault{fault_addr, access, FaultReason::kPagePerm,
+                         pe.pkey};
+        }
+        if (auto reason = mpk.check(pkru, pe.pkey, access)) {
+            return Fault{fault_addr, access, *reason, pe.pkey};
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace cubicleos::hw

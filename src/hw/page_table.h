@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Simulated physical/virtual address space with a per-page table.
+ *
+ * All cubicle memory (code images, globals, stacks, heaps) is carved out
+ * of one contiguous AddressSpace, so page lookups are O(1) array indexing
+ * — mirroring both MMU behaviour and CubicleOS's O(1) page metadata maps
+ * (paper §5.3).
+ *
+ * The page table holds, per page: presence, R/W/X permissions, and the
+ * 4-bit MPK protection key. Access checks combine page permissions with
+ * the PKRU state, exactly as the hardware would.
+ */
+
+#ifndef CUBICLEOS_HW_PAGE_TABLE_H_
+#define CUBICLEOS_HW_PAGE_TABLE_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hw/cycles.h"
+#include "hw/fault.h"
+#include "hw/mpk.h"
+
+namespace cubicleos::hw {
+
+/** Page size of the simulated machine (x86-64 base pages). */
+inline constexpr std::size_t kPageSize = 4096;
+/** log2(kPageSize). */
+inline constexpr std::size_t kPageShift = 12;
+
+/** Rounds @p n up to a whole number of pages. */
+constexpr std::size_t
+pagesFor(std::size_t n)
+{
+    return (n + kPageSize - 1) / kPageSize;
+}
+
+/** Page-table permission bits. */
+enum PagePerm : uint8_t {
+    kPermNone = 0,
+    kPermRead = 1 << 0,
+    kPermWrite = 1 << 1,
+    kPermExec = 1 << 2,
+};
+
+/** One page-table entry of the simulated MMU. */
+struct PageEntry {
+    bool present = false;
+    uint8_t perms = kPermNone;
+    uint8_t pkey = Mpk::kMonitorKey;
+};
+
+/**
+ * A contiguous simulated address space with page-granular protection.
+ *
+ * Pointers handed out by the runtime are real host pointers into the
+ * backing buffer, so components run at native speed on their own data;
+ * protection is evaluated by check() at the instrumentation points.
+ */
+class AddressSpace {
+  public:
+    /**
+     * Creates an address space of @p num_pages pages.
+     *
+     * @param clock cycle clock charged for priced operations (setKey).
+     */
+    AddressSpace(std::size_t num_pages, CycleClock *clock);
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    std::byte *base() { return memory_.get(); }
+    const std::byte *base() const { return memory_.get(); }
+    std::size_t numPages() const { return entries_.size(); }
+    std::size_t sizeBytes() const { return numPages() * kPageSize; }
+
+    /** True if @p ptr points into the simulated space. */
+    bool contains(const void *ptr) const
+    {
+        auto *p = static_cast<const std::byte *>(ptr);
+        return p >= memory_.get() && p < memory_.get() + sizeBytes();
+    }
+
+    /** Returns the page index of @p ptr; @p ptr must be inside. */
+    std::size_t pageIndexOf(const void *ptr) const
+    {
+        return static_cast<std::size_t>(
+            static_cast<const std::byte *>(ptr) - memory_.get())
+            >> kPageShift;
+    }
+
+    /** Returns a pointer to the first byte of page @p idx. */
+    std::byte *pageAt(std::size_t idx)
+    {
+        return memory_.get() + idx * kPageSize;
+    }
+
+    PageEntry &entryAt(std::size_t idx) { return entries_[idx]; }
+    const PageEntry &entryAt(std::size_t idx) const { return entries_[idx]; }
+
+    /** Returns the entry for @p ptr, or nullptr if outside the space. */
+    const PageEntry *entryFor(const void *ptr) const
+    {
+        if (!contains(ptr))
+            return nullptr;
+        return &entries_[pageIndexOf(ptr)];
+    }
+
+    /** Maps @p n pages starting at @p first with @p perms and @p pkey. */
+    void map(std::size_t first, std::size_t n, uint8_t perms, uint8_t pkey);
+
+    /** Unmaps @p n pages starting at @p first. */
+    void unmap(std::size_t first, std::size_t n);
+
+    /**
+     * Reassigns the protection key on a page range.
+     *
+     * Models pkey_mprotect: charges cost::kPkeyMprotect per call
+     * (the paper's >1,100-cycle kernel path).
+     */
+    void setKey(std::size_t first, std::size_t n, uint8_t pkey);
+
+    /** Changes the page-table permissions on a range (no key change). */
+    void setPerms(std::size_t first, std::size_t n, uint8_t perms);
+
+    /**
+     * Evaluates an access of @p len bytes at @p ptr under @p pkru.
+     *
+     * Checks every page the range touches; returns the first fault, or
+     * no value if the whole access is allowed. This is the software
+     * stand-in for the MMU+MPK check on a real load/store.
+     */
+    std::optional<Fault> check(const Mpk &mpk, const Pkru &pkru,
+                               const void *ptr, std::size_t len,
+                               Access access) const;
+
+    /** Number of setKey invocations (retag statistics). */
+    uint64_t retagCount() const { return retags_; }
+
+  private:
+    struct FreeDeleter {
+        void operator()(std::byte *p) const { std::free(p); }
+    };
+
+    /** Page-aligned backing memory (aligned_alloc). */
+    std::unique_ptr<std::byte[], FreeDeleter> memory_;
+    std::vector<PageEntry> entries_;
+    CycleClock *clock_;
+    uint64_t retags_ = 0;
+};
+
+} // namespace cubicleos::hw
+
+#endif // CUBICLEOS_HW_PAGE_TABLE_H_

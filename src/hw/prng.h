@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Used by workload generators (speedtest, siege client) and the shared
+ * RANDOM cubicle. xorshift64* — fast, reproducible, and adequate for
+ * workload shuffling; not for cryptographic use.
+ */
+
+#ifndef CUBICLEOS_HW_PRNG_H_
+#define CUBICLEOS_HW_PRNG_H_
+
+#include <cstdint>
+
+namespace cubicleos::hw {
+
+/** xorshift64* deterministic PRNG. */
+class Prng {
+  public:
+    explicit Prng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Returns the next 64-bit pseudo-random value. */
+    uint64_t next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Returns a value uniformly distributed in [0, bound). */
+    uint64_t nextBelow(uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Returns a value uniformly distributed in [lo, hi]. */
+    int64_t nextInRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            nextBelow(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace cubicleos::hw
+
+#endif // CUBICLEOS_HW_PRNG_H_

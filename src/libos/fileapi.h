@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Abstract file API consumed by applications (SQLite/NGINX stand-ins).
+ *
+ * One interface, several bindings:
+ *  - CubicleFileApi (libos/ukapi.h): through cross-cubicle trampolines
+ *    with window management — the "ported to CubicleOS" application;
+ *    also serves as the Unikraft baseline when the system runs in
+ *    IsolationMode::kUnikraft (trampolines become direct calls).
+ *  - MicrokernelFileApi (baselines): through message-based IPC.
+ *  - LinuxFileApi (baselines): direct calls + syscall cost model.
+ */
+
+#ifndef CUBICLEOS_LIBOS_FILEAPI_H_
+#define CUBICLEOS_LIBOS_FILEAPI_H_
+
+#include <cstdint>
+
+#include "libos/vfs_types.h"
+
+namespace cubicleos::libos {
+
+/** POSIX-flavoured file API; negative VfsErr codes on failure. */
+class FileApi {
+  public:
+    virtual ~FileApi() = default;
+
+    virtual int open(const char *path, int flags) = 0;
+    virtual int close(int fd) = 0;
+    virtual int64_t read(int fd, void *buf, std::size_t n) = 0;
+    virtual int64_t write(int fd, const void *buf, std::size_t n) = 0;
+    virtual int64_t pread(int fd, void *buf, std::size_t n,
+                          uint64_t off) = 0;
+    virtual int64_t pwrite(int fd, const void *buf, std::size_t n,
+                           uint64_t off) = 0;
+    virtual int64_t lseek(int fd, int64_t off, int whence) = 0;
+    virtual int stat(const char *path, VfsStat *st) = 0;
+    virtual int fstat(int fd, VfsStat *st) = 0;
+    virtual int unlink(const char *path) = 0;
+    virtual int mkdir(const char *path) = 0;
+    virtual int ftruncate(int fd, uint64_t size) = 0;
+    virtual int fsync(int fd) = 0;
+    virtual int readdir(const char *path, uint64_t idx,
+                        VfsDirent *out) = 0;
+};
+
+} // namespace cubicleos::libos
+
+#endif // CUBICLEOS_LIBOS_FILEAPI_H_

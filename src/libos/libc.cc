@@ -1,0 +1,57 @@
+#include "libos/libc.h"
+
+namespace cubicleos::libos {
+
+void
+LibcComponent::registerExports(core::Exporter &exp)
+{
+    core::System *system = sys();
+
+    exp.fn<void(void *, const void *, std::size_t)>(
+        "memcpy", [system](void *dst, const void *src, std::size_t n) {
+            system->memcpyChecked(dst, src, n);
+        });
+
+    exp.fn<void(void *, int, std::size_t)>(
+        "memset", [system](void *dst, int v, std::size_t n) {
+            system->memsetChecked(dst, v, n);
+        });
+
+    exp.fn<std::size_t(const char *, std::size_t)>(
+        "strnlen", [system](const char *s, std::size_t max) {
+            std::size_t n = 0;
+            while (n < max) {
+                system->touch(s + n, 1, hw::Access::kRead);
+                if (s[n] == '\0')
+                    break;
+                ++n;
+            }
+            return n;
+        });
+
+    exp.fn<int(const char *, const char *)>(
+        "strcmp", [system](const char *a, const char *b) {
+            for (std::size_t i = 0;; ++i) {
+                system->touch(a + i, 1, hw::Access::kRead);
+                system->touch(b + i, 1, hw::Access::kRead);
+                if (a[i] != b[i])
+                    return a[i] < b[i] ? -1 : 1;
+                if (a[i] == '\0')
+                    return 0;
+            }
+        });
+}
+
+Libc::Libc(core::System &sys)
+    : memcpy_(sys.resolve<void(void *, const void *, std::size_t)>(
+          "libc", "memcpy")),
+      memset_(sys.resolve<void(void *, int, std::size_t)>("libc",
+                                                          "memset")),
+      strnlen_(sys.resolve<std::size_t(const char *, std::size_t)>(
+          "libc", "strnlen")),
+      strcmp_(sys.resolve<int(const char *, const char *)>("libc",
+                                                           "strcmp"))
+{
+}
+
+} // namespace cubicleos::libos

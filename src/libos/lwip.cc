@@ -1,0 +1,102 @@
+#include "libos/lwip.h"
+
+#include <cstring>
+
+namespace cubicleos::libos {
+
+void
+LwipComponent::init()
+{
+    netdevTx_ = sys()->resolve<int(const uint8_t *, std::size_t)>(
+        "netdev", "netdev_tx");
+    netdevRx_ = sys()->resolve<int64_t(uint8_t *, std::size_t)>(
+        "netdev", "netdev_rx");
+
+    // Packet staging buffers in LWIP-owned pages, windowed for NETDEV
+    // so packet payloads move zero-copy through the driver boundary.
+    auto rx = sys()->monitor().allocPagesFor(self(), 1,
+                                             mem::PageType::kHeap);
+    auto tx = sys()->monitor().allocPagesFor(self(), 1,
+                                             mem::PageType::kHeap);
+    if (!rx.valid() || !tx.valid())
+        throw core::OutOfMemory("lwip packet buffers");
+    rxBuf_ = reinterpret_cast<uint8_t *>(rx.ptr);
+    txBuf_ = reinterpret_cast<uint8_t *>(tx.ptr);
+
+    const core::Cid netdev = sys()->cidOf("netdev");
+    const core::Wid wid = sys()->windowInit();
+    sys()->windowAdd(wid, rxBuf_, hw::kPageSize);
+    sys()->windowAdd(wid, txBuf_, hw::kPageSize);
+    sys()->windowOpen(wid, netdev);
+}
+
+int64_t
+LwipComponent::doPoll(uint64_t now_ns)
+{
+    int64_t processed = 0;
+
+    // Drain the device's receive queue into the stack.
+    for (;;) {
+        const int64_t n = netdevRx_(rxBuf_, kMtu);
+        if (n <= 0)
+            break;
+        // The device wrote our buffer; reclaim the page lazily.
+        sys()->touch(rxBuf_, static_cast<std::size_t>(n),
+                     hw::Access::kRead);
+        stack_.input(rxBuf_, static_cast<std::size_t>(n));
+        ++processed;
+    }
+
+    stack_.tick(now_ns);
+
+    // Emit every sendable segment through the driver.
+    stack_.pollOutput([&](const uint8_t *pkt, std::size_t len) {
+        sys()->touch(txBuf_, len, hw::Access::kWrite);
+        std::memcpy(txBuf_, pkt, len);
+        netdevTx_(txBuf_, len);
+        ++processed;
+    });
+    return processed;
+}
+
+void
+LwipComponent::registerExports(core::Exporter &exp)
+{
+    exp.fn<int()>("lwip_socket", [this] { return stack_.socket(); });
+    exp.fn<int(int, uint16_t)>("lwip_bind", [this](int fd, uint16_t p) {
+        return stack_.bind(fd, p);
+    });
+    exp.fn<int(int, int)>("lwip_listen", [this](int fd, int bl) {
+        return stack_.listen(fd, bl);
+    });
+    exp.fn<int(int)>("lwip_accept",
+                     [this](int fd) { return stack_.accept(fd); });
+    exp.fn<int(int, uint32_t, uint16_t)>(
+        "lwip_connect", [this](int fd, uint32_t ip, uint16_t port) {
+            return stack_.connect(fd, ip, port);
+        });
+    exp.fn<int64_t(int, const void *, std::size_t)>(
+        "lwip_send", [this](int fd, const void *buf, std::size_t n) {
+            if (n > 0)
+                sys()->touch(buf, n, hw::Access::kRead);
+            return stack_.send(fd, buf, n);
+        });
+    exp.fn<int64_t(int, void *, std::size_t)>(
+        "lwip_recv", [this](int fd, void *buf, std::size_t n) {
+            if (n > 0)
+                sys()->touch(buf, n, hw::Access::kWrite);
+            return stack_.recv(fd, buf, n);
+        });
+    exp.fn<int(int)>("lwip_close",
+                     [this](int fd) { return stack_.close(fd); });
+    exp.fn<int(int)>("lwip_established", [this](int fd) {
+        return stack_.isEstablished(fd) ? 1 : 0;
+    });
+    exp.fn<int(int)>("lwip_send_drained", [this](int fd) {
+        return stack_.sendDrained(fd) ? 1 : 0;
+    });
+    exp.fn<int64_t(uint64_t)>(
+        "lwip_poll", [this](uint64_t now_ns) { return doPoll(now_ns); });
+}
+
+} // namespace cubicleos::libos

@@ -1,0 +1,44 @@
+#include "libos/netdev.h"
+
+#include <cstring>
+
+namespace cubicleos::libos {
+
+void
+NetdevComponent::registerExports(core::Exporter &exp)
+{
+    // Transmit: copies the caller-windowed packet into the wire queue
+    // ("DMA" out of the simulated machine).
+    exp.fn<int(const uint8_t *, std::size_t)>(
+        "netdev_tx", [this](const uint8_t *data, std::size_t len) {
+            if (len == 0 || len > kMtu)
+                return -1;
+            sys()->touch(data, len, hw::Access::kRead);
+            wire_->devTx(FrameChannel::Frame(data, data + len));
+            ++tx_;
+            return 0;
+        });
+
+    // Receive: copies the next wire frame into the caller's buffer.
+    // Returns the frame length, 0 when the queue is empty, -1 when the
+    // buffer is too small (frame is dropped, as real NICs do).
+    exp.fn<int64_t(uint8_t *, std::size_t)>(
+        "netdev_rx", [this](uint8_t *buf, std::size_t cap) -> int64_t {
+            auto frame = wire_->devRx();
+            if (!frame)
+                return 0;
+            ++rx_;
+            if (frame->size() > cap)
+                return -1;
+            sys()->touch(buf, frame->size(), hw::Access::kWrite);
+            std::memcpy(buf, frame->data(), frame->size());
+            return static_cast<int64_t>(frame->size());
+        });
+
+    // Number of frames waiting (poll hint).
+    exp.fn<std::size_t()>("netdev_rx_pending", [this] {
+        return wire_->pendingToDevice();
+    });
+}
+
+} // namespace cubicleos::libos

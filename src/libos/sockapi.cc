@@ -1,0 +1,59 @@
+#include "libos/sockapi.h"
+
+namespace cubicleos::libos {
+
+CubicleSockApi::CubicleSockApi(core::System &sys)
+    : sys_(sys),
+      lwipCid_(sys.cidOf("lwip")),
+      socket_(sys.resolve<int()>("lwip", "lwip_socket")),
+      bind_(sys.resolve<int(int, uint16_t)>("lwip", "lwip_bind")),
+      listen_(sys.resolve<int(int, int)>("lwip", "lwip_listen")),
+      accept_(sys.resolve<int(int)>("lwip", "lwip_accept")),
+      connect_(sys.resolve<int(int, uint32_t, uint16_t)>("lwip",
+                                                         "lwip_connect")),
+      send_(sys.resolve<int64_t(int, const void *, std::size_t)>(
+          "lwip", "lwip_send")),
+      recv_(sys.resolve<int64_t(int, void *, std::size_t)>("lwip",
+                                                           "lwip_recv")),
+      close_(sys.resolve<int(int)>("lwip", "lwip_close")),
+      established_(sys.resolve<int(int)>("lwip", "lwip_established")),
+      sendDrained_(sys.resolve<int(int)>("lwip", "lwip_send_drained")),
+      poll_(sys.resolve<int64_t(uint64_t)>("lwip", "lwip_poll"))
+{
+    window_ = sys_.windowInit();
+}
+
+CubicleSockApi::~CubicleSockApi()
+{
+    try {
+        sys_.windowDestroy(window_);
+    } catch (const core::WindowError &) {
+        // Destroyed from outside the owning cubicle during teardown.
+    }
+}
+
+int64_t
+CubicleSockApi::send(int fd, const void *buf, std::size_t n)
+{
+    sys_.windowAdd(window_, buf, n);
+    sys_.windowOpen(window_, lwipCid_);
+    const int64_t rc = send_(fd, buf, n);
+    sys_.windowRemove(window_, buf);
+    sys_.windowCloseAll(window_);
+    sys_.touch(buf, n, hw::Access::kRead); // reclaim (next app access)
+    return rc;
+}
+
+int64_t
+CubicleSockApi::recv(int fd, void *buf, std::size_t n)
+{
+    sys_.windowAdd(window_, buf, n);
+    sys_.windowOpen(window_, lwipCid_);
+    const int64_t rc = recv_(fd, buf, n);
+    sys_.windowRemove(window_, buf);
+    sys_.windowCloseAll(window_);
+    sys_.touch(buf, n, hw::Access::kRead);
+    return rc;
+}
+
+} // namespace cubicleos::libos

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CubicleSockApi: application-side socket glue with window management.
+ *
+ * The socket-API half of the NGINX porting effort (paper: 390 SLOC):
+ * brackets every lwip_send/lwip_recv with window grants over the
+ * application's buffers and reclaims them afterwards, mirroring
+ * CubicleFileApi for the file path.
+ */
+
+#ifndef CUBICLEOS_LIBOS_SOCKAPI_H_
+#define CUBICLEOS_LIBOS_SOCKAPI_H_
+
+#include "core/system.h"
+#include "libos/tcpip.h"
+
+namespace cubicleos::libos {
+
+/** Socket API bound to cross-cubicle LWIP calls. */
+class CubicleSockApi {
+  public:
+    /** Must be constructed while executing inside the app cubicle. */
+    explicit CubicleSockApi(core::System &sys);
+    ~CubicleSockApi();
+
+    int socket() { return socket_(); }
+    int bind(int fd, uint16_t port) { return bind_(fd, port); }
+    int listen(int fd, int backlog) { return listen_(fd, backlog); }
+    int accept(int fd) { return accept_(fd); }
+    int connect(int fd, uint32_t ip, uint16_t port)
+    {
+        return connect_(fd, ip, port);
+    }
+    int64_t send(int fd, const void *buf, std::size_t n);
+    int64_t recv(int fd, void *buf, std::size_t n);
+    int close(int fd) { return close_(fd); }
+    bool established(int fd) { return established_(fd) != 0; }
+    bool sendDrained(int fd) { return sendDrained_(fd) != 0; }
+    int64_t poll(uint64_t now_ns) { return poll_(now_ns); }
+
+  private:
+    core::System &sys_;
+    core::Cid lwipCid_;
+    core::Wid window_ = core::kInvalidWindow;
+
+    core::CrossFn<int()> socket_;
+    core::CrossFn<int(int, uint16_t)> bind_;
+    core::CrossFn<int(int, int)> listen_;
+    core::CrossFn<int(int)> accept_;
+    core::CrossFn<int(int, uint32_t, uint16_t)> connect_;
+    core::CrossFn<int64_t(int, const void *, std::size_t)> send_;
+    core::CrossFn<int64_t(int, void *, std::size_t)> recv_;
+    core::CrossFn<int(int)> close_;
+    core::CrossFn<int(int)> established_;
+    core::CrossFn<int(int)> sendDrained_;
+    core::CrossFn<int64_t(uint64_t)> poll_;
+};
+
+} // namespace cubicleos::libos
+
+#endif // CUBICLEOS_LIBOS_SOCKAPI_H_

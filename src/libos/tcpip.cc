@@ -1,0 +1,683 @@
+#include "libos/tcpip.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cubicleos::libos {
+
+namespace {
+
+// --- wire formats -----------------------------------------------------
+
+struct IpHeader {
+    uint8_t verIhl;
+    uint8_t tos;
+    uint16_t totalLen;
+    uint16_t id;
+    uint16_t fragOff;
+    uint8_t ttl;
+    uint8_t proto;
+    uint16_t checksum;
+    uint32_t src;
+    uint32_t dst;
+} __attribute__((packed));
+
+struct TcpHeader {
+    uint16_t srcPort;
+    uint16_t dstPort;
+    uint32_t seq;
+    uint32_t ack;
+    uint8_t dataOff; ///< upper nibble: header words
+    uint8_t flags;
+    uint16_t window;
+    uint16_t checksum;
+    uint16_t urgent;
+} __attribute__((packed));
+
+enum TcpFlags : uint8_t {
+    kFin = 0x01,
+    kSyn = 0x02,
+    kRst = 0x04,
+    kPsh = 0x08,
+    kAck = 0x10,
+};
+
+constexpr std::size_t kIpHdr = sizeof(IpHeader);
+constexpr std::size_t kTcpHdr = sizeof(TcpHeader);
+
+uint16_t
+hton16(uint16_t v)
+{
+    return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+uint32_t
+hton32(uint32_t v)
+{
+    return (v << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+           (v >> 24);
+}
+
+/** Internet checksum over @p len bytes plus an initial partial sum. */
+uint16_t
+inetChecksum(const uint8_t *data, std::size_t len, uint64_t sum = 0)
+{
+    for (std::size_t i = 0; i + 1 < len; i += 2)
+        sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+    if (len & 1)
+        sum += static_cast<uint32_t>(data[len - 1]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    return static_cast<uint16_t>(~sum & 0xFFFF);
+}
+
+/** TCP pseudo-header partial sum. */
+uint64_t
+pseudoSum(uint32_t src, uint32_t dst, std::size_t tcp_len)
+{
+    uint64_t sum = 0;
+    sum += (src >> 16) + (src & 0xFFFF);
+    sum += (dst >> 16) + (dst & 0xFFFF);
+    sum += 6; // protocol TCP
+    sum += static_cast<uint64_t>(tcp_len);
+    return sum;
+}
+
+/** Signed sequence-number comparison (RFC 793 arithmetic). */
+bool
+seqLt(uint32_t a, uint32_t b)
+{
+    return static_cast<int32_t>(a - b) < 0;
+}
+
+} // namespace
+
+// --- connection state ---------------------------------------------------
+
+struct TcpIpStack::Conn {
+    enum State {
+        kClosed,
+        kListen,
+        kSynSent,
+        kSynRcvd,
+        kEstablished,
+        kFinWait1,
+        kFinWait2,
+        kCloseWait,
+        kLastAck,
+        kClosing,
+    };
+
+    State state = kClosed;
+    bool used = false;
+    bool appClosed = false; ///< app called close(); free slot at kClosed
+    bool refused = false;   ///< connect() got RST
+
+    uint16_t localPort = 0;
+    uint32_t remoteIp = 0;
+    uint16_t remotePort = 0;
+
+    // Send side: sndQ holds [sndUna, sndUna + sndQ.size()).
+    uint32_t sndUna = 0;
+    uint32_t sndNxt = 0;
+    std::deque<uint8_t> sndQ;
+    bool synOut = false; ///< SYN/SYN-ACK emitted (awaiting ack)
+    bool finQueued = false;
+    bool finSent = false;
+    uint32_t finSeq = 0;
+    uint32_t peerWnd = 65535;
+
+    // Receive side.
+    uint32_t rcvNxt = 0;
+    std::deque<uint8_t> rcvQ;
+    bool finRcvd = false;
+    bool ackPending = false;
+
+    // Listener state.
+    int backlog = 0;
+    std::deque<int> acceptQ;
+
+    uint64_t lastSendNs = 0;
+
+    /** Sequence space in flight (data + unacked SYN/FIN). */
+    std::size_t inflight() const { return sndNxt - sndUna; }
+
+    /** Payload bytes in flight (excludes the FIN's sequence slot). */
+    std::size_t dataInflight() const
+    {
+        std::size_t fl = sndNxt - sndUna;
+        if (finSent && !seqLt(finSeq, sndUna))
+            fl -= 1; // FIN emitted but not yet acknowledged
+        return fl;
+    }
+
+    std::size_t unsent() const { return sndQ.size() - dataInflight(); }
+};
+
+struct TcpIpStack::Impl {
+    std::vector<std::unique_ptr<Conn>> conns;
+    uint16_t nextEphemeral = 49152;
+    uint32_t nextIss = 1000;
+    uint64_t nowNs = 0;
+    /** RSTs owed to peers with no matching connection. */
+    std::vector<std::vector<uint8_t>> pendingRst;
+};
+
+TcpIpStack::TcpIpStack(const TcpConfig &cfg)
+    : impl_(std::make_unique<Impl>()), cfg_(cfg)
+{
+}
+
+TcpIpStack::~TcpIpStack() = default;
+
+// --- fd helpers -----------------------------------------------------
+
+int
+TcpIpStack::socket()
+{
+    for (std::size_t fd = 0; fd < impl_->conns.size(); ++fd) {
+        if (!impl_->conns[fd]->used) {
+            *impl_->conns[fd] = Conn{};
+            impl_->conns[fd]->used = true;
+            return static_cast<int>(fd);
+        }
+    }
+    impl_->conns.push_back(std::make_unique<Conn>());
+    impl_->conns.back()->used = true;
+    return static_cast<int>(impl_->conns.size() - 1);
+}
+
+TcpIpStack::Conn *
+TcpIpStack::conn(int fd) const
+{
+    auto &conns = impl_->conns;
+    if (fd < 0 || static_cast<std::size_t>(fd) >= conns.size() ||
+        !conns[static_cast<std::size_t>(fd)]->used) {
+        return nullptr;
+    }
+    return conns[static_cast<std::size_t>(fd)].get();
+}
+
+int
+TcpIpStack::bind(int fd, uint16_t port)
+{
+    Conn *c = conn(fd);
+    if (!c)
+        return kNetBadFd;
+    for (const auto &other : impl_->conns) {
+        if (other->used && other.get() != c &&
+            other->state == Conn::kListen && other->localPort == port) {
+            return kNetInUse;
+        }
+    }
+    c->localPort = port;
+    return kNetOk;
+}
+
+int
+TcpIpStack::listen(int fd, int backlog)
+{
+    Conn *c = conn(fd);
+    if (!c || c->localPort == 0)
+        return kNetBadFd;
+    c->state = Conn::kListen;
+    c->backlog = backlog > 0 ? backlog : 8;
+    return kNetOk;
+}
+
+int
+TcpIpStack::accept(int fd)
+{
+    Conn *c = conn(fd);
+    if (!c || c->state != Conn::kListen)
+        return kNetBadFd;
+    // Hand out only fully established children.
+    while (!c->acceptQ.empty()) {
+        const int child = c->acceptQ.front();
+        Conn *cc = conn(child);
+        if (cc && cc->state == Conn::kEstablished) {
+            c->acceptQ.pop_front();
+            return child;
+        }
+        if (!cc || cc->state == Conn::kClosed) {
+            c->acceptQ.pop_front();
+            continue;
+        }
+        break; // head still in handshake
+    }
+    return kNetAgain;
+}
+
+int
+TcpIpStack::connect(int fd, uint32_t dst_ip, uint16_t dst_port)
+{
+    Conn *c = conn(fd);
+    if (!c)
+        return kNetBadFd;
+    if (c->state != Conn::kClosed)
+        return kNetInUse;
+    if (c->localPort == 0)
+        c->localPort = impl_->nextEphemeral++;
+    c->remoteIp = dst_ip;
+    c->remotePort = dst_port;
+    c->sndUna = c->sndNxt = impl_->nextIss;
+    impl_->nextIss += 0x10000;
+    c->state = Conn::kSynSent;
+    c->synOut = false;
+    return kNetOk;
+}
+
+int64_t
+TcpIpStack::send(int fd, const void *buf, std::size_t n)
+{
+    Conn *c = conn(fd);
+    if (!c)
+        return kNetBadFd;
+    if (c->state != Conn::kEstablished && c->state != Conn::kCloseWait)
+        return kNetNotConn;
+    if (c->finQueued)
+        return kNetNotConn;
+    const std::size_t room =
+        cfg_.sndBuf > c->sndQ.size() ? cfg_.sndBuf - c->sndQ.size() : 0;
+    const std::size_t take = std::min(n, room);
+    if (take == 0)
+        return kNetAgain;
+    const auto *bytes = static_cast<const uint8_t *>(buf);
+    c->sndQ.insert(c->sndQ.end(), bytes, bytes + take);
+    return static_cast<int64_t>(take);
+}
+
+int64_t
+TcpIpStack::recv(int fd, void *buf, std::size_t n)
+{
+    Conn *c = conn(fd);
+    if (!c)
+        return kNetBadFd;
+    if (c->refused)
+        return kNetRefused;
+    if (c->rcvQ.empty()) {
+        if (c->finRcvd)
+            return 0; // orderly close
+        if (c->state == Conn::kClosed)
+            return kNetNotConn;
+        return kNetAgain;
+    }
+    const std::size_t take = std::min(n, c->rcvQ.size());
+    auto *out = static_cast<uint8_t *>(buf);
+    for (std::size_t i = 0; i < take; ++i) {
+        out[i] = c->rcvQ.front();
+        c->rcvQ.pop_front();
+    }
+    // The window opened: let the peer know promptly.
+    c->ackPending = true;
+    return static_cast<int64_t>(take);
+}
+
+int
+TcpIpStack::close(int fd)
+{
+    Conn *c = conn(fd);
+    if (!c)
+        return kNetBadFd;
+    c->appClosed = true;
+    switch (c->state) {
+      case Conn::kClosed:
+      case Conn::kListen:
+      case Conn::kSynSent:
+        c->used = false;
+        c->state = Conn::kClosed;
+        break;
+      case Conn::kSynRcvd:
+      case Conn::kEstablished:
+        c->finQueued = true;
+        c->state = Conn::kFinWait1;
+        break;
+      case Conn::kCloseWait:
+        c->finQueued = true;
+        c->state = Conn::kLastAck;
+        break;
+      default:
+        break;
+    }
+    return kNetOk;
+}
+
+bool
+TcpIpStack::isEstablished(int fd) const
+{
+    const Conn *c = conn(fd);
+    return c && (c->state == Conn::kEstablished ||
+                 c->state == Conn::kCloseWait || !c->rcvQ.empty());
+}
+
+bool
+TcpIpStack::sendDrained(int fd) const
+{
+    const Conn *c = conn(fd);
+    return c && c->sndQ.empty();
+}
+
+// --- segment emission -----------------------------------------------
+
+namespace {
+
+std::vector<uint8_t>
+buildSegment(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+             uint16_t dst_port, uint32_t seq, uint32_t ack,
+             uint8_t flags, uint16_t window, const uint8_t *payload,
+             std::size_t len)
+{
+    std::vector<uint8_t> pkt(kIpHdr + kTcpHdr + len);
+    auto *ip = reinterpret_cast<IpHeader *>(pkt.data());
+    ip->verIhl = 0x45;
+    ip->tos = 0;
+    ip->totalLen = hton16(static_cast<uint16_t>(pkt.size()));
+    ip->id = 0;
+    ip->fragOff = 0;
+    ip->ttl = 64;
+    ip->proto = 6;
+    ip->checksum = 0;
+    ip->src = hton32(src_ip);
+    ip->dst = hton32(dst_ip);
+    ip->checksum = hton16(inetChecksum(pkt.data(), kIpHdr));
+
+    auto *tcp = reinterpret_cast<TcpHeader *>(pkt.data() + kIpHdr);
+    tcp->srcPort = hton16(src_port);
+    tcp->dstPort = hton16(dst_port);
+    tcp->seq = hton32(seq);
+    tcp->ack = hton32(ack);
+    tcp->dataOff = 5 << 4;
+    tcp->flags = flags;
+    tcp->window = hton16(window);
+    tcp->checksum = 0;
+    tcp->urgent = 0;
+    if (len > 0)
+        std::memcpy(pkt.data() + kIpHdr + kTcpHdr, payload, len);
+    tcp->checksum = hton16(
+        inetChecksum(pkt.data() + kIpHdr, kTcpHdr + len,
+                     pseudoSum(src_ip, dst_ip, kTcpHdr + len)));
+    return pkt;
+}
+
+} // namespace
+
+void
+TcpIpStack::pollOutput(
+    const std::function<void(const uint8_t *, std::size_t)> &tx)
+{
+    // Owed RSTs first.
+    for (auto &rst : impl_->pendingRst) {
+        ++stats_.segsOut;
+        tx(rst.data(), rst.size());
+    }
+    impl_->pendingRst.clear();
+
+    for (std::size_t fd = 0; fd < impl_->conns.size(); ++fd) {
+        Conn &c = *impl_->conns[fd];
+        if (!c.used || c.state == Conn::kClosed ||
+            c.state == Conn::kListen) {
+            continue;
+        }
+        const uint16_t wnd = static_cast<uint16_t>(std::min<std::size_t>(
+            cfg_.rcvBuf > c.rcvQ.size() ? cfg_.rcvBuf - c.rcvQ.size() : 0,
+            65535));
+        auto emit = [&](uint32_t seq, uint8_t flags,
+                        const uint8_t *payload, std::size_t len) {
+            auto pkt = buildSegment(cfg_.ipAddr, c.remoteIp, c.localPort,
+                                    c.remotePort, seq, c.rcvNxt, flags,
+                                    wnd, payload, len);
+            ++stats_.segsOut;
+            stats_.bytesOut += len;
+            c.lastSendNs = impl_->nowNs;
+            c.ackPending = false;
+            tx(pkt.data(), pkt.size());
+        };
+
+        // Handshake segments.
+        if (c.state == Conn::kSynSent && !c.synOut) {
+            emit(c.sndNxt, kSyn, nullptr, 0);
+            c.sndNxt = c.sndUna + 1; // SYN consumes one sequence number
+            c.synOut = true;
+            continue;
+        }
+        if (c.state == Conn::kSynRcvd && !c.synOut) {
+            emit(c.sndUna, kSyn | kAck, nullptr, 0);
+            c.sndNxt = c.sndUna + 1;
+            c.synOut = true;
+            continue;
+        }
+        if (c.state == Conn::kSynSent || c.state == Conn::kSynRcvd)
+            continue; // awaiting handshake completion
+
+        // Data segments, limited by the peer's advertised window.
+        while (!c.finSent && c.unsent() > 0 && c.inflight() < c.peerWnd) {
+            const std::size_t off = c.dataInflight();
+            const std::size_t len =
+                std::min({static_cast<std::size_t>(cfg_.mss),
+                          c.unsent(),
+                          static_cast<std::size_t>(c.peerWnd) -
+                              c.inflight()});
+            // deque is not contiguous: stage the payload.
+            std::vector<uint8_t> payload(len);
+            for (std::size_t i = 0; i < len; ++i)
+                payload[i] = c.sndQ[off + i];
+            emit(c.sndNxt, kAck | kPsh, payload.data(), len);
+            c.sndNxt += static_cast<uint32_t>(len);
+        }
+
+        // FIN once every byte is out.
+        if (c.finQueued && !c.finSent && c.unsent() == 0) {
+            c.finSeq = c.sndNxt;
+            emit(c.sndNxt, kFin | kAck, nullptr, 0);
+            c.sndNxt += 1;
+            c.finSent = true;
+            continue;
+        }
+
+        if (c.ackPending)
+            emit(c.sndNxt, kAck, nullptr, 0);
+    }
+}
+
+// --- input processing -------------------------------------------------
+
+void
+TcpIpStack::input(const uint8_t *pkt, std::size_t len)
+{
+    if (len < kIpHdr + kTcpHdr)
+        return;
+    const auto *ip = reinterpret_cast<const IpHeader *>(pkt);
+    if ((ip->verIhl >> 4) != 4 || ip->proto != 6)
+        return;
+    if (hton32(ip->dst) != cfg_.ipAddr)
+        return; // not ours
+    if (inetChecksum(pkt, kIpHdr) != 0)
+        return;
+
+    const uint32_t src_ip = hton32(ip->src);
+    const std::size_t total = hton16(ip->totalLen);
+    if (total > len)
+        return;
+    const auto *tcp = reinterpret_cast<const TcpHeader *>(pkt + kIpHdr);
+    const std::size_t tcp_len = total - kIpHdr;
+    if (inetChecksum(pkt + kIpHdr, tcp_len,
+                     pseudoSum(src_ip, cfg_.ipAddr, tcp_len)) != 0) {
+        ++stats_.checksumDrops;
+        return;
+    }
+
+    const uint16_t src_port = hton16(tcp->srcPort);
+    const uint16_t dst_port = hton16(tcp->dstPort);
+    const uint32_t seq = hton32(tcp->seq);
+    const uint32_t ack = hton32(tcp->ack);
+    const uint8_t flags = tcp->flags;
+    const uint16_t wnd = hton16(tcp->window);
+    const std::size_t hdr = (tcp->dataOff >> 4) * 4u;
+    const uint8_t *payload = pkt + kIpHdr + hdr;
+    const std::size_t plen = tcp_len - hdr;
+
+    ++stats_.segsIn;
+
+    // Demux: exact four-tuple first, then listener.
+    Conn *c = nullptr;
+    Conn *listener = nullptr;
+    for (auto &cp : impl_->conns) {
+        if (!cp->used)
+            continue;
+        if (cp->state == Conn::kListen && cp->localPort == dst_port)
+            listener = cp.get();
+        else if (cp->localPort == dst_port && cp->remoteIp == src_ip &&
+                 cp->remotePort == src_port && cp->state != Conn::kClosed)
+            c = cp.get();
+    }
+
+    if (!c && listener && (flags & kSyn) && !(flags & kAck)) {
+        // Passive open.
+        if (static_cast<int>(listener->acceptQ.size()) >=
+            listener->backlog) {
+            return; // silently drop; peer will retransmit
+        }
+        const int child_fd = socket();
+        Conn &cc = *impl_->conns[static_cast<std::size_t>(child_fd)];
+        cc.localPort = dst_port;
+        cc.remoteIp = src_ip;
+        cc.remotePort = src_port;
+        cc.rcvNxt = seq + 1;
+        cc.sndUna = cc.sndNxt = impl_->nextIss;
+        impl_->nextIss += 0x10000;
+        cc.peerWnd = wnd;
+        cc.state = Conn::kSynRcvd;
+        listener->acceptQ.push_back(child_fd);
+        return;
+    }
+    if (!c) {
+        if (!(flags & kRst)) {
+            // No matching endpoint: owe the peer a RST.
+            impl_->pendingRst.push_back(buildSegment(
+                cfg_.ipAddr, src_ip, dst_port, src_port, ack, seq + 1,
+                kRst | kAck, 0, nullptr, 0));
+        }
+        return;
+    }
+
+    if (flags & kRst) {
+        c->refused = c->state == Conn::kSynSent;
+        c->state = Conn::kClosed;
+        if (c->appClosed)
+            c->used = false;
+        return;
+    }
+
+    c->peerWnd = wnd;
+
+    // Handshake progress.
+    if (c->state == Conn::kSynSent && (flags & kSyn) && (flags & kAck)) {
+        if (ack == c->sndNxt) {
+            c->sndUna = ack;
+            c->rcvNxt = seq + 1;
+            c->state = Conn::kEstablished;
+            c->ackPending = true;
+        }
+        return;
+    }
+    if (c->state == Conn::kSynRcvd && (flags & kAck) &&
+        ack == c->sndNxt) {
+        c->sndUna = ack;
+        c->state = Conn::kEstablished;
+        // fall through: the ACK may carry data
+    }
+
+    // ACK processing.
+    if (flags & kAck) {
+        uint32_t acked_upper = c->sndNxt;
+        if (seqLt(c->sndUna, ack) && !seqLt(acked_upper, ack - 0)) {
+            uint32_t advance = ack - c->sndUna;
+            // FIN consumes a sequence number but is not in sndQ.
+            uint32_t data_advance = advance;
+            if (c->finSent && !seqLt(ack, c->finSeq + 1))
+                data_advance = advance - 1;
+            for (uint32_t i = 0; i < data_advance && !c->sndQ.empty();
+                 ++i) {
+                c->sndQ.pop_front();
+            }
+            c->sndUna = ack;
+            // Our FIN acknowledged?
+            if (c->finSent && !seqLt(ack, c->finSeq + 1)) {
+                if (c->state == Conn::kFinWait1)
+                    c->state = Conn::kFinWait2;
+                else if (c->state == Conn::kLastAck ||
+                         c->state == Conn::kClosing) {
+                    c->state = Conn::kClosed;
+                    if (c->appClosed)
+                        c->used = false;
+                }
+            }
+        }
+    }
+
+    // In-order payload.
+    if (plen > 0) {
+        if (seq == c->rcvNxt &&
+            c->rcvQ.size() + plen <= cfg_.rcvBuf) {
+            c->rcvQ.insert(c->rcvQ.end(), payload, payload + plen);
+            c->rcvNxt += static_cast<uint32_t>(plen);
+            stats_.bytesIn += plen;
+        }
+        c->ackPending = true; // ack (or dup-ack) either way
+    }
+
+    // Peer FIN.
+    if (flags & kFin) {
+        const uint32_t fin_seq = seq + static_cast<uint32_t>(plen);
+        if (fin_seq == c->rcvNxt && !c->finRcvd) {
+            c->rcvNxt += 1;
+            c->finRcvd = true;
+            c->ackPending = true;
+            switch (c->state) {
+              case Conn::kEstablished:
+                c->state = Conn::kCloseWait;
+                break;
+              case Conn::kFinWait1:
+                c->state = Conn::kClosing;
+                break;
+              case Conn::kFinWait2:
+                c->state = Conn::kClosed;
+                if (c->appClosed)
+                    c->used = false;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+void
+TcpIpStack::tick(uint64_t now_ns)
+{
+    impl_->nowNs = now_ns;
+    for (auto &cp : impl_->conns) {
+        Conn &c = *cp;
+        if (!c.used)
+            continue;
+        const bool awaiting =
+            c.inflight() > 0 ||
+            ((c.state == Conn::kSynSent || c.state == Conn::kSynRcvd) &&
+             c.synOut) ||
+            (c.finSent && c.state != Conn::kClosed &&
+             c.state != Conn::kFinWait2);
+        if (awaiting && now_ns > c.lastSendNs &&
+            now_ns - c.lastSendNs > cfg_.rtoNs) {
+            // Go-back-N: rewind and let pollOutput resend.
+            ++stats_.retransmits;
+            c.sndNxt = c.sndUna;
+            if (c.state == Conn::kSynSent || c.state == Conn::kSynRcvd)
+                c.synOut = false;
+            if (c.finSent) {
+                c.finSent = false;
+            }
+            c.lastSendNs = now_ns;
+        }
+    }
+}
+
+} // namespace cubicleos::libos

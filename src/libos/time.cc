@@ -1,0 +1,31 @@
+#include "libos/time.h"
+
+namespace cubicleos::libos {
+
+void
+TimeComponent::init()
+{
+    platTicks_ = sys()->resolve<uint64_t()>("plat", "plat_ticks_ns");
+    bootNs_ = platTicks_();
+}
+
+void
+TimeComponent::registerExports(core::Exporter &exp)
+{
+    exp.fn<uint64_t()>("time_monotonic_ns",
+                       [this] { return platTicks_() - bootNs_; });
+
+    exp.fn<uint64_t()>("time_wall_ns", [this] {
+        // Wall epoch fixed at boot for determinism.
+        return platTicks_();
+    });
+
+    exp.fn<void(uint64_t)>("time_busy_wait_ns", [this](uint64_t ns) {
+        // Modelled sleep: advances the virtual clock instead of
+        // blocking the host thread.
+        sys()->clock().charge(
+            static_cast<uint64_t>(ns * hw::cost::kCpuGhz));
+    });
+}
+
+} // namespace cubicleos::libos

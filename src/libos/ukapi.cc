@@ -1,0 +1,260 @@
+#include "libos/ukapi.h"
+
+#include <cstring>
+
+namespace cubicleos::libos {
+
+CubicleFileApi::CubicleFileApi(core::System &sys,
+                               const std::string &backend_name,
+                               bool hot_windows)
+    : sys_(sys),
+      vfsCid_(sys.cidOf("vfscore")),
+      backendCid_(sys.cidOf(backend_name)),
+      open_(sys.resolve<int(const char *, int)>("vfscore", "vfs_open")),
+      close_(sys.resolve<int(int)>("vfscore", "vfs_close")),
+      read_(sys.resolve<int64_t(int, void *, std::size_t)>("vfscore",
+                                                           "vfs_read")),
+      write_(sys.resolve<int64_t(int, const void *, std::size_t)>(
+          "vfscore", "vfs_write")),
+      pread_(sys.resolve<int64_t(int, void *, std::size_t, uint64_t)>(
+          "vfscore", "vfs_pread")),
+      pwrite_(
+          sys.resolve<int64_t(int, const void *, std::size_t, uint64_t)>(
+              "vfscore", "vfs_pwrite")),
+      lseek_(sys.resolve<int64_t(int, int64_t, int)>("vfscore",
+                                                     "vfs_lseek")),
+      fstat_(sys.resolve<int(int, VfsStat *)>("vfscore", "vfs_fstat")),
+      stat_(sys.resolve<int(const char *, VfsStat *)>("vfscore",
+                                                      "vfs_stat")),
+      unlink_(sys.resolve<int(const char *)>("vfscore", "vfs_unlink")),
+      mkdir_(sys.resolve<int(const char *)>("vfscore", "vfs_mkdir")),
+      readdir_(sys.resolve<int(const char *, uint64_t, VfsDirent *)>(
+          "vfscore", "vfs_readdir")),
+      ftruncate_(
+          sys.resolve<int(int, uint64_t)>("vfscore", "vfs_ftruncate")),
+      fsync_(sys.resolve<int(int)>("vfscore", "vfs_fsync"))
+{
+    hotWindows_ = hot_windows;
+    const core::Cid self = sys_.currentCubicle();
+    auto range = sys_.monitor().allocPagesFor(self, 1,
+                                              mem::PageType::kHeap);
+    if (!range.valid())
+        throw core::OutOfMemory("CubicleFileApi transfer page");
+    xferPage_ = reinterpret_cast<char *>(range.ptr);
+
+    // Persistent window over the transfer page, open for the whole
+    // file stack; one window per peer set keeps the descriptor arrays
+    // short (paper: <10 windows per cubicle).
+    xferWindow_ = sys_.windowInit();
+    if (hotWindows_)
+        sys_.windowSetHot(xferWindow_);
+    sys_.windowAdd(xferWindow_, xferPage_, hw::kPageSize);
+    sys_.windowOpen(xferWindow_, vfsCid_);
+    sys_.windowOpen(xferWindow_, backendCid_);
+
+    // Per-I/O window, managed by BufferGrant around each call. In
+    // hot-window mode it gets a dedicated MPK key (paper §8) and its
+    // ACL stays open; per-call work reduces to re-staging the range
+    // when the buffer changes.
+    ioWindow_ = sys_.windowInit();
+    if (hotWindows_) {
+        sys_.windowSetHot(ioWindow_);
+        sys_.windowOpen(ioWindow_, vfsCid_);
+        sys_.windowOpen(ioWindow_, backendCid_);
+    }
+}
+
+CubicleFileApi::~CubicleFileApi()
+{
+    // Windows belong to the app cubicle; destroying them outside it
+    // would violate the ownership rule, so re-enter if needed.
+    sys_.runAs(sys_.monitor().pageMeta()
+                   .at(sys_.monitor().space().pageIndexOf(xferPage_))
+                   .owner,
+               [&] {
+                   sys_.windowDestroy(xferWindow_);
+                   sys_.windowDestroy(ioWindow_);
+               });
+}
+
+CubicleFileApi::BufferGrant::BufferGrant(CubicleFileApi &api,
+                                         const void *buf, std::size_t n,
+                                         hw::Access reclaim_access)
+    : api_(api), buf_(buf), n_(n), reclaim_(reclaim_access)
+{
+    // Host-private buffers (outside the simulated machine) need no
+    // window: they are unsimulated thread-private memory, consistent
+    // with System::touch's policy.
+    if (!api_.sys_.monitor().space().contains(buf_)) {
+        buf_ = nullptr;
+        return;
+    }
+    if (api_.hotWindows_) {
+        // Hot-window mode: the window's dedicated key stays in every
+        // party's PKRU; only re-stage the range when the buffer
+        // changes (windowAdd eagerly tags the pages with the key).
+        if (api_.hotBuf_ == buf_)
+            return;
+        if (api_.hotBuf_)
+            api_.sys_.windowRemove(api_.ioWindow_, api_.hotBuf_);
+        api_.sys_.windowAdd(api_.ioWindow_, buf_, n_);
+        api_.hotBuf_ = buf_;
+        return;
+    }
+    api_.sys_.windowAdd(api_.ioWindow_, buf_, n_);
+    api_.sys_.windowOpen(api_.ioWindow_, api_.vfsCid_);
+    api_.sys_.windowOpen(api_.ioWindow_, api_.backendCid_);
+}
+
+CubicleFileApi::BufferGrant::~BufferGrant()
+{
+    if (!buf_)
+        return; // host-private buffer; nothing was granted
+    if (api_.hotWindows_) {
+        // The window stays open and the pages keep the callee's tag;
+        // the owner reclaims lazily only when it really touches them.
+        return;
+    }
+    api_.sys_.windowRemove(api_.ioWindow_, buf_);
+    api_.sys_.windowCloseAll(api_.ioWindow_);
+    // Model the caller's next direct access to its buffer: trap-and-map
+    // lazily retags the page back to the owner.
+    api_.sys_.touch(buf_, n_, reclaim_);
+}
+
+const char *
+CubicleFileApi::stagePath(const char *path)
+{
+    sys_.touch(xferPage_, kMaxPath, hw::Access::kWrite);
+    std::strncpy(xferPage_, path, kMaxPath - 1);
+    xferPage_[kMaxPath - 1] = '\0';
+    return xferPage_;
+}
+
+int
+CubicleFileApi::open(const char *path, int flags)
+{
+    return open_(stagePath(path), flags);
+}
+
+int
+CubicleFileApi::close(int fd)
+{
+    return close_(fd);
+}
+
+int64_t
+CubicleFileApi::read(int fd, void *buf, std::size_t n)
+{
+    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    return read_(fd, buf, n);
+}
+
+int64_t
+CubicleFileApi::write(int fd, const void *buf, std::size_t n)
+{
+    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    return write_(fd, buf, n);
+}
+
+int64_t
+CubicleFileApi::pread(int fd, void *buf, std::size_t n, uint64_t off)
+{
+    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    return pread_(fd, buf, n, off);
+}
+
+int64_t
+CubicleFileApi::pwrite(int fd, const void *buf, std::size_t n,
+                       uint64_t off)
+{
+    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    return pwrite_(fd, buf, n, off);
+}
+
+int64_t
+CubicleFileApi::lseek(int fd, int64_t off, int whence)
+{
+    return lseek_(fd, off, whence);
+}
+
+int
+CubicleFileApi::stat(const char *path, VfsStat *st)
+{
+    // Stage both the path and the out-struct on the transfer page.
+    const char *p = stagePath(path);
+    auto *out = reinterpret_cast<VfsStat *>(xferPage_ + kMaxPath);
+    const int rc = stat_(p, out);
+    sys_.touch(out, sizeof(*out), hw::Access::kRead);
+    *st = *out;
+    return rc;
+}
+
+int
+CubicleFileApi::fstat(int fd, VfsStat *st)
+{
+    sys_.touch(xferPage_, hw::kPageSize, hw::Access::kWrite);
+    auto *out = reinterpret_cast<VfsStat *>(xferPage_ + kMaxPath);
+    const int rc = fstat_(fd, out);
+    sys_.touch(out, sizeof(*out), hw::Access::kRead);
+    *st = *out;
+    return rc;
+}
+
+int
+CubicleFileApi::unlink(const char *path)
+{
+    return unlink_(stagePath(path));
+}
+
+int
+CubicleFileApi::mkdir(const char *path)
+{
+    return mkdir_(stagePath(path));
+}
+
+int
+CubicleFileApi::ftruncate(int fd, uint64_t size)
+{
+    return ftruncate_(fd, size);
+}
+
+int
+CubicleFileApi::fsync(int fd)
+{
+    return fsync_(fd);
+}
+
+int
+CubicleFileApi::readdir(const char *path, uint64_t idx, VfsDirent *out)
+{
+    const char *p = stagePath(path);
+    auto *staged = reinterpret_cast<VfsDirent *>(xferPage_ + kMaxPath);
+    const int rc = readdir_(p, idx, staged);
+    sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
+    *out = *staged;
+    return rc;
+}
+
+int
+mountRoot(core::System &sys, const std::string &backend)
+{
+    auto vfs_mount =
+        sys.resolve<int(const char *)>("vfscore", "vfs_mount");
+    const core::Cid vfs = sys.cidOf("vfscore");
+
+    core::StackFrame frame(sys);
+    char *staged = static_cast<char *>(frame.allocPageAligned(kMaxPath));
+    sys.touch(staged, kMaxPath, hw::Access::kWrite);
+    std::strncpy(staged, backend.c_str(), kMaxPath - 1);
+    staged[kMaxPath - 1] = '\0';
+
+    const core::Wid wid = sys.windowInit();
+    sys.windowAdd(wid, staged, kMaxPath);
+    sys.windowOpen(wid, vfs);
+    const int rc = vfs_mount(staged);
+    sys.windowDestroy(wid);
+    return rc;
+}
+
+} // namespace cubicleos::libos

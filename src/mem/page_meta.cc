@@ -1,0 +1,18 @@
+#include "mem/page_meta.h"
+
+namespace cubicleos::mem {
+
+const char *
+pageTypeName(PageType type)
+{
+    switch (type) {
+      case PageType::kFree: return "free";
+      case PageType::kCode: return "code";
+      case PageType::kGlobal: return "global";
+      case PageType::kStack: return "stack";
+      case PageType::kHeap: return "heap";
+    }
+    return "unknown";
+}
+
+} // namespace cubicleos::mem

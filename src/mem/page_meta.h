@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-page ownership metadata.
+ *
+ * CubicleOS keeps a page metadata map that identifies, for any page, its
+ * owning cubicle and its type (code, global data, stack or heap) so the
+ * monitor's trap handler can locate the right window-descriptor array in
+ * O(1) time (paper §5.3, step ❷ of the trap-and-map scheme). Pages are
+ * strictly assigned an owner and type at allocation time.
+ */
+
+#ifndef CUBICLEOS_MEM_PAGE_META_H_
+#define CUBICLEOS_MEM_PAGE_META_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cubicleos {
+
+/** Cubicle identifier. IDs are dense and known at link time. */
+using Cid = uint16_t;
+
+/** Sentinel: page or resource not owned by any cubicle. */
+inline constexpr Cid kNoCubicle = 0xFFFF;
+
+namespace mem {
+
+/** Classification of a page's contents, set at allocation time. */
+enum class PageType : uint8_t {
+    kFree,
+    kCode,
+    kGlobal,
+    kStack,
+    kHeap,
+};
+
+/** Returns a human-readable page-type name. */
+const char *pageTypeName(PageType type);
+
+/** Metadata for one page. */
+struct PageMeta {
+    Cid owner = kNoCubicle;
+    PageType type = PageType::kFree;
+};
+
+/**
+ * O(1) page → (owner, type) map over a simulated address space.
+ *
+ * Indexed by page number; one entry per page of the AddressSpace.
+ */
+class PageMetaMap {
+  public:
+    explicit PageMetaMap(std::size_t num_pages) : meta_(num_pages) {}
+
+    PageMeta &at(std::size_t page) { return meta_[page]; }
+    const PageMeta &at(std::size_t page) const { return meta_[page]; }
+
+    std::size_t numPages() const { return meta_.size(); }
+
+    /** Assigns @p n pages starting at @p first to @p owner / @p type. */
+    void assign(std::size_t first, std::size_t n, Cid owner, PageType type)
+    {
+        for (std::size_t i = first; i < first + n; ++i)
+            meta_[i] = PageMeta{owner, type};
+    }
+
+    /** Releases @p n pages starting at @p first. */
+    void release(std::size_t first, std::size_t n)
+    {
+        for (std::size_t i = first; i < first + n; ++i)
+            meta_[i] = PageMeta{};
+    }
+
+    /** Counts pages currently owned by @p owner. */
+    std::size_t countOwnedBy(Cid owner) const
+    {
+        std::size_t n = 0;
+        for (const auto &m : meta_)
+            if (m.owner == owner)
+                ++n;
+        return n;
+    }
+
+  private:
+    std::vector<PageMeta> meta_;
+};
+
+} // namespace mem
+} // namespace cubicleos
+
+#endif // CUBICLEOS_MEM_PAGE_META_H_

@@ -1,0 +1,278 @@
+#include "mem/suballoc.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cubicleos::mem {
+
+namespace {
+
+constexpr std::size_t kAlign = 16;
+constexpr std::size_t kMinSplit = 48; // header + 32-byte payload
+
+constexpr std::size_t
+alignUp(std::size_t n)
+{
+    return (n + kAlign - 1) & ~(kAlign - 1);
+}
+
+} // namespace
+
+/**
+ * Block layout: a 32-byte header followed by the payload. Blocks within a
+ * chunk form an implicit list via @c size; @c prevSize allows backwards
+ * coalescing. Free blocks additionally participate in the explicit free
+ * list through the @c next/@c prev pointers (stored in the header, not
+ * the payload, so checkIntegrity can always validate links).
+ */
+struct HeapAllocator::BlockHdr {
+    uint64_t size;       ///< total block size including header
+    uint64_t prevSize;   ///< size of the previous block, 0 if first
+    uint32_t chunkIdx;   ///< owning chunk index
+    uint8_t free;        ///< 1 if on the free list
+    uint8_t last;        ///< 1 if last block in its chunk
+    uint16_t magic;      ///< corruption canary
+    BlockHdr *next;      ///< free-list link (valid when free)
+    BlockHdr *prev;      ///< free-list link (valid when free)
+    uint64_t pad_;       ///< keeps payload 16-byte aligned
+
+    static constexpr uint16_t kMagic = 0xCB1C;
+
+    std::byte *payload() { return reinterpret_cast<std::byte *>(this + 1); }
+    const std::byte *payload() const
+    {
+        return reinterpret_cast<const std::byte *>(this + 1);
+    }
+
+    BlockHdr *nextInChunk()
+    {
+        return last ? nullptr
+                    : reinterpret_cast<BlockHdr *>(
+                          reinterpret_cast<std::byte *>(this) + size);
+    }
+
+    BlockHdr *prevInChunk()
+    {
+        return prevSize == 0
+            ? nullptr
+            : reinterpret_cast<BlockHdr *>(
+                  reinterpret_cast<std::byte *>(this) - prevSize);
+    }
+};
+
+namespace {
+constexpr std::size_t kHdrSize = 48;
+} // namespace
+
+HeapAllocator::HeapAllocator(PageSource source, PageReturn ret,
+                             std::size_t chunk_pages)
+    : source_(std::move(source)), return_(std::move(ret)),
+      chunkPages_(chunk_pages)
+{
+    static_assert(sizeof(BlockHdr) == kHdrSize,
+                  "header must keep payload 16-byte aligned");
+    assert(chunkPages_ > 0);
+}
+
+HeapAllocator::~HeapAllocator()
+{
+    if (!return_)
+        return;
+    for (auto &chunk : chunks_) {
+        if (chunk.range.valid())
+            return_(chunk.range);
+    }
+}
+
+void
+HeapAllocator::pushFree(BlockHdr *b)
+{
+    b->free = 1;
+    b->next = freeHead_;
+    b->prev = nullptr;
+    if (freeHead_)
+        freeHead_->prev = b;
+    freeHead_ = b;
+}
+
+void
+HeapAllocator::unlinkFree(BlockHdr *b)
+{
+    if (b->prev)
+        b->prev->next = b->next;
+    else
+        freeHead_ = b->next;
+    if (b->next)
+        b->next->prev = b->prev;
+    b->free = 0;
+    b->next = nullptr;
+    b->prev = nullptr;
+}
+
+void
+HeapAllocator::addChunk(std::size_t pages)
+{
+    ++stats_.chunkRequests;
+    PageRange range = source_(pages);
+    if (!range.valid())
+        return;
+
+    auto *block = reinterpret_cast<BlockHdr *>(range.ptr);
+    block->size = range.sizeBytes();
+    block->prevSize = 0;
+    block->chunkIdx = static_cast<uint32_t>(chunks_.size());
+    block->last = 1;
+    block->magic = BlockHdr::kMagic;
+    pushFree(block);
+
+    chunks_.push_back(Chunk{range});
+    ++stats_.chunksHeld;
+}
+
+HeapAllocator::BlockHdr *
+HeapAllocator::findFit(std::size_t need)
+{
+    for (BlockHdr *b = freeHead_; b; b = b->next) {
+        if (b->size >= need)
+            return b;
+    }
+    return nullptr;
+}
+
+void *
+HeapAllocator::alloc(std::size_t size)
+{
+    ++stats_.allocCalls;
+    if (size == 0)
+        size = 1;
+    const std::size_t need = alignUp(size) + kHdrSize;
+
+    BlockHdr *b = findFit(need);
+    if (!b) {
+        const std::size_t grow_pages =
+            std::max(chunkPages_, hw::pagesFor(need));
+        addChunk(grow_pages);
+        b = findFit(need);
+        if (!b)
+            return nullptr;
+    }
+    unlinkFree(b);
+
+    // Split if the remainder is big enough to be useful.
+    if (b->size >= need + kMinSplit + kHdrSize) {
+        auto *rest = reinterpret_cast<BlockHdr *>(
+            reinterpret_cast<std::byte *>(b) + need);
+        rest->size = b->size - need;
+        rest->prevSize = need;
+        rest->chunkIdx = b->chunkIdx;
+        rest->last = b->last;
+        rest->magic = BlockHdr::kMagic;
+        if (BlockHdr *after = rest->nextInChunk())
+            after->prevSize = rest->size;
+        pushFree(rest);
+        b->size = need;
+        b->last = 0;
+    }
+    stats_.bytesInUse += b->size;
+    return b->payload();
+}
+
+void *
+HeapAllocator::allocZeroed(std::size_t size)
+{
+    void *p = alloc(size);
+    if (p)
+        std::memset(p, 0, usableSize(p));
+    return p;
+}
+
+void
+HeapAllocator::free(void *ptr)
+{
+    if (!ptr)
+        return;
+    ++stats_.freeCalls;
+    auto *b = reinterpret_cast<BlockHdr *>(ptr) - 1;
+    assert(b->magic == BlockHdr::kMagic && "heap corruption or bad free");
+    assert(!b->free && "double free");
+    stats_.bytesInUse -= b->size;
+
+    // Coalesce with the following block.
+    if (BlockHdr *after = b->nextInChunk(); after && after->free) {
+        unlinkFree(after);
+        b->size += after->size;
+        b->last = after->last;
+        if (BlockHdr *aa = b->nextInChunk())
+            aa->prevSize = b->size;
+    }
+    // Coalesce with the preceding block.
+    if (BlockHdr *before = b->prevInChunk(); before && before->free) {
+        unlinkFree(before);
+        before->size += b->size;
+        before->last = b->last;
+        if (BlockHdr *aa = before->nextInChunk())
+            aa->prevSize = before->size;
+        b = before;
+    }
+    pushFree(b);
+
+    // Return fully free chunks to the source.
+    Chunk &chunk = chunks_[b->chunkIdx];
+    if (return_ && b->prevSize == 0 && b->last &&
+        b->size == chunk.range.sizeBytes() && chunks_.size() > 1) {
+        unlinkFree(b);
+        return_(chunk.range);
+        chunk.range = PageRange{}; // tombstone; indices stay stable
+        --stats_.chunksHeld;
+    }
+}
+
+std::size_t
+HeapAllocator::usableSize(const void *ptr) const
+{
+    if (!ptr)
+        return 0;
+    const auto *b = reinterpret_cast<const BlockHdr *>(ptr) - 1;
+    return b->size - kHdrSize;
+}
+
+bool
+HeapAllocator::checkIntegrity() const
+{
+    // Walk every chunk's implicit list.
+    for (const auto &chunk : chunks_) {
+        if (!chunk.range.valid())
+            continue;
+        const std::byte *end = chunk.range.ptr + chunk.range.sizeBytes();
+        const auto *b =
+            reinterpret_cast<const BlockHdr *>(chunk.range.ptr);
+        uint64_t prev_size = 0;
+        while (true) {
+            if (b->magic != BlockHdr::kMagic)
+                return false;
+            if (b->prevSize != prev_size)
+                return false;
+            const std::byte *next =
+                reinterpret_cast<const std::byte *>(b) + b->size;
+            if (next > end)
+                return false;
+            if (b->last) {
+                if (next != end)
+                    return false;
+                break;
+            }
+            prev_size = b->size;
+            b = reinterpret_cast<const BlockHdr *>(next);
+        }
+    }
+    // Free-list links must be consistent.
+    for (const BlockHdr *b = freeHead_; b; b = b->next) {
+        if (!b->free || b->magic != BlockHdr::kMagic)
+            return false;
+        if (b->next && b->next->prev != b)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cubicleos::mem

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-cubicle heap sub-allocator.
+ *
+ * Each isolated cubicle has its own memory sub-allocator (paper §4): fine-
+ * grained malloc/free served from page chunks owned by the cubicle. Chunks
+ * are obtained from a PageSource — in a running system that is a cross-
+ * cubicle call into the ALLOC component, which is exactly why the paper's
+ * Fig. 8 shows millions of RAMFS→ALLOC calls for allocation-heavy
+ * workloads.
+ *
+ * Implementation: boundary-tag blocks with an explicit doubly-linked free
+ * list, first-fit, coalescing on free, whole-chunk return to the source.
+ */
+
+#ifndef CUBICLEOS_MEM_SUBALLOC_H_
+#define CUBICLEOS_MEM_SUBALLOC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/arena.h"
+
+namespace cubicleos::mem {
+
+/** Allocation statistics for one heap. */
+struct HeapStats {
+    uint64_t allocCalls = 0;
+    uint64_t freeCalls = 0;
+    uint64_t bytesInUse = 0;
+    uint64_t chunksHeld = 0;
+    uint64_t chunkRequests = 0; ///< calls into the page source
+};
+
+/**
+ * Free-list heap allocator over externally provided page chunks.
+ *
+ * Not thread-safe; each cubicle's heap is used under the runtime's
+ * single-threaded-per-cubicle discipline (callers serialise).
+ */
+class HeapAllocator {
+  public:
+    /** Obtains a run of pages; an invalid range signals exhaustion. */
+    using PageSource = std::function<PageRange(std::size_t pages)>;
+    /** Returns a fully free chunk to its owner. */
+    using PageReturn = std::function<void(const PageRange &)>;
+
+    /**
+     * @param source page-chunk provider (e.g. ALLOC cross-call)
+     * @param ret chunk releaser; may be null to never return chunks
+     * @param chunk_pages default growth granularity in pages
+     */
+    HeapAllocator(PageSource source, PageReturn ret,
+                  std::size_t chunk_pages = 16);
+
+    ~HeapAllocator();
+
+    HeapAllocator(const HeapAllocator &) = delete;
+    HeapAllocator &operator=(const HeapAllocator &) = delete;
+
+    /**
+     * Allocates @p size bytes aligned to 16.
+     * @return pointer, or nullptr when the page source is exhausted.
+     */
+    void *alloc(std::size_t size);
+
+    /** Allocates zero-initialised memory. */
+    void *allocZeroed(std::size_t size);
+
+    /** Frees a pointer returned by alloc(); nullptr is a no-op. */
+    void free(void *ptr);
+
+    /** Usable payload size of an allocated block. */
+    std::size_t usableSize(const void *ptr) const;
+
+    const HeapStats &stats() const { return stats_; }
+
+    /**
+     * Replaces the page source/return functions. Used by the boot code
+     * to reroute chunk requests through the ALLOC component once it is
+     * up; chunks already held are still returned through the new
+     * PageReturn, so callers must ensure it accepts them.
+     */
+    void setSource(PageSource source, PageReturn ret)
+    {
+        source_ = std::move(source);
+        return_ = std::move(ret);
+    }
+
+    /** Verifies heap invariants; returns false on corruption. */
+    bool checkIntegrity() const;
+
+  private:
+    struct BlockHdr;
+    struct Chunk {
+        PageRange range;
+    };
+
+    BlockHdr *findFit(std::size_t need);
+    void addChunk(std::size_t pages);
+    void unlinkFree(BlockHdr *b);
+    void pushFree(BlockHdr *b);
+
+    PageSource source_;
+    PageReturn return_;
+    std::size_t chunkPages_;
+    std::vector<Chunk> chunks_;
+    BlockHdr *freeHead_ = nullptr;
+    HeapStats stats_;
+};
+
+} // namespace cubicleos::mem
+
+#endif // CUBICLEOS_MEM_SUBALLOC_H_

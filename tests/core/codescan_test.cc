@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the loader's forbidden-instruction scanner (paper §5.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/codescan.h"
+
+namespace cubicleos::core {
+namespace {
+
+std::vector<uint8_t>
+bytes(std::initializer_list<int> list)
+{
+    std::vector<uint8_t> v;
+    for (int b : list)
+        v.push_back(static_cast<uint8_t>(b));
+    return v;
+}
+
+TEST(CodeScan, CleanImagePasses)
+{
+    auto image = bytes({0x90, 0x90, 0x48, 0x89, 0xC3, 0x90});
+    EXPECT_FALSE(scanCodeImage(image).has_value());
+}
+
+TEST(CodeScan, DetectsWrpkru)
+{
+    auto image = bytes({0x90, 0x0F, 0x01, 0xEF, 0x90});
+    auto hit = scanCodeImage(image);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->mnemonic, "wrpkru");
+    EXPECT_EQ(hit->offset, 1u);
+}
+
+TEST(CodeScan, DetectsSyscall)
+{
+    auto image = bytes({0x48, 0x31, 0xC0, 0x0F, 0x05});
+    auto hit = scanCodeImage(image);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->mnemonic, "syscall");
+}
+
+TEST(CodeScan, DetectsSysenter)
+{
+    auto image = bytes({0x0F, 0x34});
+    ASSERT_TRUE(scanCodeImage(image).has_value());
+    EXPECT_EQ(scanCodeImage(image)->mnemonic, "sysenter");
+}
+
+TEST(CodeScan, DetectsInt80)
+{
+    auto image = bytes({0xCD, 0x80});
+    ASSERT_TRUE(scanCodeImage(image).has_value());
+    EXPECT_EQ(scanCodeImage(image)->mnemonic, "int80");
+}
+
+TEST(CodeScan, DetectsSequenceSpanningPageBoundary)
+{
+    // wrpkru straddles the 4096-byte page boundary: byte 0x0F at 4095.
+    std::vector<uint8_t> image(8192, 0x90);
+    image[4095] = 0x0F;
+    image[4096] = 0x01;
+    image[4097] = 0xEF;
+    auto hit = scanCodeImage(image);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->offset, 4095u);
+    EXPECT_EQ(hit->mnemonic, "wrpkru");
+}
+
+TEST(CodeScan, PrefixOnlyIsNotAMatch)
+{
+    // 0F 01 without EF is a different instruction group (e.g. SGDT).
+    auto image = bytes({0x0F, 0x01, 0x00});
+    EXPECT_FALSE(scanCodeImage(image).has_value());
+}
+
+TEST(CodeScan, TruncatedSequenceAtEndDoesNotMatch)
+{
+    auto image = bytes({0x90, 0x0F, 0x01});
+    EXPECT_FALSE(scanCodeImage(image).has_value());
+}
+
+TEST(CodeScan, AllFindsEveryOccurrence)
+{
+    auto image = bytes({0x0F, 0x05, 0x90, 0x0F, 0x01, 0xEF, 0xCD, 0x80});
+    auto hits = scanCodeImageAll(image);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0].mnemonic, "syscall");
+    EXPECT_EQ(hits[1].mnemonic, "wrpkru");
+    EXPECT_EQ(hits[2].mnemonic, "int80");
+}
+
+TEST(CodeScan, EmptyImageIsClean)
+{
+    EXPECT_FALSE(scanCodeImage({}).has_value());
+}
+
+TEST(CodeScan, BenignImagesAreAlwaysClean)
+{
+    for (uint64_t seed = 1; seed <= 32; ++seed) {
+        auto image = makeBenignImage(16384, seed);
+        EXPECT_EQ(image.size(), 16384u);
+        EXPECT_FALSE(scanCodeImage(image).has_value()) << seed;
+    }
+}
+
+} // namespace
+} // namespace cubicleos::core

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * System facade tests: boot, symbol resolution, cross-cubicle calls,
+ * call accounting, per-thread contexts and isolation-mode costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/system.h"
+#include "tests/core/toy_components.h"
+
+namespace cubicleos::core {
+namespace {
+
+using testing::ToyComponent;
+using testing::addToy;
+
+SystemConfig
+smallCfg(IsolationMode mode = IsolationMode::kFull)
+{
+    SystemConfig cfg;
+    cfg.numPages = 1024;
+    cfg.mode = mode;
+    return cfg;
+}
+
+TEST(SystemTest, BootAssignsDenseCids)
+{
+    System sys(smallCfg());
+    addToy(sys, "a");
+    addToy(sys, "b");
+    addToy(sys, "c");
+    sys.boot();
+    EXPECT_EQ(sys.cidOf("a"), 0);
+    EXPECT_EQ(sys.cidOf("b"), 1);
+    EXPECT_EQ(sys.cidOf("c"), 2);
+    EXPECT_EQ(sys.cubicleCount(), 3u);
+}
+
+TEST(SystemTest, UnknownComponentThrows)
+{
+    System sys(smallCfg());
+    addToy(sys, "a");
+    sys.boot();
+    EXPECT_THROW(sys.cidOf("nope"), LinkError);
+}
+
+TEST(SystemTest, CannotAddAfterBootOrDoubleBoot)
+{
+    System sys(smallCfg());
+    addToy(sys, "a");
+    sys.boot();
+    EXPECT_THROW(addToy(sys, "late"), LoaderError);
+    EXPECT_THROW(sys.boot(), LoaderError);
+}
+
+TEST(SystemTest, InitRunsInsideOwnCubicle)
+{
+    System sys(smallCfg());
+    Cid observed = kNoCubicle;
+    addToy(sys, "a").onInit([&](ToyComponent &me) {
+        observed = me.sys()->currentCubicle();
+        EXPECT_EQ(observed, me.self());
+    });
+    sys.boot();
+    EXPECT_EQ(observed, 0);
+}
+
+TEST(SystemTest, ResolveAndCall)
+{
+    System sys(smallCfg());
+    addToy(sys, "math").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<int(int, int)>("add",
+                              [](int a, int b) { return a + b; });
+    });
+    addToy(sys, "app");
+    sys.boot();
+
+    auto add = sys.resolve<int(int, int)>("math", "add");
+    int result = 0;
+    sys.runAs(sys.cidOf("app"), [&] { result = add(2, 40); });
+    EXPECT_EQ(result, 42);
+}
+
+TEST(SystemTest, ResolveUnknownSymbolThrows)
+{
+    System sys(smallCfg());
+    addToy(sys, "math").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<int()>("f", [] { return 1; });
+    });
+    sys.boot();
+    EXPECT_THROW((sys.resolve<int()>("math", "g")), LinkError);
+}
+
+TEST(SystemTest, ResolveSignatureMismatchThrows)
+{
+    // The builder parses the function definition to generate a matching
+    // trampoline; calling with the wrong ABI is refused at link time.
+    System sys(smallCfg());
+    addToy(sys, "math").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<int(int, int)>("add",
+                              [](int a, int b) { return a + b; });
+    });
+    sys.boot();
+    EXPECT_THROW((sys.resolve<double(double)>("math", "add")), LinkError);
+}
+
+TEST(SystemTest, ResolveBeforeBootThrows)
+{
+    System sys(smallCfg());
+    addToy(sys, "math");
+    EXPECT_THROW((sys.resolve<int()>("math", "f")), LinkError);
+}
+
+TEST(SystemTest, CrossCallSwitchesCurrentCubicle)
+{
+    System sys(smallCfg());
+    Cid seen_inside = kNoCubicle;
+    addToy(sys, "srv").onExports(
+        [&seen_inside](Exporter &exp, ToyComponent &me) {
+            exp.fn<void()>("probe", [&seen_inside, &me] {
+                seen_inside = me.sys()->currentCubicle();
+            });
+        });
+    addToy(sys, "app");
+    sys.boot();
+    auto probe = sys.resolve<void()>("srv", "probe");
+    sys.runAs(sys.cidOf("app"), [&] {
+        probe();
+        // After return the caller's cubicle is restored.
+        EXPECT_EQ(sys.currentCubicle(), sys.cidOf("app"));
+    });
+    EXPECT_EQ(seen_inside, sys.cidOf("srv"));
+}
+
+TEST(SystemTest, CrossCallCountsEdges)
+{
+    System sys(smallCfg());
+    addToy(sys, "srv").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<void()>("noop", [] {});
+    });
+    addToy(sys, "app");
+    sys.boot();
+    auto noop = sys.resolve<void()>("srv", "noop");
+    const Cid app = sys.cidOf("app");
+    const Cid srv = sys.cidOf("srv");
+    sys.runAs(app, [&] {
+        for (int i = 0; i < 17; ++i)
+            noop();
+    });
+    EXPECT_EQ(sys.stats().callsOnEdge(app, srv), 17u);
+    EXPECT_EQ(sys.stats().callsOnEdge(srv, app), 0u);
+}
+
+TEST(SystemTest, NestedCrossCallsRestoreInOrder)
+{
+    System sys(smallCfg());
+    addToy(sys, "inner").onExports([](Exporter &exp, ToyComponent &me) {
+        exp.fn<Cid()>("who",
+                      [&me] { return me.sys()->currentCubicle(); });
+    });
+    addToy(sys, "outer");
+    addToy(sys, "app");
+    sys.boot();
+    auto who = sys.resolve<Cid()>("inner", "who");
+
+    // Register a late-bound chain: app -> outer -> inner.
+    ToyComponent &outer =
+        static_cast<ToyComponent &>(sys.componentAt(sys.cidOf("outer")));
+    (void)outer;
+    sys.runAs(sys.cidOf("app"), [&] {
+        sys.runAs(sys.cidOf("outer"), [&] {
+            EXPECT_EQ(who(), sys.cidOf("inner"));
+            EXPECT_EQ(sys.currentCubicle(), sys.cidOf("outer"));
+        });
+        EXPECT_EQ(sys.currentCubicle(), sys.cidOf("app"));
+    });
+}
+
+TEST(SystemTest, ExceptionsUnwindAcrossCubicles)
+{
+    System sys(smallCfg());
+    addToy(sys, "srv").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<void()>("boom", [] { throw std::runtime_error("inner"); });
+    });
+    addToy(sys, "app");
+    sys.boot();
+    auto boom = sys.resolve<void()>("srv", "boom");
+    sys.runAs(sys.cidOf("app"), [&] {
+        EXPECT_THROW(boom(), std::runtime_error);
+        // The trampoline guard restored the caller context.
+        EXPECT_EQ(sys.currentCubicle(), sys.cidOf("app"));
+    });
+}
+
+TEST(SystemTest, SharedCubicleCallsBypassTrampolines)
+{
+    System sys(smallCfg());
+    addToy(sys, "libc", CubicleKind::kShared)
+        .onExports([](Exporter &exp, ToyComponent &me) {
+            exp.fn<Cid()>("whoami", [&me] {
+                // Shared cubicles execute with the caller's privileges:
+                // the current cubicle is still the caller.
+                return me.sys()->currentCubicle();
+            });
+        });
+    addToy(sys, "app");
+    sys.boot();
+    auto whoami = sys.resolve<Cid()>("libc", "whoami");
+    const Cid app = sys.cidOf("app");
+    Cid seen = kNoCubicle;
+    sys.runAs(app, [&] { seen = whoami(); });
+    EXPECT_EQ(seen, app);
+    // No cross-cubicle edge was recorded.
+    EXPECT_EQ(sys.stats().callsOnEdge(app, sys.cidOf("libc")), 0u);
+}
+
+TEST(SystemTest, WrpkruChargedPerCrossCallInMpkModes)
+{
+    System sys(smallCfg(IsolationMode::kFull));
+    addToy(sys, "srv").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<void()>("noop", [] {});
+    });
+    addToy(sys, "app");
+    sys.boot();
+    auto noop = sys.resolve<void()>("srv", "noop");
+    sys.stats().reset();
+    const uint64_t cycles_before = sys.clock().read();
+    sys.runAs(sys.cidOf("app"), [&] { noop(); });
+    // runAs enter/exit + call/return = 4 switch points, 2 wrpkru each.
+    EXPECT_EQ(sys.stats().wrpkrus(), 8u);
+    EXPECT_GE(sys.clock().read() - cycles_before,
+              8 * hw::cost::kWrpkru);
+}
+
+TEST(SystemTest, UnikraftModeChargesNothing)
+{
+    System sys(smallCfg(IsolationMode::kUnikraft));
+    addToy(sys, "srv").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<void()>("noop", [] {});
+    });
+    addToy(sys, "app");
+    sys.boot();
+    auto noop = sys.resolve<void()>("srv", "noop");
+    const uint64_t before = sys.clock().read();
+    sys.runAs(sys.cidOf("app"), [&] { noop(); });
+    EXPECT_EQ(sys.clock().read(), before);
+    EXPECT_EQ(sys.stats().wrpkrus(), 0u);
+}
+
+TEST(SystemTest, PerThreadContextsAreIndependent)
+{
+    System sys(smallCfg());
+    addToy(sys, "a");
+    addToy(sys, "b");
+    sys.boot();
+    const Cid a = sys.cidOf("a");
+    const Cid b = sys.cidOf("b");
+
+    std::atomic<bool> ok_a{false}, ok_b{false};
+    std::thread ta([&] {
+        sys.runAs(a, [&] {
+            for (int i = 0; i < 1000; ++i) {
+                if (sys.currentCubicle() != a)
+                    return;
+            }
+            ok_a = true;
+        });
+    });
+    std::thread tb([&] {
+        sys.runAs(b, [&] {
+            for (int i = 0; i < 1000; ++i) {
+                if (sys.currentCubicle() != b)
+                    return;
+            }
+            ok_b = true;
+        });
+    });
+    ta.join();
+    tb.join();
+    EXPECT_TRUE(ok_a);
+    EXPECT_TRUE(ok_b);
+}
+
+TEST(SystemTest, TwoSystemsCoexistOnOneThread)
+{
+    System s1(smallCfg());
+    System s2(smallCfg());
+    addToy(s1, "x");
+    addToy(s2, "y");
+    s1.boot();
+    s2.boot();
+    s1.runAs(s1.cidOf("x"), [&] {
+        EXPECT_EQ(s1.currentCubicle(), s1.cidOf("x"));
+        s2.runAs(s2.cidOf("y"), [&] {
+            EXPECT_EQ(s2.currentCubicle(), s2.cidOf("y"));
+            EXPECT_EQ(s1.currentCubicle(), s1.cidOf("x"));
+        });
+    });
+}
+
+TEST(SystemTest, MemcpyCheckedMovesDataThroughWindows)
+{
+    System sys(smallCfg());
+    addToy(sys, "src_comp");
+    addToy(sys, "dst_comp").onExports(
+        [](Exporter &exp, ToyComponent &me) {
+            exp.fn<void(char *, const char *, std::size_t)>(
+                "copy_in",
+                [&me](char *dst, const char *src, std::size_t n) {
+                    me.sys()->memcpyChecked(dst, src, n);
+                });
+        });
+    sys.boot();
+    const Cid src_c = sys.cidOf("src_comp");
+    const Cid dst_c = sys.cidOf("dst_comp");
+
+    char *src_buf = nullptr;
+    sys.runAs(src_c, [&] {
+        src_buf = static_cast<char *>(sys.heapAlloc(64));
+        std::memcpy(src_buf, "hello-cubicle", 14);
+    });
+    char *dst_buf = nullptr;
+    sys.runAs(dst_c, [&] {
+        dst_buf = static_cast<char *>(sys.heapAlloc(64));
+    });
+
+    auto copy_in = sys.resolve<void(char *, const char *, std::size_t)>(
+        "dst_comp", "copy_in");
+    sys.runAs(src_c, [&] {
+        Wid wid = sys.windowInit();
+        sys.windowAdd(wid, src_buf, 64);
+        sys.windowOpen(wid, dst_c);
+        copy_in(dst_buf, src_buf, 14);
+        sys.windowDestroy(wid);
+    });
+    EXPECT_STREQ(dst_buf, "hello-cubicle");
+}
+
+TEST(SystemTest, ModeNamesAreStable)
+{
+    EXPECT_STREQ(isolationModeName(IsolationMode::kUnikraft), "unikraft");
+    EXPECT_STREQ(isolationModeName(IsolationMode::kFull), "cubicleos");
+}
+
+TEST(SystemTest, StatsResetClearsEverything)
+{
+    System sys(smallCfg());
+    addToy(sys, "srv").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<void()>("noop", [] {});
+    });
+    addToy(sys, "app");
+    sys.boot();
+    auto noop = sys.resolve<void()>("srv", "noop");
+    sys.runAs(sys.cidOf("app"), [&] { noop(); });
+    EXPECT_GT(sys.stats().totalCalls(), 0u);
+    sys.stats().reset();
+    EXPECT_EQ(sys.stats().totalCalls(), 0u);
+    EXPECT_EQ(sys.stats().wrpkrus(), 0u);
+    EXPECT_TRUE(sys.stats().edges().empty());
+}
+
+/**
+ * Mode sweep: cross-call cost ordering must satisfy
+ * unikraft <= no-mpk <= no-acl == full (for call overhead alone).
+ */
+class ModeSweep : public ::testing::TestWithParam<IsolationMode> {};
+
+TEST_P(ModeSweep, CallsWorkInEveryMode)
+{
+    System sys(smallCfg(GetParam()));
+    addToy(sys, "srv").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<int(int)>("inc", [](int x) { return x + 1; });
+    });
+    addToy(sys, "app");
+    sys.boot();
+    auto inc = sys.resolve<int(int)>("srv", "inc");
+    int v = 0;
+    sys.runAs(sys.cidOf("app"), [&] {
+        for (int i = 0; i < 100; ++i)
+            v = inc(v);
+    });
+    EXPECT_EQ(v, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ModeSweep,
+                         ::testing::Values(IsolationMode::kUnikraft,
+                                           IsolationMode::kNoMpk,
+                                           IsolationMode::kNoAcl,
+                                           IsolationMode::kFull));
+
+} // namespace
+} // namespace cubicleos::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the virtual cycle clock and the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "hw/cycles.h"
+#include "hw/prng.h"
+
+namespace cubicleos::hw {
+namespace {
+
+TEST(CycleClock, StartsAtZeroAndAccumulates)
+{
+    CycleClock clock;
+    EXPECT_EQ(clock.read(), 0u);
+    clock.charge(100);
+    clock.charge(cost::kWrpkru);
+    EXPECT_EQ(clock.read(), 100 + cost::kWrpkru);
+}
+
+TEST(CycleClock, ResetClears)
+{
+    CycleClock clock;
+    clock.charge(42);
+    clock.reset();
+    EXPECT_EQ(clock.read(), 0u);
+}
+
+TEST(CycleClock, ToNanosecondsUsesPaperFrequency)
+{
+    // 2.2 GHz: 2200 cycles == 1000 ns.
+    EXPECT_DOUBLE_EQ(CycleClock::toNanoseconds(2200), 1000.0);
+}
+
+TEST(CycleClock, ConcurrentChargesAreNotLost)
+{
+    CycleClock clock;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&clock] {
+            for (int i = 0; i < kPerThread; ++i)
+                clock.charge(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(clock.read(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(CycleCosts, RelativeOrderingMatchesPaper)
+{
+    // The cost model must preserve the paper's relative magnitudes:
+    // wrpkru (user-level) << pkey assignment (kernel).
+    EXPECT_LT(cost::kWrpkru, cost::kPkeyMprotect / 10);
+    EXPECT_LT(cost::kTrampoline, cost::kFaultTrap);
+}
+
+TEST(Prng, DeterministicForSameSeed)
+{
+    Prng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Prng, NextBelowStaysInRange)
+{
+    Prng prng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(prng.nextBelow(17), 17u);
+    EXPECT_EQ(prng.nextBelow(0), 0u);
+}
+
+TEST(Prng, NextInRangeInclusive)
+{
+    Prng prng(99);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = prng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, ZeroSeedDoesNotDegenerate)
+{
+    Prng prng(0);
+    EXPECT_NE(prng.next(), prng.next());
+}
+
+} // namespace
+} // namespace cubicleos::hw

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the simulated MPK: PKRU register semantics, key
+ * allocation, and the modified execute-permission semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/mpk.h"
+
+namespace cubicleos::hw {
+namespace {
+
+TEST(Pkru, DenyAllDeniesEveryKey)
+{
+    Pkru pkru = Pkru::denyAll();
+    for (int k = 0; k < kNumPkeys; ++k) {
+        EXPECT_FALSE(pkru.canRead(k)) << k;
+        EXPECT_FALSE(pkru.canWrite(k)) << k;
+    }
+}
+
+TEST(Pkru, AllowAllAllowsEveryKey)
+{
+    Pkru pkru = Pkru::allowAll();
+    for (int k = 0; k < kNumPkeys; ++k) {
+        EXPECT_TRUE(pkru.canRead(k)) << k;
+        EXPECT_TRUE(pkru.canWrite(k)) << k;
+    }
+}
+
+TEST(Pkru, AllowSingleKeyLeavesOthersDenied)
+{
+    Pkru pkru = Pkru::denyAll();
+    pkru.allow(5);
+    for (int k = 0; k < kNumPkeys; ++k) {
+        EXPECT_EQ(pkru.canRead(k), k == 5) << k;
+        EXPECT_EQ(pkru.canWrite(k), k == 5) << k;
+    }
+}
+
+TEST(Pkru, ReadOnlyKeyAllowsReadDeniesWrite)
+{
+    Pkru pkru = Pkru::denyAll();
+    pkru.allowReadOnly(3);
+    EXPECT_TRUE(pkru.canRead(3));
+    EXPECT_FALSE(pkru.canWrite(3));
+}
+
+TEST(Pkru, DenyRevokesAccess)
+{
+    Pkru pkru = Pkru::allowAll();
+    pkru.deny(7);
+    EXPECT_FALSE(pkru.canRead(7));
+    EXPECT_FALSE(pkru.canWrite(7));
+    EXPECT_TRUE(pkru.canRead(6));
+}
+
+TEST(Pkru, RawLayoutMatchesX86)
+{
+    // Key i: bit 2i = AD, bit 2i+1 = WD.
+    Pkru pkru = Pkru::allowAll();
+    pkru.deny(1);
+    EXPECT_EQ(pkru.raw(), 0b1100u);
+
+    Pkru ro = Pkru::allowAll();
+    ro.allowReadOnly(0);
+    EXPECT_EQ(ro.raw(), 0b10u);
+}
+
+TEST(Pkru, EqualityComparesRawValue)
+{
+    Pkru a = Pkru::denyAll();
+    Pkru b = Pkru::denyAll();
+    EXPECT_EQ(a, b);
+    b.allow(2);
+    EXPECT_NE(a, b);
+}
+
+TEST(Mpk, AllocatesFifteenKeysAfterMonitorKey)
+{
+    Mpk mpk;
+    // Key 0 is reserved for the monitor; 1..15 are allocatable.
+    for (int expected = 1; expected < kNumPkeys; ++expected)
+        EXPECT_EQ(mpk.allocKey(), expected);
+    EXPECT_EQ(mpk.allocKey(), -1) << "16th allocation must fail";
+}
+
+TEST(Mpk, VirtualizedAllocationSpillsToLastKey)
+{
+    Mpk mpk;
+    for (int i = 1; i < kNumPkeys; ++i)
+        mpk.allocKey();
+    EXPECT_EQ(mpk.allocKey(true), kNumPkeys - 1);
+    EXPECT_EQ(mpk.allocKey(true), kNumPkeys - 1);
+}
+
+TEST(Mpk, CheckReadWrite)
+{
+    Mpk mpk;
+    Pkru pkru = Pkru::denyAll();
+    pkru.allowReadOnly(4);
+
+    EXPECT_FALSE(mpk.check(pkru, 4, Access::kRead).has_value());
+    auto w = mpk.check(pkru, 4, Access::kWrite);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(*w, FaultReason::kPkuWrite);
+
+    auto r = mpk.check(pkru, 9, Access::kRead);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, FaultReason::kPkuRead);
+}
+
+TEST(Mpk, ModifiedSemanticsDenyExecOnFullyDeniedKey)
+{
+    Mpk mpk(/*modified_exec_semantics=*/true);
+    Pkru pkru = Pkru::denyAll();
+    auto x = mpk.check(pkru, 2, Access::kExec);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(*x, FaultReason::kExecDenied);
+
+    // Read-only access re-enables execution.
+    pkru.allowReadOnly(2);
+    EXPECT_FALSE(mpk.check(pkru, 2, Access::kExec).has_value());
+}
+
+TEST(Mpk, StockSemanticsAllowExecRegardlessOfPkru)
+{
+    // Stock MPK has no tag-wide execute control — the limitation the
+    // paper's hardware modification addresses.
+    Mpk mpk(/*modified_exec_semantics=*/false);
+    Pkru pkru = Pkru::denyAll();
+    EXPECT_FALSE(mpk.check(pkru, 2, Access::kExec).has_value());
+}
+
+/** PKRU sweep: every (key, mode) combination behaves independently. */
+class PkruSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PkruSweep, KeyIndependence)
+{
+    const int key = GetParam();
+    Pkru pkru = Pkru::denyAll();
+    pkru.allow(key);
+    for (int other = 0; other < kNumPkeys; ++other) {
+        if (other == key)
+            continue;
+        EXPECT_FALSE(pkru.canRead(other));
+        pkru.allowReadOnly(other);
+        EXPECT_TRUE(pkru.canRead(other));
+        EXPECT_FALSE(pkru.canWrite(other));
+        pkru.deny(other);
+        EXPECT_TRUE(pkru.canWrite(key)) << "key " << key << " disturbed";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeys, PkruSweep,
+                         ::testing::Range(0, kNumPkeys));
+
+} // namespace
+} // namespace cubicleos::hw

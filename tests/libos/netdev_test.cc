@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the FrameChannel wire and the NETDEV component.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "libos/app.h"
+#include "libos/netdev.h"
+#include "libos/stack.h"
+
+namespace cubicleos::libos {
+namespace {
+
+TEST(FrameChannel, FifoBothDirections)
+{
+    FrameChannel wire;
+    wire.hostSend({1, 2, 3});
+    wire.hostSend({4, 5});
+    auto a = wire.devRx();
+    auto b = wire.devRx();
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->size(), 3u);
+    EXPECT_EQ(b->size(), 2u);
+    EXPECT_FALSE(wire.devRx().has_value());
+
+    wire.devTx({9});
+    auto c = wire.hostRecv();
+    ASSERT_TRUE(c);
+    EXPECT_EQ((*c)[0], 9);
+}
+
+TEST(FrameChannel, ChargesPerFrameAndPerByte)
+{
+    hw::CycleClock clock;
+    FrameChannel wire(&clock, /*frame_cycles=*/1000,
+                      /*byte_cycles=*/2.0);
+    wire.hostSend(FrameChannel::Frame(100, 0));
+    EXPECT_EQ(clock.read(), 1000u + 200u);
+    wire.devTx(FrameChannel::Frame(50, 0));
+    EXPECT_EQ(clock.read(), 1000u + 200u + 1000u + 100u);
+    EXPECT_EQ(wire.framesCarried(), 2u);
+    EXPECT_EQ(wire.bytesCarried(), 150u);
+}
+
+class NetdevFixture : public ::testing::Test {
+  protected:
+    NetdevFixture()
+    {
+        core::SystemConfig cfg;
+        cfg.numPages = 2048;
+        sys = std::make_unique<core::System>(cfg);
+        wire = std::make_unique<FrameChannel>();
+        netdev = static_cast<NetdevComponent *>(&sys->addComponent(
+            std::make_unique<NetdevComponent>(wire.get())));
+        app = static_cast<AppComponent *>(
+            &sys->addComponent(std::make_unique<AppComponent>()));
+        sys->boot();
+        tx = sys->resolve<int(const uint8_t *, std::size_t)>(
+            "netdev", "netdev_tx");
+        rx = sys->resolve<int64_t(uint8_t *, std::size_t)>("netdev",
+                                                           "netdev_rx");
+        netdev_cid = sys->cidOf("netdev");
+    }
+
+    /** A windowed app buffer. */
+    uint8_t *makeBuf(std::size_t n)
+    {
+        uint8_t *p = nullptr;
+        app->run([&] {
+            p = static_cast<uint8_t *>(sys->heapAlloc(n));
+            const core::Wid wid = sys->windowInit();
+            sys->windowAdd(wid, p, n);
+            sys->windowOpen(wid, netdev_cid);
+        });
+        return p;
+    }
+
+    std::unique_ptr<core::System> sys;
+    std::unique_ptr<FrameChannel> wire;
+    NetdevComponent *netdev = nullptr;
+    AppComponent *app = nullptr;
+    core::CrossFn<int(const uint8_t *, std::size_t)> tx;
+    core::CrossFn<int64_t(uint8_t *, std::size_t)> rx;
+    core::Cid netdev_cid{};
+};
+
+TEST_F(NetdevFixture, TxMovesWindowedBufferToWire)
+{
+    uint8_t *buf = makeBuf(64);
+    app->run([&] {
+        std::memset(buf, 0x5A, 64);
+        EXPECT_EQ(tx(buf, 64), 0);
+    });
+    auto frame = wire->hostRecv();
+    ASSERT_TRUE(frame);
+    EXPECT_EQ(frame->size(), 64u);
+    EXPECT_EQ((*frame)[10], 0x5A);
+    EXPECT_EQ(netdev->txCount(), 1u);
+}
+
+TEST_F(NetdevFixture, RxDeliversWireFrameIntoWindowedBuffer)
+{
+    uint8_t *buf = makeBuf(128);
+    wire->hostSend(FrameChannel::Frame(100, 0x77));
+    app->run([&] {
+        EXPECT_EQ(rx(buf, 128), 100);
+        sys->touch(buf, 100, hw::Access::kRead);
+        EXPECT_EQ(buf[99], 0x77);
+        // Queue empty now.
+        EXPECT_EQ(rx(buf, 128), 0);
+    });
+    EXPECT_EQ(netdev->rxCount(), 1u);
+}
+
+TEST_F(NetdevFixture, OversizedFrameIsDropped)
+{
+    uint8_t *buf = makeBuf(64);
+    wire->hostSend(FrameChannel::Frame(1000, 1));
+    app->run([&] {
+        EXPECT_EQ(rx(buf, 64), -1) << "too small: frame dropped";
+        EXPECT_EQ(rx(buf, 64), 0) << "dropped, not requeued";
+    });
+}
+
+TEST_F(NetdevFixture, TxRejectsOversizedAndEmptyFrames)
+{
+    uint8_t *buf = makeBuf(kMtu + 100);
+    app->run([&] {
+        EXPECT_EQ(tx(buf, kMtu + 1), -1);
+        EXPECT_EQ(tx(buf, 0), -1);
+        EXPECT_EQ(tx(buf, kMtu), 0);
+    });
+}
+
+TEST_F(NetdevFixture, TxFromUnwindowedBufferFaults)
+{
+    uint8_t *foreign = nullptr;
+    app->run([&] {
+        foreign = static_cast<uint8_t *>(sys->heapAlloc(64));
+        // No window opened for netdev this time.
+    });
+    app->run([&] {
+        EXPECT_THROW(tx(foreign, 64), hw::CubicleFault);
+    });
+}
+
+} // namespace
+} // namespace cubicleos::libos

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the O(1) page metadata map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_meta.h"
+
+namespace cubicleos::mem {
+namespace {
+
+TEST(PageMetaMap, StartsUnowned)
+{
+    PageMetaMap map(16);
+    EXPECT_EQ(map.numPages(), 16u);
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(map.at(i).owner, kNoCubicle);
+        EXPECT_EQ(map.at(i).type, PageType::kFree);
+    }
+}
+
+TEST(PageMetaMap, AssignAndRelease)
+{
+    PageMetaMap map(16);
+    map.assign(4, 3, /*owner=*/2, PageType::kHeap);
+    EXPECT_EQ(map.at(4).owner, 2);
+    EXPECT_EQ(map.at(6).type, PageType::kHeap);
+    EXPECT_EQ(map.at(3).owner, kNoCubicle);
+    EXPECT_EQ(map.at(7).owner, kNoCubicle);
+
+    map.release(4, 3);
+    EXPECT_EQ(map.at(5).owner, kNoCubicle);
+    EXPECT_EQ(map.at(5).type, PageType::kFree);
+}
+
+TEST(PageMetaMap, CountOwnedBy)
+{
+    PageMetaMap map(32);
+    map.assign(0, 4, 1, PageType::kCode);
+    map.assign(8, 2, 1, PageType::kStack);
+    map.assign(16, 5, 2, PageType::kHeap);
+    EXPECT_EQ(map.countOwnedBy(1), 6u);
+    EXPECT_EQ(map.countOwnedBy(2), 5u);
+    EXPECT_EQ(map.countOwnedBy(3), 0u);
+}
+
+TEST(PageMetaMap, TypeNamesAreDistinct)
+{
+    EXPECT_STREQ(pageTypeName(PageType::kCode), "code");
+    EXPECT_STREQ(pageTypeName(PageType::kGlobal), "global");
+    EXPECT_STREQ(pageTypeName(PageType::kStack), "stack");
+    EXPECT_STREQ(pageTypeName(PageType::kHeap), "heap");
+    EXPECT_STREQ(pageTypeName(PageType::kFree), "free");
+}
+
+} // namespace
+} // namespace cubicleos::mem

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit and property tests for the per-cubicle heap sub-allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "hw/prng.h"
+#include "mem/suballoc.h"
+
+namespace cubicleos::mem {
+namespace {
+
+/** Fixture wiring a heap to a private page pool. */
+class HeapTest : public ::testing::Test {
+  protected:
+    HeapTest()
+        : space(256, &clock), meta(256), pages(&space, &meta),
+          heap(
+              [this](std::size_t n) {
+                  return pages.allocPages(n, 1, PageType::kHeap,
+                                          hw::kPermRead | hw::kPermWrite,
+                                          1);
+              },
+              [this](const PageRange &r) { pages.freePages(r); },
+              /*chunk_pages=*/4)
+    {}
+
+    hw::CycleClock clock;
+    hw::AddressSpace space;
+    PageMetaMap meta;
+    PageAllocator pages;
+    HeapAllocator heap;
+};
+
+TEST_F(HeapTest, AllocReturnsAlignedUsableMemory)
+{
+    void *p = heap.alloc(100);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+    EXPECT_GE(heap.usableSize(p), 100u);
+    std::memset(p, 0xAB, 100);
+    EXPECT_TRUE(heap.checkIntegrity());
+}
+
+TEST_F(HeapTest, ZeroSizeAllocStillValid)
+{
+    void *p = heap.alloc(0);
+    ASSERT_NE(p, nullptr);
+    heap.free(p);
+    EXPECT_TRUE(heap.checkIntegrity());
+}
+
+TEST_F(HeapTest, AllocZeroedIsZero)
+{
+    auto *p = static_cast<unsigned char *>(heap.allocZeroed(512));
+    ASSERT_NE(p, nullptr);
+    for (int i = 0; i < 512; ++i)
+        EXPECT_EQ(p[i], 0) << i;
+}
+
+TEST_F(HeapTest, FreeNullIsNoop)
+{
+    heap.free(nullptr);
+    EXPECT_EQ(heap.stats().freeCalls, 0u);
+    EXPECT_TRUE(heap.checkIntegrity());
+}
+
+TEST_F(HeapTest, DistinctAllocationsDoNotOverlap)
+{
+    auto *a = static_cast<char *>(heap.alloc(64));
+    auto *b = static_cast<char *>(heap.alloc(64));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    std::memset(a, 1, 64);
+    std::memset(b, 2, 64);
+    EXPECT_EQ(a[0], 1);
+    EXPECT_EQ(a[63], 1);
+}
+
+TEST_F(HeapTest, FreeCoalescesForLargeRealloc)
+{
+    // Fill a chunk with small blocks, free all, then allocate one
+    // block that only fits if coalescing happened.
+    std::vector<void *> ptrs;
+    for (int i = 0; i < 16; ++i)
+        ptrs.push_back(heap.alloc(256));
+    for (void *p : ptrs)
+        heap.free(p);
+    EXPECT_TRUE(heap.checkIntegrity());
+    void *big = heap.alloc(3 * 4096);
+    EXPECT_NE(big, nullptr);
+}
+
+TEST_F(HeapTest, LargeAllocationGetsDedicatedChunk)
+{
+    void *p = heap.alloc(10 * 4096);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(heap.usableSize(p), 10u * 4096);
+    EXPECT_TRUE(heap.checkIntegrity());
+}
+
+TEST_F(HeapTest, WhollyFreeChunksReturnToSource)
+{
+    // First allocation creates chunk 0; a big second allocation makes
+    // chunk 1, which is returned once freed.
+    void *keep = heap.alloc(64);
+    void *big = heap.alloc(8 * 4096);
+    const std::size_t used_before = pages.usedPageCount();
+    heap.free(big);
+    EXPECT_LT(pages.usedPageCount(), used_before);
+    heap.free(keep);
+    EXPECT_TRUE(heap.checkIntegrity());
+}
+
+TEST_F(HeapTest, ExhaustionReturnsNull)
+{
+    // The pool has 256 pages; a 300-page request cannot be served.
+    EXPECT_EQ(heap.alloc(300 * 4096), nullptr);
+}
+
+TEST_F(HeapTest, StatsTrackUsage)
+{
+    void *a = heap.alloc(100);
+    void *b = heap.alloc(200);
+    EXPECT_EQ(heap.stats().allocCalls, 2u);
+    EXPECT_GT(heap.stats().bytesInUse, 300u);
+    heap.free(a);
+    heap.free(b);
+    EXPECT_EQ(heap.stats().freeCalls, 2u);
+}
+
+/** Property: randomized alloc/free with content verification. */
+class HeapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeapProperty, ContentsSurviveChurn)
+{
+    hw::CycleClock clock;
+    hw::AddressSpace space(512, &clock);
+    PageMetaMap meta(512);
+    PageAllocator pages(&space, &meta);
+    HeapAllocator heap(
+        [&](std::size_t n) {
+            return pages.allocPages(n, 1, PageType::kHeap,
+                                    hw::kPermRead | hw::kPermWrite, 1);
+        },
+        [&](const PageRange &r) { pages.freePages(r); }, 8);
+
+    hw::Prng prng(GetParam());
+    struct Block {
+        unsigned char *ptr;
+        std::size_t size;
+        unsigned char fill;
+    };
+    std::vector<Block> live;
+
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || prng.nextBelow(5) < 3) {
+            const std::size_t size = 1 + prng.nextBelow(2000);
+            auto *p = static_cast<unsigned char *>(heap.alloc(size));
+            if (!p)
+                continue;
+            const auto fill =
+                static_cast<unsigned char>(prng.nextBelow(256));
+            std::memset(p, fill, size);
+            live.push_back(Block{p, size, fill});
+        } else {
+            const auto idx = prng.nextBelow(live.size());
+            Block blk = live[idx];
+            // Verify the pattern survived every other operation.
+            for (std::size_t i = 0; i < blk.size; ++i) {
+                ASSERT_EQ(blk.ptr[i], blk.fill)
+                    << "corruption at step " << step << " offset " << i;
+            }
+            heap.free(blk.ptr);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        if (step % 256 == 0) {
+            ASSERT_TRUE(heap.checkIntegrity()) << "step " << step;
+        }
+    }
+    for (const auto &blk : live)
+        heap.free(blk.ptr);
+    EXPECT_TRUE(heap.checkIntegrity());
+    EXPECT_EQ(heap.stats().bytesInUse, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace cubicleos::mem

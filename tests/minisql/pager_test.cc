@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Pager tests: caching, eviction, transactions, journal recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "apps/minisql/pager.h"
+#include "baselines/memfs.h"
+
+namespace cubicleos::minisql {
+namespace {
+
+class PagerTest : public ::testing::Test {
+  protected:
+    baselines::MemFileApi fs;
+
+    std::unique_ptr<Pager> makePager(std::size_t cache = 8)
+    {
+        auto pager = std::make_unique<Pager>(&fs, "/db", cache);
+        EXPECT_EQ(pager->open(true), 0);
+        return pager;
+    }
+};
+
+TEST_F(PagerTest, FreshDatabaseHasHeaderPage)
+{
+    auto pager = makePager();
+    EXPECT_EQ(pager->pageCount(), 1u);
+    EXPECT_EQ(pager->schemaRoot(), 0u);
+}
+
+TEST_F(PagerTest, AllocateGrowsFile)
+{
+    auto pager = makePager();
+    pager->begin();
+    const uint32_t a = pager->allocatePage();
+    const uint32_t b = pager->allocatePage();
+    EXPECT_EQ(a, 2u);
+    EXPECT_EQ(b, 3u);
+    EXPECT_EQ(pager->pageCount(), 3u);
+    pager->commit();
+}
+
+TEST_F(PagerTest, DataPersistsAcrossReopen)
+{
+    {
+        auto pager = makePager();
+        pager->begin();
+        const uint32_t pgno = pager->allocatePage();
+        DbPage *page = pager->fetch(pgno);
+        pager->markDirty(page);
+        std::strcpy(reinterpret_cast<char *>(page->data), "persisted");
+        pager->release(page);
+        pager->setSchemaRoot(pgno);
+        pager->commit();
+    }
+    {
+        auto pager = makePager();
+        EXPECT_EQ(pager->schemaRoot(), 2u);
+        DbPage *page = pager->fetch(2);
+        EXPECT_STREQ(reinterpret_cast<char *>(page->data), "persisted");
+        pager->release(page);
+    }
+}
+
+TEST_F(PagerTest, CacheHitsDoNotReadFile)
+{
+    auto pager = makePager();
+    pager->begin();
+    const uint32_t pgno = pager->allocatePage();
+    pager->commit();
+
+    DbPage *p1 = pager->fetch(pgno);
+    pager->release(p1);
+    const uint64_t reads = pager->stats().pageReads;
+    for (int i = 0; i < 10; ++i) {
+        DbPage *p = pager->fetch(pgno);
+        pager->release(p);
+    }
+    EXPECT_EQ(pager->stats().pageReads, reads);
+    EXPECT_GE(pager->stats().cacheHits, 10u);
+}
+
+TEST_F(PagerTest, EvictionWritesBackDirtyPages)
+{
+    auto pager = makePager(/*cache=*/4);
+    pager->begin();
+    std::vector<uint32_t> pages;
+    for (int i = 0; i < 12; ++i) {
+        const uint32_t pgno = pager->allocatePage();
+        DbPage *page = pager->fetch(pgno);
+        pager->markDirty(page);
+        page->data[0] = static_cast<uint8_t>(0xA0 + i);
+        pager->release(page);
+        pages.push_back(pgno);
+    }
+    pager->commit();
+    EXPECT_GT(pager->stats().evictions, 0u);
+    // All contents survive evictions.
+    for (int i = 0; i < 12; ++i) {
+        DbPage *page = pager->fetch(pages[static_cast<size_t>(i)]);
+        EXPECT_EQ(page->data[0], static_cast<uint8_t>(0xA0 + i)) << i;
+        pager->release(page);
+    }
+}
+
+TEST_F(PagerTest, RollbackRestoresPages)
+{
+    auto pager = makePager();
+    pager->begin();
+    const uint32_t pgno = pager->allocatePage();
+    DbPage *page = pager->fetch(pgno);
+    pager->markDirty(page);
+    page->data[100] = 0x11;
+    pager->release(page);
+    pager->commit();
+
+    pager->begin();
+    page = pager->fetch(pgno);
+    pager->markDirty(page);
+    page->data[100] = 0x22;
+    pager->release(page);
+    pager->rollback();
+
+    page = pager->fetch(pgno);
+    EXPECT_EQ(page->data[100], 0x11);
+    pager->release(page);
+}
+
+TEST_F(PagerTest, RollbackRestoresPageCount)
+{
+    auto pager = makePager();
+    pager->begin();
+    pager->allocatePage();
+    pager->commit();
+    const uint32_t count = pager->pageCount();
+
+    pager->begin();
+    pager->allocatePage();
+    pager->allocatePage();
+    pager->rollback();
+    EXPECT_EQ(pager->pageCount(), count);
+}
+
+TEST_F(PagerTest, HotJournalRecoveredOnOpen)
+{
+    {
+        auto pager = makePager();
+        pager->begin();
+        const uint32_t pgno = pager->allocatePage();
+        DbPage *page = pager->fetch(pgno);
+        pager->markDirty(page);
+        page->data[0] = 0x55;
+        pager->release(page);
+        pager->commit();
+
+        // Simulate a crash mid-transaction: modify + flush, then
+        // "die" without committing (journal left behind).
+        pager->begin();
+        page = pager->fetch(pgno);
+        pager->markDirty(page);
+        page->data[0] = 0x66;
+        pager->release(page);
+        pager->flushAll();
+        // Destructor flushes but we bypass commit: drop the object
+        // while still in a transaction.
+    }
+    // Reopen: hot-journal recovery must restore 0x55.
+    {
+        auto pager = makePager();
+        DbPage *page = pager->fetch(2);
+        EXPECT_EQ(page->data[0], 0x55);
+        pager->release(page);
+    }
+}
+
+TEST_F(PagerTest, FreelistRecyclesPages)
+{
+    auto pager = makePager();
+    pager->begin();
+    const uint32_t a = pager->allocatePage();
+    pager->allocatePage();
+    pager->freePage(a);
+    const uint32_t c = pager->allocatePage();
+    EXPECT_EQ(c, a) << "freed page must be reused";
+    pager->commit();
+}
+
+TEST_F(PagerTest, ReadOnlyTransactionsCreateNoJournal)
+{
+    auto pager = makePager();
+    pager->begin();
+    DbPage *page = pager->fetch(1);
+    pager->release(page);
+    pager->commit();
+    libos::VfsStat st;
+    EXPECT_EQ(fs.stat("/db-journal", &st), libos::kErrNoEnt);
+}
+
+TEST_F(PagerTest, OpenMissingWithoutCreateFails)
+{
+    Pager pager(&fs, "/missing", 8);
+    EXPECT_LT(pager.open(false), 0);
+}
+
+TEST_F(PagerTest, RejectsCorruptHeader)
+{
+    const int fd = fs.open("/bad", libos::kCreate | libos::kRdWr);
+    std::vector<char> junk(kDbPageSize, 'X');
+    fs.pwrite(fd, junk.data(), junk.size(), 0);
+    fs.close(fd);
+    Pager pager(&fs, "/bad", 8);
+    EXPECT_EQ(pager.open(false), libos::kErrInval);
+}
+
+} // namespace
+} // namespace cubicleos::minisql

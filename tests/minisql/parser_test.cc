@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Parser and tokenizer unit tests: statement structure, expression
+ * precedence, literals, and syntax-error behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/minisql/parser.h"
+
+namespace cubicleos::minisql {
+namespace {
+
+Stmt
+one(const std::string &sql)
+{
+    auto stmts = parseSql(sql);
+    EXPECT_EQ(stmts.size(), 1u);
+    return std::move(stmts[0]);
+}
+
+TEST(Parser, CreateTableColumnsAndTypes)
+{
+    auto stmt = one("CREATE TABLE t (a INTEGER PRIMARY KEY, b REAL, "
+                    "c TEXT, d VARCHAR(100))");
+    auto &ct = std::get<CreateTableStmt>(stmt);
+    ASSERT_EQ(ct.columns.size(), 4u);
+    EXPECT_EQ(ct.columns[0].type, ValueType::kInt);
+    EXPECT_TRUE(ct.columns[0].primaryKey);
+    EXPECT_EQ(ct.columns[1].type, ValueType::kReal);
+    EXPECT_EQ(ct.columns[2].type, ValueType::kText);
+    EXPECT_EQ(ct.columns[3].type, ValueType::kText);
+    EXPECT_FALSE(ct.ifNotExists);
+}
+
+TEST(Parser, CreateTableIfNotExists)
+{
+    auto stmt = one("CREATE TABLE IF NOT EXISTS t (a INTEGER)");
+    EXPECT_TRUE(std::get<CreateTableStmt>(stmt).ifNotExists);
+}
+
+TEST(Parser, CreateUniqueIndex)
+{
+    auto stmt = one("CREATE UNIQUE INDEX i ON t(col)");
+    auto &ci = std::get<CreateIndexStmt>(stmt);
+    EXPECT_TRUE(ci.unique);
+    EXPECT_EQ(ci.table, "t");
+    EXPECT_EQ(ci.column, "col");
+}
+
+TEST(Parser, InsertMultiRowAndColumnList)
+{
+    auto stmt =
+        one("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+    auto &ins = std::get<InsertStmt>(stmt);
+    EXPECT_EQ(ins.columns, (std::vector<std::string>{"a", "b"}));
+    ASSERT_EQ(ins.rows.size(), 2u);
+    EXPECT_EQ(ins.rows[1][0]->lit.asInt(), 2);
+    EXPECT_EQ(ins.rows[1][1]->lit.asText(), "y");
+}
+
+TEST(Parser, SelectFullClauseSet)
+{
+    auto stmt = one(
+        "SELECT a, count(*) AS n FROM t u JOIN s ON s.id = u.id "
+        "WHERE a > 1 AND b < 2 GROUP BY a ORDER BY n DESC LIMIT 7");
+    auto &sel = std::get<SelectStmt>(stmt);
+    EXPECT_EQ(sel.items.size(), 2u);
+    EXPECT_EQ(sel.items[1].alias, "n");
+    EXPECT_EQ(sel.table, "t");
+    EXPECT_EQ(sel.tableAlias, "u");
+    ASSERT_EQ(sel.joins.size(), 1u);
+    EXPECT_EQ(sel.joins[0].table, "s");
+    ASSERT_NE(sel.where, nullptr);
+    EXPECT_EQ(sel.where->op, ExprOp::kAnd);
+    EXPECT_EQ(sel.groupBy.size(), 1u);
+    ASSERT_EQ(sel.orderBy.size(), 1u);
+    EXPECT_TRUE(sel.orderBy[0].desc);
+    EXPECT_EQ(sel.limit, 7);
+}
+
+TEST(Parser, ArithmeticPrecedence)
+{
+    auto stmt = one("SELECT 1 + 2 * 3 FROM t");
+    auto &sel = std::get<SelectStmt>(stmt);
+    const Expr &e = *sel.items[0].expr;
+    ASSERT_EQ(e.op, ExprOp::kAdd);
+    EXPECT_EQ(e.args[0]->lit.asInt(), 1);
+    EXPECT_EQ(e.args[1]->op, ExprOp::kMul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence)
+{
+    auto stmt = one("SELECT (1 + 2) * 3 FROM t");
+    const Expr &e = *std::get<SelectStmt>(stmt).items[0].expr;
+    ASSERT_EQ(e.op, ExprOp::kMul);
+    EXPECT_EQ(e.args[0]->op, ExprOp::kAdd);
+}
+
+TEST(Parser, AndBindsTighterThanOr)
+{
+    auto stmt = one("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+    const Expr &w = *std::get<SelectStmt>(stmt).where;
+    ASSERT_EQ(w.op, ExprOp::kOr);
+    EXPECT_EQ(w.args[1]->op, ExprOp::kAnd);
+}
+
+TEST(Parser, ComparisonOperators)
+{
+    for (const char *op : {"=", "==", "!=", "<>", "<", "<=", ">", ">="}) {
+        auto stmt =
+            one(std::string("SELECT 1 FROM t WHERE a ") + op + " 1");
+        EXPECT_NE(std::get<SelectStmt>(stmt).where, nullptr) << op;
+    }
+}
+
+TEST(Parser, BetweenInLikeIsNull)
+{
+    auto s1 = one("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5");
+    EXPECT_EQ(std::get<SelectStmt>(s1).where->op, ExprOp::kBetween);
+    auto s2 = one("SELECT 1 FROM t WHERE a IN (1, 2, 3)");
+    EXPECT_EQ(std::get<SelectStmt>(s2).where->op, ExprOp::kIn);
+    EXPECT_EQ(std::get<SelectStmt>(s2).where->args.size(), 4u);
+    auto s3 = one("SELECT 1 FROM t WHERE a LIKE 'x%'");
+    EXPECT_EQ(std::get<SelectStmt>(s3).where->op, ExprOp::kLike);
+    auto s4 = one("SELECT 1 FROM t WHERE a IS NULL");
+    EXPECT_EQ(std::get<SelectStmt>(s4).where->op, ExprOp::kEq);
+    auto s5 = one("SELECT 1 FROM t WHERE a IS NOT NULL");
+    EXPECT_EQ(std::get<SelectStmt>(s5).where->op, ExprOp::kNot);
+}
+
+TEST(Parser, NumericLiterals)
+{
+    auto stmt = one("SELECT 42, -7, 3.25, 1e3, .5 FROM t");
+    auto &items = std::get<SelectStmt>(stmt).items;
+    EXPECT_EQ(items[0].expr->lit.asInt(), 42);
+    EXPECT_EQ(items[1].expr->op, ExprOp::kNeg);
+    EXPECT_DOUBLE_EQ(items[2].expr->lit.asReal(), 3.25);
+    EXPECT_DOUBLE_EQ(items[3].expr->lit.asReal(), 1000.0);
+    EXPECT_DOUBLE_EQ(items[4].expr->lit.asReal(), 0.5);
+}
+
+TEST(Parser, StringEscaping)
+{
+    auto stmt = one("SELECT 'a''b' FROM t");
+    EXPECT_EQ(std::get<SelectStmt>(stmt).items[0].expr->lit.asText(),
+              "a'b");
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive)
+{
+    auto stmt = one("select a from t where a = 1 order by a desc");
+    EXPECT_EQ(std::get<SelectStmt>(stmt).orderBy.size(), 1u);
+}
+
+TEST(Parser, LineCommentsIgnored)
+{
+    auto stmts = parseSql("-- leading comment\n"
+                          "SELECT 1 FROM t -- trailing\n");
+    EXPECT_EQ(stmts.size(), 1u);
+}
+
+TEST(Parser, MultipleStatements)
+{
+    auto stmts = parseSql("BEGIN; INSERT INTO t VALUES (1); COMMIT;");
+    ASSERT_EQ(stmts.size(), 3u);
+    EXPECT_EQ(std::get<TxnStmt>(stmts[0]).kind, TxnStmt::kBegin);
+    EXPECT_EQ(std::get<TxnStmt>(stmts[2]).kind, TxnStmt::kCommit);
+}
+
+TEST(Parser, QualifiedColumnRefs)
+{
+    auto stmt = one("SELECT t.a FROM t WHERE t.a = 1");
+    const Expr &e = *std::get<SelectStmt>(stmt).items[0].expr;
+    EXPECT_EQ(e.table, "t");
+    EXPECT_EQ(e.column, "a");
+}
+
+TEST(Parser, UpdateAndDelete)
+{
+    auto u = one("UPDATE t SET a = a + 1, b = 'x' WHERE a < 3");
+    auto &upd = std::get<UpdateStmt>(u);
+    EXPECT_EQ(upd.sets.size(), 2u);
+    EXPECT_NE(upd.where, nullptr);
+
+    auto d = one("DELETE FROM t");
+    EXPECT_EQ(std::get<DeleteStmt>(d).where, nullptr);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parseSql("SELECT"), SqlError);
+    EXPECT_THROW(parseSql("SELECT 1 FROM"), SqlError);
+    EXPECT_THROW(parseSql("INSERT t VALUES (1)"), SqlError);
+    EXPECT_THROW(parseSql("CREATE TABLE t ()"), SqlError);
+    EXPECT_THROW(parseSql("SELECT 'unterminated FROM t"), SqlError);
+    EXPECT_THROW(parseSql("SELECT 1 FROM t WHERE"), SqlError);
+    EXPECT_THROW(parseSql("SELECT (1 FROM t"), SqlError);
+    EXPECT_THROW(parseSql("SELECT 1 FROM t LIMIT x"), SqlError);
+    EXPECT_THROW(parseSql("DELETE t"), SqlError);
+    EXPECT_THROW(parseSql("xyzzy"), SqlError);
+}
+
+TEST(Parser, EmptyInputYieldsNothing)
+{
+    EXPECT_TRUE(parseSql("").empty());
+    EXPECT_TRUE(parseSql("  ;;  ; ").empty());
+}
+
+TEST(Parser, PragmaStatement)
+{
+    auto stmt = one("PRAGMA integrity_check");
+    EXPECT_EQ(std::get<PragmaStmt>(stmt).name, "integrity_check");
+}
+
+} // namespace
+} // namespace cubicleos::minisql

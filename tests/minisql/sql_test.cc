@@ -1,0 +1,399 @@
+/**
+ * @file
+ * End-to-end SQL tests over the in-memory file substrate: DDL, DML,
+ * planning (index vs full scan), joins, aggregates, transactions,
+ * persistence, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/minisql/db.h"
+#include "baselines/memfs.h"
+
+namespace cubicleos::minisql {
+namespace {
+
+class SqlTest : public ::testing::Test {
+  protected:
+    SqlTest() : db(&fs, "/test.db", 64)
+    {
+        EXPECT_EQ(db.open(), 0);
+    }
+
+    baselines::MemFileApi fs;
+    Database db;
+};
+
+TEST_F(SqlTest, CreateInsertSelect)
+{
+    db.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)");
+    db.exec("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')");
+    auto rs = db.exec("SELECT name FROM t WHERE id = 2");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asText(), "two");
+}
+
+TEST_F(SqlTest, SelectStarPreservesColumnOrder)
+{
+    db.exec("CREATE TABLE t (a INTEGER, b TEXT, c REAL)");
+    db.exec("INSERT INTO t VALUES (1, 'x', 2.5)");
+    auto rs = db.exec("SELECT * FROM t");
+    ASSERT_EQ(rs.columns.size(), 3u);
+    EXPECT_EQ(rs.columns[0], "a");
+    EXPECT_EQ(rs.columns[2], "c");
+    EXPECT_DOUBLE_EQ(rs.rows[0][2].asReal(), 2.5);
+}
+
+TEST_F(SqlTest, AutoRowidWithoutIntegerPrimaryKey)
+{
+    db.exec("CREATE TABLE t (name TEXT)");
+    db.exec("INSERT INTO t VALUES ('a'), ('b')");
+    auto rs = db.exec("SELECT rowid, name FROM t ORDER BY rowid");
+    ASSERT_EQ(rs.rows.size(), 2u);
+    EXPECT_EQ(rs.rows[0][0].asInt(), 1);
+    EXPECT_EQ(rs.rows[1][0].asInt(), 2);
+}
+
+TEST_F(SqlTest, WhereComparisonsAndLogic)
+{
+    db.exec("CREATE TABLE n (v INTEGER)");
+    db.exec("INSERT INTO n VALUES (1),(2),(3),(4),(5),(6)");
+    EXPECT_EQ(db.exec("SELECT count(*) FROM n WHERE v > 3").scalarInt(),
+              3);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM n WHERE v >= 3 AND v < 6")
+                  .scalarInt(),
+              3);
+    EXPECT_EQ(
+        db.exec("SELECT count(*) FROM n WHERE v = 1 OR v = 6")
+            .scalarInt(),
+        2);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM n WHERE NOT v = 1")
+                  .scalarInt(),
+              5);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM n WHERE v BETWEEN 2 AND 4")
+                  .scalarInt(),
+              3);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM n WHERE v IN (1, 3, 9)")
+                  .scalarInt(),
+              2);
+}
+
+TEST_F(SqlTest, ArithmeticInSelect)
+{
+    db.exec("CREATE TABLE t (a INTEGER, b INTEGER)");
+    db.exec("INSERT INTO t VALUES (7, 2)");
+    auto rs = db.exec(
+        "SELECT a + b, a - b, a * b, a / b, a % b, -a FROM t");
+    EXPECT_EQ(rs.rows[0][0].asInt(), 9);
+    EXPECT_EQ(rs.rows[0][1].asInt(), 5);
+    EXPECT_EQ(rs.rows[0][2].asInt(), 14);
+    EXPECT_EQ(rs.rows[0][3].asInt(), 3);
+    EXPECT_EQ(rs.rows[0][4].asInt(), 1);
+    EXPECT_EQ(rs.rows[0][5].asInt(), -7);
+}
+
+TEST_F(SqlTest, LikePatterns)
+{
+    db.exec("CREATE TABLE t (s TEXT)");
+    db.exec("INSERT INTO t VALUES ('apple'),('apricot'),('banana')");
+    EXPECT_EQ(
+        db.exec("SELECT count(*) FROM t WHERE s LIKE 'ap%'").scalarInt(),
+        2);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE s LIKE '%an%'")
+                  .scalarInt(),
+              1);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE s LIKE 'a____'")
+                  .scalarInt(),
+              1);
+}
+
+TEST_F(SqlTest, OrderByAndLimit)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("INSERT INTO t VALUES (3),(1),(4),(1),(5),(9),(2),(6)");
+    auto rs = db.exec("SELECT v FROM t ORDER BY v DESC LIMIT 3");
+    ASSERT_EQ(rs.rows.size(), 3u);
+    EXPECT_EQ(rs.rows[0][0].asInt(), 9);
+    EXPECT_EQ(rs.rows[1][0].asInt(), 6);
+    EXPECT_EQ(rs.rows[2][0].asInt(), 5);
+}
+
+TEST_F(SqlTest, Aggregates)
+{
+    db.exec("CREATE TABLE t (v INTEGER, g TEXT)");
+    db.exec("INSERT INTO t VALUES (1,'a'),(2,'a'),(3,'b'),(4,'b'),"
+            "(5,'b')");
+    auto rs = db.exec(
+        "SELECT count(*), sum(v), avg(v), min(v), max(v) FROM t");
+    EXPECT_EQ(rs.rows[0][0].asInt(), 5);
+    EXPECT_EQ(rs.rows[0][1].asInt(), 15);
+    EXPECT_DOUBLE_EQ(rs.rows[0][2].asReal(), 3.0);
+    EXPECT_EQ(rs.rows[0][3].asInt(), 1);
+    EXPECT_EQ(rs.rows[0][4].asInt(), 5);
+}
+
+TEST_F(SqlTest, GroupBy)
+{
+    db.exec("CREATE TABLE t (v INTEGER, g TEXT)");
+    db.exec("INSERT INTO t VALUES (1,'a'),(2,'a'),(3,'b'),(4,'b'),"
+            "(5,'b')");
+    auto rs = db.exec(
+        "SELECT g, count(*), sum(v) FROM t GROUP BY g ORDER BY g");
+    ASSERT_EQ(rs.rows.size(), 2u);
+    EXPECT_EQ(rs.rows[0][0].asText(), "a");
+    EXPECT_EQ(rs.rows[0][1].asInt(), 2);
+    EXPECT_EQ(rs.rows[0][2].asInt(), 3);
+    EXPECT_EQ(rs.rows[1][0].asText(), "b");
+    EXPECT_EQ(rs.rows[1][2].asInt(), 12);
+}
+
+TEST_F(SqlTest, AggregateOverEmptyTable)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    auto rs = db.exec("SELECT count(*), sum(v) FROM t");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInt(), 0);
+    EXPECT_TRUE(rs.rows[0][1].isNull());
+}
+
+TEST_F(SqlTest, UpdateWithWhere)
+{
+    db.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+    db.exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+    auto rs = db.exec("UPDATE t SET v = v + 100 WHERE id >= 2");
+    EXPECT_EQ(rs.scalarInt(), 2);
+    EXPECT_EQ(db.exec("SELECT v FROM t WHERE id = 1").scalarInt(), 10);
+    EXPECT_EQ(db.exec("SELECT v FROM t WHERE id = 3").scalarInt(), 130);
+}
+
+TEST_F(SqlTest, DeleteWithWhere)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("INSERT INTO t VALUES (1),(2),(3),(4)");
+    EXPECT_EQ(db.exec("DELETE FROM t WHERE v % 2 = 0").scalarInt(), 2);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t").scalarInt(), 2);
+}
+
+TEST_F(SqlTest, IndexSpeedsLookupsAndStaysConsistent)
+{
+    db.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, tag INTEGER)");
+    db.exec("BEGIN");
+    for (int i = 1; i <= 500; ++i) {
+        db.exec("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+                std::to_string(i % 50) + ")");
+    }
+    db.exec("COMMIT");
+    db.exec("CREATE INDEX tag_idx ON t(tag)");
+
+    // Indexed lookup touches far fewer pages than a full scan.
+    db.resetPagerStats();
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE tag = 7")
+                  .scalarInt(),
+              10);
+    const uint64_t with_index = db.pagerStats().cacheHits +
+                                db.pagerStats().cacheMisses;
+    db.resetPagerStats();
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE tag + 0 = 7")
+                  .scalarInt(),
+              10);
+    const uint64_t full_scan = db.pagerStats().cacheHits +
+                               db.pagerStats().cacheMisses;
+    EXPECT_LT(with_index * 2, full_scan);
+
+    // Index stays consistent under updates and deletes.
+    db.exec("UPDATE t SET tag = 999 WHERE id = 7");
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE tag = 999")
+                  .scalarInt(),
+              1);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE tag = 7")
+                  .scalarInt(),
+              9);
+    db.exec("DELETE FROM t WHERE tag = 999");
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE tag = 999")
+                  .scalarInt(),
+              0);
+}
+
+TEST_F(SqlTest, UniqueIndexRejectsDuplicates)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("CREATE UNIQUE INDEX u ON t(v)");
+    db.exec("INSERT INTO t VALUES (1)");
+    EXPECT_THROW(db.exec("INSERT INTO t VALUES (1)"), SqlError);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t").scalarInt(), 1);
+}
+
+TEST_F(SqlTest, PrimaryKeyDuplicateRejected)
+{
+    db.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    db.exec("INSERT INTO t VALUES (5, 'x')");
+    EXPECT_THROW(db.exec("INSERT INTO t VALUES (5, 'y')"), SqlError);
+}
+
+TEST_F(SqlTest, JoinWithIndexedInner)
+{
+    db.exec("CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT)");
+    db.exec("CREATE TABLE orders (id INTEGER PRIMARY KEY, "
+            "user_id INTEGER, amount INTEGER)");
+    db.exec("INSERT INTO users VALUES (1,'ann'),(2,'bob'),(3,'cat')");
+    db.exec("INSERT INTO orders VALUES (1,1,10),(2,1,20),(3,2,30)");
+
+    auto rs = db.exec(
+        "SELECT u.name, sum(o.amount) FROM users u "
+        "JOIN orders o ON o.user_id = u.id "
+        "GROUP BY u.name ORDER BY u.name");
+    ASSERT_EQ(rs.rows.size(), 2u);
+    EXPECT_EQ(rs.rows[0][0].asText(), "ann");
+    EXPECT_EQ(rs.rows[0][1].asInt(), 30);
+    EXPECT_EQ(rs.rows[1][0].asText(), "bob");
+    EXPECT_EQ(rs.rows[1][1].asInt(), 30);
+}
+
+TEST_F(SqlTest, ExplicitTransactionCommit)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("BEGIN");
+    db.exec("INSERT INTO t VALUES (1)");
+    db.exec("INSERT INTO t VALUES (2)");
+    db.exec("COMMIT");
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t").scalarInt(), 2);
+}
+
+TEST_F(SqlTest, ExplicitTransactionRollback)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("INSERT INTO t VALUES (1)");
+    db.exec("BEGIN");
+    db.exec("INSERT INTO t VALUES (2)");
+    db.exec("INSERT INTO t VALUES (3)");
+    db.exec("ROLLBACK");
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t").scalarInt(), 1);
+}
+
+TEST_F(SqlTest, RollbackRestoresSchema)
+{
+    db.exec("BEGIN");
+    db.exec("CREATE TABLE ephemeral (v INTEGER)");
+    db.exec("ROLLBACK");
+    EXPECT_THROW(db.exec("SELECT * FROM ephemeral"), SqlError);
+}
+
+TEST_F(SqlTest, PersistenceAcrossReopen)
+{
+    db.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)");
+    db.exec("INSERT INTO t VALUES (1, 'persisted')");
+    db.exec("CREATE INDEX s_idx ON t(s)");
+
+    Database db2(&fs, "/test.db", 64);
+    ASSERT_EQ(db2.open(false), 0);
+    auto rs =
+        db2.exec("SELECT s FROM t WHERE s = 'persisted'");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asText(), "persisted");
+    // Auto-rowid continues after the existing maximum.
+    db2.exec("INSERT INTO t (s) VALUES ('second')");
+    EXPECT_EQ(db2.exec("SELECT max(id) FROM t").scalarInt(), 2);
+}
+
+TEST_F(SqlTest, DropTable)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("INSERT INTO t VALUES (1)");
+    db.exec("DROP TABLE t");
+    EXPECT_THROW(db.exec("SELECT * FROM t"), SqlError);
+    // Recreate works and starts empty.
+    db.exec("CREATE TABLE t (v INTEGER)");
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t").scalarInt(), 0);
+}
+
+TEST_F(SqlTest, IntegrityCheckPragma)
+{
+    db.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    db.exec("BEGIN");
+    for (int i = 0; i < 300; ++i) {
+        db.exec("INSERT INTO t (v) VALUES ('row" + std::to_string(i) +
+                "')");
+    }
+    db.exec("COMMIT");
+    auto rs = db.exec("PRAGMA integrity_check");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asText(), "ok");
+}
+
+TEST_F(SqlTest, NullHandling)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("INSERT INTO t VALUES (1), (NULL), (3)");
+    EXPECT_EQ(db.exec("SELECT count(v) FROM t").scalarInt(), 2);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t").scalarInt(), 3);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE v IS NULL")
+                  .scalarInt(),
+              1);
+    EXPECT_EQ(db.exec("SELECT count(*) FROM t WHERE v IS NOT NULL")
+                  .scalarInt(),
+              2);
+    EXPECT_EQ(db.exec("SELECT sum(v) FROM t").scalarInt(), 4);
+}
+
+TEST_F(SqlTest, SyntaxErrorsAreReported)
+{
+    EXPECT_THROW(db.exec("SELEC 1"), SqlError);
+    EXPECT_THROW(db.exec("SELECT FROM t"), SqlError);
+    EXPECT_THROW(db.exec("CREATE TABLE"), SqlError);
+    EXPECT_THROW(db.exec("INSERT INTO nowhere VALUES (1)"), SqlError);
+}
+
+TEST_F(SqlTest, UnknownColumnIsError)
+{
+    db.exec("CREATE TABLE t (v INTEGER)");
+    db.exec("INSERT INTO t VALUES (1)");
+    EXPECT_THROW(db.exec("SELECT nope FROM t"), SqlError);
+    EXPECT_THROW(db.exec("SELECT * FROM t WHERE nope = 1"), SqlError);
+}
+
+TEST_F(SqlTest, QuotedStringsWithEscapes)
+{
+    db.exec("CREATE TABLE t (s TEXT)");
+    db.exec("INSERT INTO t VALUES ('it''s quoted')");
+    auto rs = db.exec("SELECT s FROM t");
+    EXPECT_EQ(rs.rows[0][0].asText(), "it's quoted");
+}
+
+TEST_F(SqlTest, RangeScanOnPrimaryKeyIsOrdered)
+{
+    db.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+    db.exec("BEGIN");
+    for (int i = 100; i >= 1; --i) {
+        db.exec("INSERT INTO t VALUES (" + std::to_string(i) + "," +
+                std::to_string(i * 10) + ")");
+    }
+    db.exec("COMMIT");
+    auto rs =
+        db.exec("SELECT id FROM t WHERE id > 40 AND id <= 45");
+    ASSERT_EQ(rs.rows.size(), 5u);
+    EXPECT_EQ(rs.rows[0][0].asInt(), 41);
+    EXPECT_EQ(rs.rows[4][0].asInt(), 45);
+}
+
+TEST_F(SqlTest, SelectWithoutFrom)
+{
+    auto rs = db.exec("SELECT 41 + 1 AS answer, 'x'");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.columns[0], "answer");
+    EXPECT_EQ(rs.rows[0][0].asInt(), 42);
+    EXPECT_EQ(rs.rows[0][1].asText(), "x");
+    // A false WHERE suppresses the row.
+    EXPECT_TRUE(db.exec("SELECT 1 WHERE 0").rows.empty());
+}
+
+TEST_F(SqlTest, MultiStatementExec)
+{
+    auto rs = db.exec("CREATE TABLE t (v INTEGER); "
+                      "INSERT INTO t VALUES (7); "
+                      "SELECT v FROM t");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInt(), 7);
+}
+
+} // namespace
+} // namespace cubicleos::minisql
