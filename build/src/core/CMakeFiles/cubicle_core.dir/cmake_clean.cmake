@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubicle_core.dir/codescan.cc.o"
+  "CMakeFiles/cubicle_core.dir/codescan.cc.o.d"
+  "CMakeFiles/cubicle_core.dir/monitor.cc.o"
+  "CMakeFiles/cubicle_core.dir/monitor.cc.o.d"
+  "CMakeFiles/cubicle_core.dir/system.cc.o"
+  "CMakeFiles/cubicle_core.dir/system.cc.o.d"
+  "libcubicle_core.a"
+  "libcubicle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubicle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

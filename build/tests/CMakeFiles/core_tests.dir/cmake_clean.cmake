@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/codescan_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/codescan_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/concurrency_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/concurrency_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/hot_window_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/hot_window_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/monitor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/monitor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/system_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/system_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/threat_model_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/threat_model_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/window_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/window_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
