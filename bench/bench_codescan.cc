@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Load-time verification throughput: the conservative byte-grep
+ * versus the instruction-aware linear-sweep verifier, over synthesized
+ * component images from 64 KiB to 16 MiB.
+ *
+ * The verifier runs the grep *and* a full linear-sweep disassembly, so
+ * its throughput bounds how much load-time latency the classification
+ * pass adds on top of the original scan. Both are one-shot load-time
+ * costs, not steady-state costs.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/codescan.h"
+#include "core/verifier/scanner.h"
+
+namespace {
+
+using namespace cubicleos;
+
+double
+mbPerSec(std::size_t bytes, double ms)
+{
+    if (ms <= 0.0)
+        return 0.0;
+    return (static_cast<double>(bytes) / (1024.0 * 1024.0)) / (ms / 1e3);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Load-time code verification throughput",
+                  "loader rule 2 (paper §5.4) — grep vs linear sweep");
+
+    const int reps = bench::intFromEnv("CODESCAN_REPS", 8);
+    const std::size_t sizes[] = {64u << 10, 256u << 10, 1u << 20,
+                                 4u << 20, 16u << 20};
+
+    std::printf("%10s %6s %14s %14s %10s\n", "image", "reps",
+                "grep MB/s", "verify MB/s", "insns");
+    bench::rule();
+
+    hw::CycleClock clock; // unused by either scanner; wall time only
+    for (const std::size_t size : sizes) {
+        const auto image = core::makeBenignImage(size, /*seed=*/size);
+
+        // Warm-up + correctness guard: benign images must pass both.
+        if (core::scanCodeImage(image).has_value() ||
+            !core::verifier::verifyImage(image).accepted()) {
+            std::printf("BUG: benign image flagged at size %zu\n", size);
+            return 1;
+        }
+
+        auto grep = bench::measure(clock, [&] {
+            for (int r = 0; r < reps; ++r) {
+                if (core::scanCodeImage(image).has_value())
+                    return;
+            }
+        });
+
+        std::size_t insns = 0;
+        auto verify = bench::measure(clock, [&] {
+            for (int r = 0; r < reps; ++r)
+                insns = core::verifier::verifyImage(image).insnCount;
+        });
+
+        const std::size_t total = size * static_cast<std::size_t>(reps);
+        std::printf("%8zuK %6d %14.1f %14.1f %10zu\n", size >> 10, reps,
+                    mbPerSec(total, grep.wallMs),
+                    mbPerSec(total, verify.wallMs), insns);
+    }
+    bench::rule();
+    std::printf("verify = grep + instruction-length decode of every "
+                "byte (one-shot, at load).\n");
+    return 0;
+}

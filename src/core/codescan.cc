@@ -6,32 +6,30 @@ namespace cubicleos::core {
 
 namespace {
 
-struct Pattern {
-    const char *mnemonic;
-    uint8_t bytes[3];
-    std::size_t len;
-};
-
 /**
- * Forbidden encodings. wrpkru changes MPK permissions directly; the
- * syscall family could ask the host kernel to change page tags
- * (pkey_mprotect) or permissions (mprotect).
+ * Forbidden encodings. wrpkru changes MPK permissions directly; xsetbv
+ * and xrstor (/5 selects the state component that restores PKRU) can
+ * smuggle a PKRU change through XSAVE state; the syscall family could
+ * ask the host kernel to change page tags (pkey_mprotect) or
+ * permissions (mprotect).
  */
-constexpr Pattern kForbidden[] = {
-    {"wrpkru", {0x0F, 0x01, 0xEF}, 3},
-    {"xsetbv", {0x0F, 0x01, 0xD1}, 3},
-    {"syscall", {0x0F, 0x05, 0x00}, 2},
-    {"sysenter", {0x0F, 0x34, 0x00}, 2},
-    {"int80", {0xCD, 0x80, 0x00}, 2},
+constexpr ForbiddenPattern kForbidden[] = {
+    {"wrpkru", {0x0F, 0x01, 0xEF}, {0xFF, 0xFF, 0xFF}, 3},
+    {"xsetbv", {0x0F, 0x01, 0xD1}, {0xFF, 0xFF, 0xFF}, 3},
+    {"xrstor", {0x0F, 0xAE, 0x28}, {0xFF, 0xFF, 0x38}, 3},
+    {"syscall", {0x0F, 0x05, 0x00}, {0xFF, 0xFF, 0x00}, 2},
+    {"sysenter", {0x0F, 0x34, 0x00}, {0xFF, 0xFF, 0x00}, 2},
+    {"int80", {0xCD, 0x80, 0x00}, {0xFF, 0xFF, 0x00}, 2},
 };
 
 bool
-matchAt(std::span<const uint8_t> image, std::size_t pos, const Pattern &p)
+matchAt(std::span<const uint8_t> image, std::size_t pos,
+        const ForbiddenPattern &p)
 {
     if (pos + p.len > image.size())
         return false;
     for (std::size_t i = 0; i < p.len; ++i) {
-        if (image[pos + i] != p.bytes[i])
+        if ((image[pos + i] & p.mask[i]) != p.bytes[i])
             return false;
     }
     return true;
@@ -39,13 +37,19 @@ matchAt(std::span<const uint8_t> image, std::size_t pos, const Pattern &p)
 
 } // namespace
 
+std::span<const ForbiddenPattern>
+forbiddenPatterns()
+{
+    return kForbidden;
+}
+
 std::optional<ForbiddenInsn>
 scanCodeImage(std::span<const uint8_t> image)
 {
     for (std::size_t pos = 0; pos < image.size(); ++pos) {
-        for (const Pattern &p : kForbidden) {
+        for (const ForbiddenPattern &p : kForbidden) {
             if (matchAt(image, pos, p))
-                return ForbiddenInsn{pos, p.mnemonic};
+                return ForbiddenInsn{pos, p.mnemonic, p.len};
         }
     }
     return std::nullopt;
@@ -55,11 +59,19 @@ std::vector<ForbiddenInsn>
 scanCodeImageAll(std::span<const uint8_t> image)
 {
     std::vector<ForbiddenInsn> out;
-    for (std::size_t pos = 0; pos < image.size(); ++pos) {
-        for (const Pattern &p : kForbidden) {
-            if (matchAt(image, pos, p))
-                out.push_back(ForbiddenInsn{pos, p.mnemonic});
+    std::size_t pos = 0;
+    while (pos < image.size()) {
+        std::size_t advance = 1;
+        for (const ForbiddenPattern &p : kForbidden) {
+            if (matchAt(image, pos, p)) {
+                out.push_back(ForbiddenInsn{pos, p.mnemonic, p.len});
+                // Resume past the match so one sequence is reported
+                // once, not again at its interior positions.
+                advance = p.len;
+                break;
+            }
         }
+        pos += advance;
     }
     return out;
 }
@@ -67,13 +79,80 @@ scanCodeImageAll(std::span<const uint8_t> image)
 std::vector<uint8_t>
 makeBenignImage(std::size_t size, uint64_t seed)
 {
-    std::vector<uint8_t> image(size);
+    std::vector<uint8_t> image;
+    image.reserve(size);
     hw::Prng prng(seed | 1);
-    for (auto &b : image) {
-        // Only single-byte NOP/arith opcodes: cannot form any multi-byte
-        // forbidden sequence (none begins with these values).
-        static constexpr uint8_t kSafe[] = {0x90, 0x50, 0x58, 0x48, 0x89};
-        b = kSafe[prng.nextBelow(sizeof(kSafe))];
+
+    // mod=11 ModRM byte over random registers, avoiding the one value
+    // (0xCD) that starts the int80 pattern.
+    auto modrmReg = [&]() -> uint8_t {
+        const auto reg = static_cast<uint8_t>(prng.nextBelow(8));
+        auto rm = static_cast<uint8_t>(prng.nextBelow(8));
+        if (reg == 1 && rm == 5) // 0xC0 | 1<<3 | 5 == 0xCD
+            rm = 0;
+        return static_cast<uint8_t>(0xC0 | (reg << 3) | rm);
+    };
+    // Immediate bytes drawn from a menu that contains neither 0x0F nor
+    // 0xCD, so no forbidden pattern can start inside an immediate.
+    auto immByte = [&]() -> uint8_t {
+        static constexpr uint8_t kImm[] = {0x00, 0x01, 0x11, 0x22, 0x33,
+                                           0x44, 0x55, 0x66, 0x77, 0x7F};
+        return kImm[prng.nextBelow(sizeof(kImm))];
+    };
+
+    while (image.size() < size) {
+        const std::size_t room = size - image.size();
+        switch (prng.nextBelow(8)) {
+          case 0: // nop
+            image.push_back(0x90);
+            break;
+          case 1: // push r64
+            image.push_back(static_cast<uint8_t>(0x50 + prng.nextBelow(8)));
+            break;
+          case 2: // pop r64
+            image.push_back(static_cast<uint8_t>(0x58 + prng.nextBelow(8)));
+            break;
+          case 3: // mov r64, r64
+            if (room < 3) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(0x48);
+            image.push_back(0x89);
+            image.push_back(modrmReg());
+            break;
+          case 4: // mov r32, imm32
+            if (room < 5) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(static_cast<uint8_t>(0xB8 + prng.nextBelow(8)));
+            for (int i = 0; i < 4; ++i)
+                image.push_back(immByte());
+            break;
+          case 5: // add/sub/cmp r64, imm8
+            if (room < 4) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(0x48);
+            image.push_back(0x83);
+            image.push_back(modrmReg());
+            image.push_back(immByte());
+            break;
+          case 6: // test r64, r64
+            if (room < 3) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(0x48);
+            image.push_back(0x85);
+            image.push_back(modrmReg());
+            break;
+          case 7: // ret
+            image.push_back(0xC3);
+            break;
+        }
     }
     return image;
 }

@@ -25,6 +25,17 @@ class LoaderError : public std::runtime_error {
         : std::runtime_error("loader error: " + what) {}
 };
 
+/**
+ * The load-time verifier rejected an image: a forbidden instruction
+ * sequence is reachable (instruction-aligned or misaligned-reachable;
+ * see core/verifier). A LoaderError subtype so callers treating every
+ * load refusal uniformly keep working.
+ */
+class VerifierError : public LoaderError {
+  public:
+    explicit VerifierError(const std::string &what) : LoaderError(what) {}
+};
+
 /** Symbol resolution failure (unknown component/symbol, bad signature). */
 class LinkError : public std::runtime_error {
   public:

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/codescan.h"
+#include "core/verifier/scanner.h"
 
 namespace cubicleos::core {
 
@@ -39,16 +40,25 @@ Monitor::loadComponent(const ComponentSpec &spec)
     if (cubicles_.size() >= static_cast<std::size_t>(kMaxCubicles))
         throw LoaderError("too many cubicles for ACL bitmask width");
 
-    // Rule 2 (§5.4): refuse code that could subvert isolation.
+    // Rule 2 (§5.4): refuse code that could subvert isolation. The
+    // instruction-aware verifier classifies every forbidden byte
+    // sequence; only reachable ones (instruction-aligned or
+    // misaligned-reachable) block the load, while sequences embedded in
+    // instruction payloads are recorded in the report for audit.
     std::vector<uint8_t> image = spec.image.empty()
         ? makeBenignImage(spec.codePages * hw::kPageSize,
                           cubicles_.size() + 1)
         : spec.image;
-    if (auto insn = scanCodeImage(image)) {
-        throw LoaderError("component '" + spec.name +
-                          "' contains forbidden instruction '" +
-                          insn->mnemonic + "' at offset " +
-                          std::to_string(insn->offset));
+    verifier::VerifierReport report = verifier::verifyImage(image);
+    stats_->countVerifiedImage(report.imageBytes, report.decodedBytes,
+                               report.insnCount, report.rejectingCount(),
+                               report.embeddedCount());
+    if (const verifier::CodeFinding *f = report.firstRejecting()) {
+        throw VerifierError(
+            "component '" + spec.name +
+            "' contains forbidden instruction '" + f->mnemonic +
+            "' at offset " + std::to_string(f->offset) + " (" +
+            verifier::findingClassName(f->cls) + ")");
     }
 
     auto cub = std::make_unique<Cubicle>();
@@ -118,7 +128,37 @@ Monitor::loadComponent(const ComponentSpec &spec)
         chunk_pages);
 
     cubicles_.push_back(std::move(cub));
+    loadReports_.push_back(std::move(report));
     return cid;
+}
+
+const verifier::VerifierReport &
+Monitor::verifierReport(Cid cid) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(cid < loadReports_.size());
+    return loadReports_[cid];
+}
+
+verifier::WiringSnapshot
+Monitor::snapshotWiring() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    verifier::WiringSnapshot snap;
+    snap.sharedKey = sharedKey_;
+    snap.cubicles.reserve(cubicles_.size());
+    for (const auto &cub : cubicles_) {
+        snap.cubicles.push_back(verifier::CubicleWiring{
+            cub->id, cub->name, cub->kind, cub->pkey});
+    }
+    for (Wid wid = 0; wid < windows_.size(); ++wid) {
+        const Window &w = windows_[wid];
+        if (!w.live)
+            continue;
+        snap.windows.push_back(verifier::WindowWiring{
+            wid, w.owner, w.acl, w.rangeCount, w.hotKey});
+    }
+    return snap;
 }
 
 Cubicle &

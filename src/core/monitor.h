@@ -32,6 +32,8 @@
 #include "core/cubicle.h"
 #include "core/errors.h"
 #include "core/stats.h"
+#include "core/verifier/lint.h"
+#include "core/verifier/report.h"
 #include "core/window.h"
 #include "hw/cycles.h"
 #include "hw/mpk.h"
@@ -91,17 +93,35 @@ class Monitor {
     /**
      * Loads a component into a fresh cubicle.
      *
-     * Scans the code image for forbidden instructions, allocates an MPK
-     * key (isolated cubicles), maps code pages execute-only, and sets up
-     * globals, the stack arena and the heap sub-allocator.
+     * Runs the instruction-aware verifier over the code image (linear
+     * sweep + classification of every forbidden byte sequence; see
+     * core/verifier/scanner.h), allocates an MPK key (isolated
+     * cubicles), maps code pages execute-only, and sets up globals,
+     * the stack arena and the heap sub-allocator.
      *
-     * @throws LoaderError on hostile images or key exhaustion.
+     * @throws VerifierError when a forbidden sequence is reachable
+     *         (instruction-aligned or misaligned-reachable);
+     *         LoaderError on key or table exhaustion.
      */
     Cid loadComponent(const ComponentSpec &spec);
 
     Cubicle &cubicle(Cid cid);
     const Cubicle &cubicle(Cid cid) const;
     std::size_t cubicleCount() const { return cubicles_.size(); }
+
+    /**
+     * The verifier report for @p cid's image, recorded at load time
+     * (including report-only embedded findings that did not block the
+     * load).
+     */
+    const verifier::VerifierReport &verifierReport(Cid cid) const;
+
+    /**
+     * Plain-data snapshot of the current wiring — cubicle table and
+     * live windows — for the isolation linter. Exports are appended by
+     * System::wiringSnapshot, which owns the export registry.
+     */
+    verifier::WiringSnapshot snapshotWiring() const;
 
     /** Computes the PKRU register value for a thread running in @p cid. */
     hw::Pkru pkruFor(Cid cid) const;
@@ -198,6 +218,8 @@ class Monitor {
 
     std::vector<std::unique_ptr<Cubicle>> cubicles_;
     std::vector<Window> windows_;
+    /** Load-time verifier reports, parallel to cubicles_. */
+    std::vector<verifier::VerifierReport> loadReports_;
 };
 
 } // namespace cubicleos::core

@@ -49,11 +49,38 @@ class Stats {
     /** Faults the monitor could not resolve (isolation violations). */
     void countViolation() { ++violations_; }
 
+    /** Records one load-time verifier run over a component image. */
+    void countVerifiedImage(uint64_t imageBytes, uint64_t decodedBytes,
+                            uint64_t insns, uint64_t rejecting,
+                            uint64_t reportOnly)
+    {
+        ++imagesVerified_;
+        verifierBytesScanned_ += imageBytes;
+        verifierBytesDecoded_ += decodedBytes;
+        verifierInsns_ += insns;
+        verifierRejected_ += rejecting;
+        verifierReported_ += reportOnly;
+    }
+    /** Records one isolation-lint run yielding @p findings findings. */
+    void countLintRun(uint64_t findings)
+    {
+        ++lintRuns_;
+        lintFindings_ += findings;
+    }
+
     uint64_t traps() const { return traps_; }
     uint64_t retags() const { return retags_; }
     uint64_t wrpkrus() const { return wrpkrus_; }
     uint64_t windowOps() const { return windowOps_; }
     uint64_t violations() const { return violations_; }
+    uint64_t imagesVerified() const { return imagesVerified_; }
+    uint64_t verifierBytesScanned() const { return verifierBytesScanned_; }
+    uint64_t verifierBytesDecoded() const { return verifierBytesDecoded_; }
+    uint64_t verifierInsns() const { return verifierInsns_; }
+    uint64_t verifierRejected() const { return verifierRejected_; }
+    uint64_t verifierReported() const { return verifierReported_; }
+    uint64_t lintRuns() const { return lintRuns_; }
+    uint64_t lintFindings() const { return lintFindings_; }
 
     /** Returns the call count on one edge. */
     uint64_t callsOnEdge(Cid caller, Cid callee) const
@@ -91,6 +118,9 @@ class Stats {
     {
         std::fill(edgeMatrix_.begin(), edgeMatrix_.end(), 0);
         traps_ = retags_ = wrpkrus_ = windowOps_ = violations_ = 0;
+        imagesVerified_ = verifierBytesScanned_ = verifierBytesDecoded_ = 0;
+        verifierInsns_ = verifierRejected_ = verifierReported_ = 0;
+        lintRuns_ = lintFindings_ = 0;
     }
 
   private:
@@ -106,6 +136,14 @@ class Stats {
     uint64_t wrpkrus_ = 0;
     uint64_t windowOps_ = 0;
     uint64_t violations_ = 0;
+    uint64_t imagesVerified_ = 0;
+    uint64_t verifierBytesScanned_ = 0;
+    uint64_t verifierBytesDecoded_ = 0;
+    uint64_t verifierInsns_ = 0;
+    uint64_t verifierRejected_ = 0;
+    uint64_t verifierReported_ = 0;
+    uint64_t lintRuns_ = 0;
+    uint64_t lintFindings_ = 0;
 };
 
 } // namespace cubicleos::core

@@ -200,6 +200,28 @@ System::componentAt(Cid cid)
     throw LinkError("no component in cubicle " + std::to_string(cid));
 }
 
+verifier::WiringSnapshot
+System::wiringSnapshot() const
+{
+    verifier::WiringSnapshot snap = monitor_.snapshotWiring();
+    snap.exports.reserve(exports_.size());
+    for (const ExportSlot &slot : exports_) {
+        snap.exports.push_back(verifier::ExportWiring{
+            slot.name, slot.owner, slot.ownerKind,
+            verifier::signaturePassesPointers(slot.sigName)});
+    }
+    return snap;
+}
+
+std::vector<verifier::LintFinding>
+System::lintWiring()
+{
+    std::vector<verifier::LintFinding> findings =
+        verifier::lintWiring(wiringSnapshot());
+    stats_.countLintRun(findings.size());
+    return findings;
+}
+
 const ExportSlot &
 System::findSlot(std::string_view comp_name, std::string_view fn_name,
                  const char *sig_name) const

@@ -270,6 +270,20 @@ class System {
 
     Monitor &monitor() { return monitor_; }
     Stats &stats() { return stats_; }
+
+    /**
+     * Plain-data snapshot of the booted system's wiring — cubicles,
+     * live windows, exports — as input to the isolation linter.
+     */
+    verifier::WiringSnapshot wiringSnapshot() const;
+
+    /**
+     * Runs the isolation linter over the current wiring and records
+     * the run in stats(). Findings never throw; callers decide policy
+     * (see verifier::lintClean).
+     */
+    std::vector<verifier::LintFinding> lintWiring();
+
     hw::CycleClock &clock() { return monitor_.clock(); }
     IsolationMode mode() const { return mode_; }
     const SystemConfig &config() const { return monitor_.config(); }

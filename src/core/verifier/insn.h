@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal x86-64 instruction-length decoder for the load-time verifier.
+ *
+ * Decodes the opcode subset our synthesized images and tests use:
+ * legacy/REX prefixes, ModRM/SIB addressing, displacement and immediate
+ * sizing, the one-byte ALU/mov/push/pop/branch groups and the two-byte
+ * 0F map entries relevant to isolation (syscall, sysenter, the 0F 01
+ * and 0F AE groups). Anything outside the subset is *undecodable*: the
+ * caller must treat such bytes conservatively (reject-on-reach), never
+ * optimistically.
+ *
+ * The decoder answers three questions per instruction:
+ *   - how long is it (so a linear sweep can find the next boundary)?
+ *   - where do its data bytes (displacement + immediate) start, so a
+ *     forbidden byte pattern can be classified as embedded-in-constant
+ *     versus overlapping structural opcode bytes?
+ *   - is it itself a forbidden, isolation-subverting instruction?
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_INSN_H_
+#define CUBICLEOS_CORE_VERIFIER_INSN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace cubicleos::core::verifier {
+
+/** Architectural maximum x86 instruction length. */
+inline constexpr std::size_t kMaxInsnLen = 15;
+
+/** One decoded instruction. */
+struct Insn {
+    /** Total length in bytes (prefixes through last immediate byte). */
+    uint8_t length = 0;
+    /**
+     * Offset of the first displacement/immediate byte within the
+     * instruction; equals @c length when the instruction carries no
+     * data bytes. Bytes in [payloadOff, length) are compiler-chosen
+     * constants, not structural encoding.
+     */
+    uint8_t payloadOff = 0;
+    /** Decodes to an isolation-subverting instruction (wrpkru, ...). */
+    bool forbidden = false;
+    /** rel8/rel32 direct jump, call or jcc. */
+    bool isDirectBranch = false;
+    /** Sign-extended branch displacement (valid iff isDirectBranch). */
+    int32_t branchRel = 0;
+    /** Static mnemonic (coarse; "insn" for generic group members). */
+    const char *mnemonic = "insn";
+};
+
+/**
+ * Decodes the instruction starting at @p pos.
+ *
+ * @return the decoded instruction, or no value if the bytes are
+ *         truncated or outside the supported subset (undecodable).
+ */
+std::optional<Insn> decodeAt(std::span<const uint8_t> image,
+                             std::size_t pos);
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_INSN_H_

@@ -1,0 +1,193 @@
+#include "core/verifier/lint.h"
+
+#include <cctype>
+
+namespace cubicleos::core::verifier {
+
+const char *
+lintRuleName(LintRule rule)
+{
+    switch (rule) {
+      case LintRule::kIsolatedUsesSharedKey: return "isolated-uses-shared-key";
+      case LintRule::kAclGhostPeer: return "acl-ghost-peer";
+      case LintRule::kAclSharedPeer: return "acl-shared-peer";
+      case LintRule::kAclSelfGrant: return "acl-self-grant";
+      case LintRule::kPointerExportNoWindow: return "pointer-export-no-window";
+      case LintRule::kOpenWindowNoRanges: return "open-window-no-ranges";
+    }
+    return "unknown";
+}
+
+const char *
+lintSeverityName(LintSeverity severity)
+{
+    switch (severity) {
+      case LintSeverity::kInfo: return "info";
+      case LintSeverity::kWarning: return "warning";
+      case LintSeverity::kError: return "error";
+    }
+    return "unknown";
+}
+
+bool
+signaturePassesPointers(const char *mangledSig)
+{
+    if (mangledSig == nullptr)
+        return false;
+    for (const char *p = mangledSig; *p != '\0';) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        if (std::isdigit(c)) {
+            // Length-prefixed identifier: skip the digits, then the
+            // identifier body (its characters are not type codes).
+            std::size_t len = 0;
+            while (std::isdigit(static_cast<unsigned char>(*p)))
+                len = len * 10 + static_cast<std::size_t>(*p++ - '0');
+            while (len-- > 0 && *p != '\0')
+                ++p;
+            continue;
+        }
+        if (c == 'S') {
+            // Substitution reference (S_, S0_, ...): skip through '_'.
+            ++p;
+            while (*p != '\0' && *p != '_')
+                ++p;
+            if (*p == '_')
+                ++p;
+            continue;
+        }
+        if (c == 'P')
+            return true;
+        ++p;
+    }
+    return false;
+}
+
+std::vector<LintFinding>
+lintWiring(const WiringSnapshot &snapshot)
+{
+    std::vector<LintFinding> findings;
+    const std::size_t count = snapshot.cubicles.size();
+
+    auto cubicleName = [&](Cid cid) -> std::string {
+        for (const CubicleWiring &c : snapshot.cubicles) {
+            if (c.id == cid)
+                return c.name;
+        }
+        return "cubicle " + std::to_string(cid);
+    };
+    auto isShared = [&](Cid cid) {
+        for (const CubicleWiring &c : snapshot.cubicles) {
+            if (c.id == cid)
+                return c.kind == CubicleKind::kShared;
+        }
+        return false;
+    };
+
+    // Rule: isolated components must not be tagged with the shared key
+    // — their whole state would be readable from every cubicle.
+    for (const CubicleWiring &c : snapshot.cubicles) {
+        if (c.kind == CubicleKind::kIsolated &&
+            c.pkey == snapshot.sharedKey) {
+            findings.push_back(LintFinding{
+                LintRule::kIsolatedUsesSharedKey, LintSeverity::kError,
+                c.id, kInvalidWindow,
+                "isolated component '" + c.name +
+                    "' is mapped with the shared MPK key; its memory "
+                    "is readable from every cubicle"});
+        }
+    }
+
+    for (const WindowWiring &w : snapshot.windows) {
+        // Rule: ACL bits must name cubicles that exist. A bit beyond
+        // the cubicle table is latent access for whatever loads next.
+        for (int cid = 0; cid < kMaxCubicles; ++cid) {
+            if ((w.acl & aclBit(static_cast<Cid>(cid))) == 0)
+                continue;
+            const auto peer = static_cast<Cid>(cid);
+            if (peer >= count) {
+                findings.push_back(LintFinding{
+                    LintRule::kAclGhostPeer, LintSeverity::kError,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleName(w.owner) + "' grants cubicle " +
+                        std::to_string(cid) +
+                        ", which does not exist; the grant leaks to "
+                        "the next loaded component"});
+            } else if (peer == w.owner) {
+                // Rule: the owner has implicit access (window 0); a
+                // self bit is dead weight that hides peer bugs.
+                findings.push_back(LintFinding{
+                    LintRule::kAclSelfGrant, LintSeverity::kWarning,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleName(w.owner) +
+                        "' grants its own owner; owners have implicit "
+                        "access"});
+            } else if (isShared(peer)) {
+                // Rule: shared cubicles execute with the caller's
+                // privileges and never trap on their own key; the
+                // grant only widens the ACL.
+                findings.push_back(LintFinding{
+                    LintRule::kAclSharedPeer, LintSeverity::kWarning,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleName(w.owner) + "' grants shared "
+                        "cubicle '" + cubicleName(peer) +
+                        "', which executes with caller privileges and "
+                        "cannot use the grant"});
+            }
+        }
+
+        // Rule: an open ACL over an empty window usually means ranges
+        // were removed while peers kept the grant.
+        if (w.acl != 0 && w.rangeCount == 0) {
+            findings.push_back(LintFinding{
+                LintRule::kOpenWindowNoRanges, LintSeverity::kInfo,
+                w.owner, w.wid,
+                "window " + std::to_string(w.wid) + " of '" +
+                    cubicleName(w.owner) +
+                    "' has an open ACL but no memory ranges"});
+        }
+    }
+
+    // Rule: a pointer-passing export of an isolated component is only
+    // usable if some window grants that component access to foreign
+    // memory; otherwise every call is doomed to fault.
+    std::vector<bool> flagged(count, false);
+    for (const ExportWiring &e : snapshot.exports) {
+        if (!e.passesPointers || e.ownerKind == CubicleKind::kShared)
+            continue;
+        if (e.owner >= count || flagged[e.owner])
+            continue;
+        bool granted = false;
+        for (const WindowWiring &w : snapshot.windows) {
+            if ((w.acl & aclBit(e.owner)) != 0) {
+                granted = true;
+                break;
+            }
+        }
+        if (!granted) {
+            flagged[e.owner] = true;
+            findings.push_back(LintFinding{
+                LintRule::kPointerExportNoWindow, LintSeverity::kInfo,
+                e.owner, kInvalidWindow,
+                "isolated component '" + cubicleName(e.owner) +
+                    "' exports pointer-taking '" + e.name +
+                    "' but no declared window grants it access to any "
+                    "caller memory"});
+        }
+    }
+    return findings;
+}
+
+bool
+lintClean(const std::vector<LintFinding> &findings, LintSeverity threshold)
+{
+    for (const LintFinding &f : findings) {
+        if (f.severity >= threshold)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cubicleos::core::verifier

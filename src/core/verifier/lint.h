@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Isolation linter (verifier pass 2): static checks over system wiring.
+ *
+ * The linter inspects a plain-data snapshot of a booted system — the
+ * cubicle table, the live window descriptors with their ACL bitmasks,
+ * and the export registry — and reports wiring that weakens isolation
+ * without being an outright runtime violation:
+ *
+ *   - window ACL bits granting cubicle IDs that do not exist;
+ *   - ACL grants to shared cubicles (they execute with the caller's
+ *     privileges, so the grant is dead weight that widens the ACL);
+ *   - self-grants (the owner has implicit access; a self bit hides
+ *     missing-peer bugs);
+ *   - isolated components mapped with the shared MPK key (their state
+ *     would be readable from every cubicle);
+ *   - pointer-passing exports of isolated components that no declared
+ *     window anywhere grants access to (callees cannot legally reach
+ *     the pointed-to memory).
+ *
+ * Findings are structured and severity-graded; the linter never
+ * throws. "Clean" for CI purposes means no finding at warning
+ * severity or above (see lintClean).
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_LINT_H_
+#define CUBICLEOS_CORE_VERIFIER_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/window.h"
+
+namespace cubicleos::core::verifier {
+
+/** Lint rule identifiers. */
+enum class LintRule : uint8_t {
+    kIsolatedUsesSharedKey, ///< isolated cubicle tagged with shared key
+    kAclGhostPeer,          ///< ACL bit for a cubicle that doesn't exist
+    kAclSharedPeer,         ///< ACL grants a shared cubicle
+    kAclSelfGrant,          ///< ACL grants the window's own owner
+    kPointerExportNoWindow, ///< pointer export, no window grants callee
+    kOpenWindowNoRanges,    ///< non-empty ACL over an empty window
+};
+
+enum class LintSeverity : uint8_t { kInfo, kWarning, kError };
+
+const char *lintRuleName(LintRule rule);
+const char *lintSeverityName(LintSeverity severity);
+
+/** One linter finding. */
+struct LintFinding {
+    LintRule rule;
+    LintSeverity severity;
+    Cid cubicle = kNoCubicle;   ///< cubicle concerned (if any)
+    Wid window = kInvalidWindow; ///< window concerned (if any)
+    std::string message;
+};
+
+// ----------------------------------------------------------------------
+// Wiring snapshot: the linter's plain-data view of a booted system.
+// Tests construct snapshots directly; System::wiringSnapshot() builds
+// one from the live monitor and export registry.
+// ----------------------------------------------------------------------
+
+struct CubicleWiring {
+    Cid id = kNoCubicle;
+    std::string name;
+    CubicleKind kind = CubicleKind::kIsolated;
+    int pkey = -1;
+};
+
+struct WindowWiring {
+    Wid wid = kInvalidWindow;
+    Cid owner = kNoCubicle;
+    AclMask acl = 0;
+    uint32_t rangeCount = 0;
+    int hotKey = -1;
+};
+
+struct ExportWiring {
+    std::string name;
+    Cid owner = kNoCubicle;
+    CubicleKind ownerKind = CubicleKind::kIsolated;
+    bool passesPointers = false;
+};
+
+struct WiringSnapshot {
+    int sharedKey = -1;
+    std::vector<CubicleWiring> cubicles;
+    std::vector<WindowWiring> windows; ///< live windows only
+    std::vector<ExportWiring> exports;
+};
+
+/** Runs every lint rule over @p snapshot. */
+std::vector<LintFinding> lintWiring(const WiringSnapshot &snapshot);
+
+/** True when no finding reaches @p threshold severity. */
+bool lintClean(const std::vector<LintFinding> &findings,
+               LintSeverity threshold = LintSeverity::kWarning);
+
+/**
+ * Best-effort detection of pointer parameters in an Itanium-mangled
+ * function-type name (what typeid(Sig).name() yields for ExportSlot
+ * signatures): scans for a 'P' type code while skipping
+ * length-prefixed identifiers and substitution references.
+ */
+bool signaturePassesPointers(const char *mangledSig);
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_LINT_H_

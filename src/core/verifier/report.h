@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Verifier result types: per-image code findings and the load report
+ * threaded from the loader through Monitor/System into Stats.
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_REPORT_H_
+#define CUBICLEOS_CORE_VERIFIER_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cubicleos::core::verifier {
+
+/**
+ * Classification of one forbidden byte sequence found in an image.
+ *
+ * The classes encode the reject/report policy (DESIGN.md §"Load-time
+ * verification"): aligned and misaligned-reachable sequences are
+ * executable by the component and must be rejected; a sequence wholly
+ * inside one instruction's displacement/immediate payload is a
+ * compiler constant no in-image control flow reaches, and is recorded
+ * for audit instead.
+ */
+enum class FindingClass : uint8_t {
+    kAligned,             ///< starts on an instruction boundary
+    kMisalignedReachable, ///< overlaps structural bytes / undecoded region
+    kEmbedded,            ///< wholly inside one instruction's payload
+};
+
+/** Human-readable class name. */
+const char *findingClassName(FindingClass cls);
+
+/** One forbidden byte sequence, located and classified. */
+struct CodeFinding {
+    std::size_t offset = 0;     ///< byte offset in the image
+    std::size_t length = 0;     ///< matched pattern length
+    std::string mnemonic;       ///< e.g. "wrpkru"
+    FindingClass cls = FindingClass::kMisalignedReachable;
+
+    bool rejecting() const { return cls != FindingClass::kEmbedded; }
+};
+
+/** Result of verifying one component image. */
+struct VerifierReport {
+    std::size_t imageBytes = 0;
+    std::size_t decodedBytes = 0;      ///< bytes covered by decoded insns
+    std::size_t insnCount = 0;
+    std::size_t undecodableBytes = 0;  ///< gap bytes skipped by the sweep
+    /** Offset of the first undecodable byte, or imageBytes if none. */
+    std::size_t firstUndecodable = 0;
+    std::vector<CodeFinding> findings;
+
+    /** True when no finding forces a reject. */
+    bool accepted() const
+    {
+        for (const CodeFinding &f : findings) {
+            if (f.rejecting())
+                return false;
+        }
+        return true;
+    }
+
+    /** First rejecting finding, or nullptr when accepted. */
+    const CodeFinding *firstRejecting() const
+    {
+        for (const CodeFinding &f : findings) {
+            if (f.rejecting())
+                return &f;
+        }
+        return nullptr;
+    }
+
+    /** Report-only (embedded) findings. */
+    std::size_t embeddedCount() const
+    {
+        std::size_t n = 0;
+        for (const CodeFinding &f : findings)
+            n += f.rejecting() ? 0 : 1;
+        return n;
+    }
+
+    /** Rejecting findings. */
+    std::size_t rejectingCount() const
+    {
+        return findings.size() - embeddedCount();
+    }
+
+    /** Fraction of image bytes covered by decoded instructions. */
+    double decodeCoverage() const
+    {
+        if (imageBytes == 0)
+            return 1.0;
+        return static_cast<double>(decodedBytes) /
+               static_cast<double>(imageBytes);
+    }
+};
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_REPORT_H_

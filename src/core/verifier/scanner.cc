@@ -1,0 +1,122 @@
+#include "core/verifier/scanner.h"
+
+#include <algorithm>
+
+#include "core/codescan.h"
+#include "core/verifier/insn.h"
+
+namespace cubicleos::core::verifier {
+
+const char *
+findingClassName(FindingClass cls)
+{
+    switch (cls) {
+      case FindingClass::kAligned: return "instruction-aligned";
+      case FindingClass::kMisalignedReachable: return "misaligned-reachable";
+      case FindingClass::kEmbedded: return "unreachable-embedded";
+    }
+    return "unknown";
+}
+
+VerifierReport
+verifyImage(std::span<const uint8_t> image)
+{
+    VerifierReport report;
+    report.imageBytes = image.size();
+    report.firstUndecodable = image.size();
+
+    // Pass 1a: conservative byte-grep locates candidate sequences.
+    // Matches are non-overlapping and sorted by offset.
+    const std::vector<ForbiddenInsn> matches = scanCodeImageAll(image);
+
+    // Offsets of matches, for the direct-branch reachability check.
+    std::vector<std::size_t> matchOffsets;
+    matchOffsets.reserve(matches.size());
+    for (const ForbiddenInsn &m : matches)
+        matchOffsets.push_back(m.offset);
+
+    // Direct-branch targets that land exactly on a match offset: a
+    // jump there executes the forbidden instruction even if the match
+    // is buried in another instruction's payload.
+    std::vector<std::size_t> branchHits;
+
+    std::size_t mi = 0;
+    std::size_t pos = 0;
+    const std::size_t n = image.size();
+
+    auto classify = [&](const ForbiddenInsn &m, FindingClass cls) {
+        report.findings.push_back(
+            CodeFinding{m.offset, m.length, m.mnemonic, cls});
+    };
+
+    while (pos < n) {
+        const auto insn = decodeAt(image, pos);
+        if (!insn) {
+            // Undecodable byte: resynchronise one byte ahead. Any
+            // match starting here cannot be proven unreachable.
+            report.undecodableBytes++;
+            report.firstUndecodable =
+                std::min(report.firstUndecodable, pos);
+            while (mi < matches.size() && matches[mi].offset == pos) {
+                classify(matches[mi], FindingClass::kMisalignedReachable);
+                ++mi;
+            }
+            ++pos;
+            continue;
+        }
+
+        const std::size_t start = pos;
+        const std::size_t end = pos + insn->length;
+        const std::size_t payload = pos + insn->payloadOff;
+        report.insnCount++;
+        report.decodedBytes += insn->length;
+
+        if (insn->isDirectBranch && !matchOffsets.empty()) {
+            const int64_t target =
+                static_cast<int64_t>(end) + insn->branchRel;
+            if (target >= 0 &&
+                std::binary_search(matchOffsets.begin(),
+                                   matchOffsets.end(),
+                                   static_cast<std::size_t>(target))) {
+                branchHits.push_back(static_cast<std::size_t>(target));
+            }
+        }
+
+        while (mi < matches.size() && matches[mi].offset < end) {
+            const ForbiddenInsn &m = matches[mi];
+            if (m.offset == start) {
+                // Starts on a boundary: dangerous iff the canonical
+                // decode really is the forbidden instruction (the
+                // masked grep patterns also hit benign aliases, e.g.
+                // lfence under the xrstor pattern).
+                classify(m, insn->forbidden
+                                ? FindingClass::kAligned
+                                : (m.offset + m.length <= end
+                                       ? FindingClass::kEmbedded
+                                       : FindingClass::kMisalignedReachable));
+            } else if (m.offset >= payload && m.offset + m.length <= end) {
+                classify(m, FindingClass::kEmbedded);
+            } else {
+                classify(m, FindingClass::kMisalignedReachable);
+            }
+            ++mi;
+        }
+        pos = end;
+    }
+
+    // Pass 1b: upgrade payload-embedded matches that a direct branch
+    // targets head-on — the component can reach them after all.
+    if (!branchHits.empty()) {
+        std::sort(branchHits.begin(), branchHits.end());
+        for (CodeFinding &f : report.findings) {
+            if (f.cls == FindingClass::kEmbedded &&
+                std::binary_search(branchHits.begin(), branchHits.end(),
+                                   f.offset)) {
+                f.cls = FindingClass::kMisalignedReachable;
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace cubicleos::core::verifier

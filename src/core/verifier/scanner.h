@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Instruction-aware linear-sweep scanner (verifier pass 1).
+ *
+ * Replaces the loader's raw byte-grep: every grep match is located by
+ * the conservative pattern scan in core/codescan, then *classified*
+ * against a linear-sweep disassembly of the image:
+ *
+ *   - instruction-aligned: the match starts on a decoded instruction
+ *     boundary and decodes to the forbidden instruction → reject;
+ *   - misaligned-but-reachable: the match overlaps structural encoding
+ *     bytes, spans instructions, lies in an undecodable region, or is
+ *     the exact target of a direct branch → reject (a component can
+ *     jump into it);
+ *   - unreachable-embedded: the match lies wholly inside one decoded
+ *     instruction's displacement/immediate payload → report-only (a
+ *     compiler constant; see DESIGN.md for the threat-model argument).
+ *
+ * A grep match whose bytes decode to a *different*, benign instruction
+ * at the match offset (e.g. the masked xrstor pattern also matching
+ * lfence) is a false positive of the byte-grep and is downgraded to
+ * report-only: jumping to the offset executes the benign instruction.
+ *
+ * The sweep is conservative about undecodable bytes: it resynchronises
+ * one byte at a time, counts the gap against decode coverage, and any
+ * match touching a gap is rejected.
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_SCANNER_H_
+#define CUBICLEOS_CORE_VERIFIER_SCANNER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/verifier/report.h"
+
+namespace cubicleos::core::verifier {
+
+/**
+ * Verifies @p image: linear-sweep disassembly + classification of
+ * every forbidden byte sequence. Never throws on hostile input; the
+ * verdict is in the returned report (see VerifierReport::accepted).
+ */
+VerifierReport verifyImage(std::span<const uint8_t> image);
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_SCANNER_H_

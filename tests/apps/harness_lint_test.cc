@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Isolation-lint integration: the shipped NGINX and SQLite deployments
+ * must lint clean (no warning-or-worse finding) after boot and after
+ * real traffic has opened their windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/httpd/harness.h"
+#include "baselines/deployments.h"
+#include "core/verifier/lint.h"
+
+namespace cubicleos {
+namespace {
+
+using core::verifier::LintFinding;
+using core::verifier::LintSeverity;
+using core::verifier::lintClean;
+
+std::string
+describe(const std::vector<LintFinding> &findings)
+{
+    std::string out;
+    for (const auto &f : findings) {
+        out += std::string(core::verifier::lintSeverityName(f.severity)) +
+               ": " + f.message + "\n";
+    }
+    return out;
+}
+
+TEST(HarnessLint, NginxDeploymentLintsClean)
+{
+    httpd::HttpHarness harness(core::IsolationMode::kFull);
+    harness.createFile("/index.html", 512);
+
+    auto atBoot = harness.sys().lintWiring();
+    EXPECT_TRUE(lintClean(atBoot)) << describe(atBoot);
+
+    // Serve a request so the I/O windows carry live buffer grants.
+    auto result = harness.fetch("/index.html");
+    ASSERT_EQ(result.status, 200);
+
+    auto afterTraffic = harness.sys().lintWiring();
+    EXPECT_TRUE(lintClean(afterTraffic)) << describe(afterTraffic);
+    EXPECT_EQ(harness.sys().stats().lintRuns(), 2u);
+}
+
+TEST(HarnessLint, SqliteFullDeploymentLintsClean)
+{
+    auto deployment = baselines::SqliteDeployment::makeCubicles(
+        7, core::IsolationMode::kFull);
+    ASSERT_NE(deployment->system(), nullptr);
+
+    deployment->enter([&] {
+        auto &db = deployment->database();
+        db.exec("CREATE TABLE t (id INTEGER, name TEXT)");
+        db.exec("INSERT INTO t VALUES (1, 'a')");
+        db.exec("SELECT * FROM t");
+    });
+
+    auto findings = deployment->system()->lintWiring();
+    EXPECT_TRUE(lintClean(findings)) << describe(findings);
+
+    // The loader verified every cubicle image on the way in.
+    EXPECT_GE(deployment->system()->stats().imagesVerified(), 7u);
+    EXPECT_EQ(deployment->system()->stats().verifierRejected(), 0u);
+}
+
+} // namespace
+} // namespace cubicleos

@@ -56,6 +56,38 @@ TEST(CodeScan, DetectsInt80)
     EXPECT_EQ(scanCodeImage(image)->mnemonic, "int80");
 }
 
+TEST(CodeScan, DetectsXrstorMemoryForms)
+{
+    // 0F AE /5: any ModRM with reg field 5 matches the masked pattern.
+    for (int modrm : {0x28, 0x68, 0xA8, 0x2C, 0x6D}) {
+        auto image = bytes({0x90, 0x0F, 0xAE, modrm});
+        auto hit = scanCodeImage(image);
+        ASSERT_TRUE(hit.has_value()) << modrm;
+        EXPECT_EQ(hit->mnemonic, "xrstor") << modrm;
+        EXPECT_EQ(hit->offset, 1u);
+        EXPECT_EQ(hit->length, 3u);
+    }
+}
+
+TEST(CodeScan, XrstorMaskMatchesRegisterAlias)
+{
+    // lfence (0F AE E8) shares reg field 5: the conservative grep
+    // flags it too; the verifier downgrades it (benign alias).
+    auto image = bytes({0x0F, 0xAE, 0xE8});
+    auto hit = scanCodeImage(image);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->mnemonic, "xrstor");
+}
+
+TEST(CodeScan, OtherXsaveGroupMembersAreNotXrstor)
+{
+    // reg fields other than 5 (xsave /4, mfence /6, clflush /7, ...).
+    for (int modrm : {0x20, 0x00, 0xF0, 0x38, 0x08}) {
+        auto image = bytes({0x0F, 0xAE, modrm});
+        EXPECT_FALSE(scanCodeImage(image).has_value()) << modrm;
+    }
+}
+
 TEST(CodeScan, DetectsSequenceSpanningPageBoundary)
 {
     // wrpkru straddles the 4096-byte page boundary: byte 0x0F at 4095.
@@ -90,6 +122,58 @@ TEST(CodeScan, AllFindsEveryOccurrence)
     EXPECT_EQ(hits[0].mnemonic, "syscall");
     EXPECT_EQ(hits[1].mnemonic, "wrpkru");
     EXPECT_EQ(hits[2].mnemonic, "int80");
+}
+
+TEST(CodeScan, AllReportsAdjacentSequencesExactlyOnceEach)
+{
+    // Regression: the all-matches scan must resume past a match, so
+    // back-to-back sequences yield one entry each, with no duplicate
+    // or overlapping reports from the matched bytes' interior.
+    auto image = bytes({0x0F, 0x01, 0xEF, 0x0F, 0x01, 0xEF,
+                        0xCD, 0x80, 0xCD, 0x80});
+    auto hits = scanCodeImageAll(image);
+    ASSERT_EQ(hits.size(), 4u);
+    EXPECT_EQ(hits[0].offset, 0u);
+    EXPECT_EQ(hits[1].offset, 3u);
+    EXPECT_EQ(hits[2].offset, 6u);
+    EXPECT_EQ(hits[3].offset, 8u);
+}
+
+TEST(CodeScan, AllDoesNotRescanMatchedInterior)
+{
+    // 0F AE 28 (xrstor) followed by 80: the 0x28 0x80 tail of the
+    // match must not seed further matches, and the scan continues
+    // cleanly after it (syscall at offset 4).
+    auto image = bytes({0x0F, 0xAE, 0x28, 0x80, 0x0F, 0x05});
+    auto hits = scanCodeImageAll(image);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].mnemonic, "xrstor");
+    EXPECT_EQ(hits[0].offset, 0u);
+    EXPECT_EQ(hits[1].mnemonic, "syscall");
+    EXPECT_EQ(hits[1].offset, 4u);
+}
+
+TEST(CodeScan, ReportsMatchLengths)
+{
+    auto image = bytes({0x0F, 0x05, 0x90, 0x0F, 0x01, 0xEF});
+    auto hits = scanCodeImageAll(image);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].length, 2u);
+    EXPECT_EQ(hits[1].length, 3u);
+}
+
+TEST(CodeScan, PatternTableIsExposed)
+{
+    auto patterns = forbiddenPatterns();
+    ASSERT_EQ(patterns.size(), 6u);
+    bool sawXrstor = false;
+    for (const auto &p : patterns) {
+        if (std::string(p.mnemonic) == "xrstor") {
+            sawXrstor = true;
+            EXPECT_EQ(p.mask[2], 0x38); // ModRM reg-field mask
+        }
+    }
+    EXPECT_TRUE(sawXrstor);
 }
 
 TEST(CodeScan, EmptyImageIsClean)

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Differential properties: byte-grep verdicts versus the instruction-
+ * aware verifier, over many seeded random images.
+ *
+ * The load-time contract is that the old conservative grep is always
+ * at least as strict as the new verifier: every verifier finding is
+ * located by the grep, so
+ *
+ *   - grep clean            ⟹ verifier accepts (no findings at all);
+ *   - verifier rejects      ⟹ grep finds something;
+ *   - finding offsets       ⊆ grep match offsets (and counts agree).
+ *
+ * Images are drawn from three distributions: pure random bytes (mostly
+ * undecodable — exercises the conservative resynchronisation path),
+ * well-formed benign streams, and benign streams with forbidden
+ * sequences spliced in at random offsets, including page-straddling
+ * ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/codescan.h"
+#include "core/verifier/scanner.h"
+#include "hw/prng.h"
+
+namespace cubicleos::core {
+namespace {
+
+using verifier::VerifierReport;
+using verifier::verifyImage;
+
+std::vector<uint8_t>
+randomBytes(std::size_t size, uint64_t seed)
+{
+    std::vector<uint8_t> image(size);
+    hw::Prng prng(seed);
+    for (auto &b : image)
+        b = static_cast<uint8_t>(prng.nextBelow(256));
+    return image;
+}
+
+/** Checks the grep-is-stricter contract on one image. */
+void
+checkDifferential(const std::vector<uint8_t> &image, uint64_t seed)
+{
+    const auto grepHits = scanCodeImageAll(image);
+    const VerifierReport report = verifyImage(image);
+
+    // Every grep match is classified; nothing invented, nothing lost.
+    ASSERT_EQ(report.findings.size(), grepHits.size()) << seed;
+    for (std::size_t i = 0; i < grepHits.size(); ++i) {
+        EXPECT_EQ(report.findings[i].offset, grepHits[i].offset) << seed;
+        EXPECT_EQ(report.findings[i].mnemonic, grepHits[i].mnemonic)
+            << seed;
+    }
+
+    if (!scanCodeImage(image).has_value()) {
+        EXPECT_TRUE(report.accepted())
+            << "verifier rejected a grep-clean image, seed " << seed;
+    }
+    if (!report.accepted()) {
+        EXPECT_TRUE(scanCodeImage(image).has_value())
+            << "verifier rejected what the grep missed, seed " << seed;
+    }
+}
+
+TEST(VerifierDiff, RandomByteImages)
+{
+    for (uint64_t seed = 1; seed <= 64; ++seed)
+        checkDifferential(randomBytes(4096, seed), seed);
+}
+
+TEST(VerifierDiff, BenignStreamImages)
+{
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        auto image = makeBenignImage(4096, seed);
+        checkDifferential(image, seed);
+        // Benign streams must sail through both scanners.
+        EXPECT_FALSE(scanCodeImage(image).has_value()) << seed;
+        EXPECT_TRUE(verifyImage(image).accepted()) << seed;
+    }
+}
+
+TEST(VerifierDiff, BenignStreamsWithSplicedForbiddenSequences)
+{
+    const uint8_t sequences[][3] = {
+        {0x0F, 0x01, 0xEF}, // wrpkru
+        {0x0F, 0x05, 0x90}, // syscall (+pad)
+        {0xCD, 0x80, 0x90}, // int80 (+pad)
+        {0x0F, 0xAE, 0x28}, // xrstor [rax]
+    };
+    hw::Prng prng(0xD1FFu);
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        auto image = makeBenignImage(4096, seed);
+        const auto &seq = sequences[prng.nextBelow(4)];
+        const auto at = static_cast<std::size_t>(
+            prng.nextBelow(image.size() - 3));
+        std::copy(seq, seq + 3, image.begin() + at);
+
+        // The splice may land on a boundary (aligned), mid-instruction
+        // (misaligned or embedded) — in every case the differential
+        // contract must hold.
+        checkDifferential(image, seed);
+        EXPECT_TRUE(scanCodeImage(image).has_value()) << seed;
+    }
+}
+
+TEST(VerifierDiff, PageStraddlingSequencesAreAlwaysCaught)
+{
+    // Forbidden sequence straddling the 4 KiB page boundary of a nop
+    // sled: both scanners must find it, and the verifier must reject
+    // (every nop offset is an instruction boundary).
+    for (std::size_t lead = 1; lead <= 2; ++lead) {
+        std::vector<uint8_t> image(8192, 0x90);
+        const std::size_t at = 4096 - lead;
+        image[at] = 0x0F;
+        image[at + 1] = 0x01;
+        image[at + 2] = 0xEF;
+
+        auto hit = scanCodeImage(image);
+        ASSERT_TRUE(hit.has_value()) << lead;
+        EXPECT_EQ(hit->offset, at);
+
+        VerifierReport report = verifyImage(image);
+        EXPECT_FALSE(report.accepted()) << lead;
+        ASSERT_EQ(report.findings.size(), 1u);
+        EXPECT_EQ(report.findings[0].offset, at);
+    }
+}
+
+} // namespace
+} // namespace cubicleos::core

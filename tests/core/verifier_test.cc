@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Tests for the load-time verifier: the x86-64 length decoder, the
+ * linear-sweep classification of forbidden sequences, and the loader
+ * integration (reject vs report-only, reports and stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/codescan.h"
+#include "core/system.h"
+#include "core/verifier/insn.h"
+#include "core/verifier/scanner.h"
+#include "tests/core/toy_components.h"
+
+namespace cubicleos::core {
+namespace {
+
+using verifier::FindingClass;
+using verifier::Insn;
+using verifier::VerifierReport;
+using verifier::decodeAt;
+using verifier::verifyImage;
+
+std::vector<uint8_t>
+bytes(std::initializer_list<int> list)
+{
+    std::vector<uint8_t> v;
+    for (int b : list)
+        v.push_back(static_cast<uint8_t>(b));
+    return v;
+}
+
+// ----------------------------------------------------------------------
+// Instruction-length decoder
+// ----------------------------------------------------------------------
+
+TEST(InsnDecode, SingleByteOpcodes)
+{
+    auto image = bytes({0x90, 0xC3, 0x55, 0x5D, 0xC9});
+    for (std::size_t pos = 0; pos < image.size(); ++pos) {
+        auto insn = decodeAt(image, pos);
+        ASSERT_TRUE(insn.has_value()) << pos;
+        EXPECT_EQ(insn->length, 1u) << pos;
+        EXPECT_EQ(insn->payloadOff, 1u) << pos;
+        EXPECT_FALSE(insn->forbidden);
+    }
+}
+
+TEST(InsnDecode, RexMovRegReg)
+{
+    auto image = bytes({0x48, 0x89, 0xC3}); // mov rbx, rax
+    auto insn = decodeAt(image, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 3u);
+    EXPECT_EQ(insn->payloadOff, 3u); // no data bytes
+}
+
+TEST(InsnDecode, MovImm32)
+{
+    auto image = bytes({0xB8, 0x11, 0x22, 0x33, 0x44}); // mov eax, imm32
+    auto insn = decodeAt(image, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 5u);
+    EXPECT_EQ(insn->payloadOff, 1u); // imm32 is payload
+}
+
+TEST(InsnDecode, MovImm64UnderRexW)
+{
+    // movabs rax, imm64: REX.W widens the B8 immediate to 8 bytes.
+    auto image = bytes({0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7, 8});
+    auto insn = decodeAt(image, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 10u);
+    EXPECT_EQ(insn->payloadOff, 2u);
+}
+
+TEST(InsnDecode, OperandSizePrefixNarrowsImmediate)
+{
+    auto image = bytes({0x66, 0xB8, 0x11, 0x22}); // mov ax, imm16
+    auto insn = decodeAt(image, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 4u);
+    EXPECT_EQ(insn->payloadOff, 2u);
+}
+
+TEST(InsnDecode, ModRmDisp8AndDisp32)
+{
+    auto d8 = bytes({0x48, 0x8B, 0x45, 0x08}); // mov rax, [rbp+8]
+    auto insn = decodeAt(d8, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 4u);
+    EXPECT_EQ(insn->payloadOff, 3u); // disp8 is payload
+
+    auto d32 = bytes({0x48, 0x8B, 0x80, 1, 2, 3, 4}); // mov rax,[rax+d32]
+    insn = decodeAt(d32, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 7u);
+    EXPECT_EQ(insn->payloadOff, 3u);
+}
+
+TEST(InsnDecode, SibAndRipRelative)
+{
+    auto sib = bytes({0x48, 0x8B, 0x04, 0x24}); // mov rax, [rsp]
+    auto insn = decodeAt(sib, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 4u);
+    EXPECT_EQ(insn->payloadOff, 4u); // modrm+sib are structural
+
+    auto rip = bytes({0x48, 0x8B, 0x05, 1, 2, 3, 4}); // mov rax,[rip+d32]
+    insn = decodeAt(rip, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 7u);
+    EXPECT_EQ(insn->payloadOff, 3u);
+
+    // SIB with base 101 and mod 00 carries a disp32.
+    auto sibd = bytes({0x48, 0x8B, 0x04, 0x25, 1, 2, 3, 4});
+    insn = decodeAt(sibd, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 8u);
+    EXPECT_EQ(insn->payloadOff, 4u);
+}
+
+TEST(InsnDecode, DirectBranches)
+{
+    auto jmp8 = bytes({0xEB, 0x05});
+    auto insn = decodeAt(jmp8, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_TRUE(insn->isDirectBranch);
+    EXPECT_EQ(insn->branchRel, 5);
+
+    auto jcc8 = bytes({0x74, 0xFE}); // je -2
+    insn = decodeAt(jcc8, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_TRUE(insn->isDirectBranch);
+    EXPECT_EQ(insn->branchRel, -2);
+
+    auto call = bytes({0xE8, 0x10, 0x00, 0x00, 0x00});
+    insn = decodeAt(call, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 5u);
+    EXPECT_TRUE(insn->isDirectBranch);
+    EXPECT_EQ(insn->branchRel, 16);
+
+    auto jcc32 = bytes({0x0F, 0x84, 0x00, 0x01, 0x00, 0x00});
+    insn = decodeAt(jcc32, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_EQ(insn->length, 6u);
+    EXPECT_EQ(insn->branchRel, 256);
+}
+
+TEST(InsnDecode, ForbiddenInstructions)
+{
+    struct Case {
+        std::vector<uint8_t> image;
+        const char *mnemonic;
+    };
+    const Case cases[] = {
+        {bytes({0x0F, 0x01, 0xEF}), "wrpkru"},
+        {bytes({0x0F, 0x01, 0xD1}), "xsetbv"},
+        {bytes({0x0F, 0x05}), "syscall"},
+        {bytes({0x0F, 0x34}), "sysenter"},
+        {bytes({0xCD, 0x80}), "int80"},
+        {bytes({0x0F, 0xAE, 0x28}), "xrstor"},
+    };
+    for (const Case &c : cases) {
+        auto insn = decodeAt(c.image, 0);
+        ASSERT_TRUE(insn.has_value()) << c.mnemonic;
+        EXPECT_TRUE(insn->forbidden) << c.mnemonic;
+        EXPECT_STREQ(insn->mnemonic, c.mnemonic);
+    }
+}
+
+TEST(InsnDecode, BenignNeighboursOfForbiddenEncodings)
+{
+    // int 0x21 stays inside the cubicle; only vector 0x80 is the
+    // legacy syscall gate.
+    auto int21 = bytes({0xCD, 0x21});
+    auto insn = decodeAt(int21, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_FALSE(insn->forbidden);
+
+    // lfence: register form of the 0F AE group, reg field 5.
+    auto lfence = bytes({0x0F, 0xAE, 0xE8});
+    insn = decodeAt(lfence, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_FALSE(insn->forbidden);
+    EXPECT_STREQ(insn->mnemonic, "fence");
+
+    // xsave (reg field 4, memory form) is allowed.
+    auto xsave = bytes({0x0F, 0xAE, 0x20});
+    insn = decodeAt(xsave, 0);
+    ASSERT_TRUE(insn.has_value());
+    EXPECT_FALSE(insn->forbidden);
+}
+
+TEST(InsnDecode, UnsupportedBytesAreUndecodable)
+{
+    // 0x06 (push es) is invalid in 64-bit mode; 0F 01 with a non-
+    // wrpkru/xsetbv ModRM is outside the supported subset.
+    EXPECT_FALSE(decodeAt(bytes({0x06}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x0F, 0x01, 0x00}), 0).has_value());
+    // Register forms of 0F AE below reg 5 (ldmxcsr etc.).
+    EXPECT_FALSE(decodeAt(bytes({0x0F, 0xAE, 0xC0}), 0).has_value());
+}
+
+TEST(InsnDecode, TruncationIsUndecodable)
+{
+    EXPECT_FALSE(decodeAt(bytes({0xB8, 0x01}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x48}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x48, 0x8B, 0x05, 1, 2}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x90}), 1).has_value()); // past the end
+}
+
+TEST(InsnDecode, OverlongPrefixRunIsUndecodable)
+{
+    std::vector<uint8_t> image(16, 0x66);
+    image.push_back(0x90);
+    EXPECT_FALSE(decodeAt(image, 0).has_value());
+}
+
+// ----------------------------------------------------------------------
+// Linear-sweep classification
+// ----------------------------------------------------------------------
+
+TEST(Verifier, CleanImageAccepted)
+{
+    auto image = makeBenignImage(4096, 7);
+    VerifierReport report = verifyImage(image);
+    EXPECT_TRUE(report.accepted());
+    EXPECT_TRUE(report.findings.empty());
+    EXPECT_EQ(report.undecodableBytes, 0u);
+    EXPECT_DOUBLE_EQ(report.decodeCoverage(), 1.0);
+    EXPECT_GT(report.insnCount, 0u);
+}
+
+TEST(Verifier, AlignedWrpkruRejected)
+{
+    auto image = bytes({0x90, 0x0F, 0x01, 0xEF, 0x90});
+    VerifierReport report = verifyImage(image);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kAligned);
+    EXPECT_EQ(report.findings[0].offset, 1u);
+    EXPECT_FALSE(report.accepted());
+    ASSERT_NE(report.firstRejecting(), nullptr);
+    EXPECT_EQ(report.firstRejecting()->mnemonic, "wrpkru");
+}
+
+TEST(Verifier, EmbeddedInImmediateIsReportOnly)
+{
+    // mov eax, 0x90EF010F: the wrpkru bytes live entirely inside the
+    // imm32 payload — a compiler constant, not reachable code.
+    auto image = bytes({0xB8, 0x0F, 0x01, 0xEF, 0x90, 0xC3});
+    VerifierReport report = verifyImage(image);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kEmbedded);
+    EXPECT_TRUE(report.accepted());
+    EXPECT_EQ(report.embeddedCount(), 1u);
+    EXPECT_EQ(report.rejectingCount(), 0u);
+}
+
+TEST(Verifier, MisalignedSpanningInstructionsRejected)
+{
+    // mov al, 0x0F ; add eax, imm32 — the grep's "0F 05" spans the
+    // first instruction's immediate and the second's opcode byte, so
+    // jumping one byte in executes syscall.
+    auto image = bytes({0xB0, 0x0F, 0x05, 0x11, 0x22, 0x33, 0x44});
+    VerifierReport report = verifyImage(image);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].offset, 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kMisalignedReachable);
+    EXPECT_FALSE(report.accepted());
+}
+
+TEST(Verifier, MatchInUndecodableRegionRejected)
+{
+    // Truncated xrstor memory form (mod 2 needs a disp32 that is not
+    // there): the grep matches, the decoder cannot prove anything, so
+    // the match is conservatively rejected.
+    auto image = bytes({0x90, 0x0F, 0xAE, 0xA8});
+    VerifierReport report = verifyImage(image);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kMisalignedReachable);
+    EXPECT_FALSE(report.accepted());
+    EXPECT_GT(report.undecodableBytes, 0u);
+    EXPECT_LT(report.decodeCoverage(), 1.0);
+}
+
+TEST(Verifier, BenignAliasOfMaskedPatternIsReportOnly)
+{
+    // lfence matches the masked xrstor grep pattern but decodes to a
+    // benign instruction at the match offset.
+    auto image = bytes({0x0F, 0xAE, 0xE8, 0xC3});
+    VerifierReport report = verifyImage(image);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kEmbedded);
+    EXPECT_TRUE(report.accepted());
+}
+
+TEST(Verifier, BranchTargetingEmbeddedMatchUpgradesToReject)
+{
+    // jmp +6 lands exactly on the wrpkru bytes hidden in the second
+    // mov's immediate: reachable after all.
+    auto hostile = bytes({0xEB, 0x06,                    // jmp → 8
+                          0xB8, 0x00, 0x00, 0x00, 0x00,  // mov eax, 0
+                          0xB8, 0x0F, 0x01, 0xEF, 0x90,  // imm32 hides wrpkru
+                          0xC3});
+    VerifierReport report = verifyImage(hostile);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].offset, 8u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kMisalignedReachable);
+    EXPECT_FALSE(report.accepted());
+
+    // Without the jump the same bytes stay report-only.
+    auto benign = std::vector<uint8_t>(hostile.begin() + 2, hostile.end());
+    report = verifyImage(benign);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kEmbedded);
+    EXPECT_TRUE(report.accepted());
+}
+
+TEST(Verifier, SequenceSpanningPageBoundaryStillRejected)
+{
+    std::vector<uint8_t> image(8192, 0x90);
+    image[4095] = 0x0F;
+    image[4096] = 0x01;
+    image[4097] = 0xEF;
+    VerifierReport report = verifyImage(image);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].offset, 4095u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kAligned);
+    EXPECT_FALSE(report.accepted());
+}
+
+TEST(Verifier, EmptyImageAccepted)
+{
+    VerifierReport report = verifyImage({});
+    EXPECT_TRUE(report.accepted());
+    EXPECT_EQ(report.imageBytes, 0u);
+    EXPECT_DOUBLE_EQ(report.decodeCoverage(), 1.0);
+}
+
+TEST(Verifier, CoverageCountsAreConsistent)
+{
+    auto image = makeBenignImage(16384, 3);
+    // Splice an undecodable byte run into the middle.
+    for (std::size_t i = 8000; i < 8016; ++i)
+        image[i] = 0x06;
+    VerifierReport report = verifyImage(image);
+    EXPECT_EQ(report.imageBytes, image.size());
+    EXPECT_GT(report.undecodableBytes, 0u);
+    EXPECT_LE(report.decodedBytes + report.undecodableBytes, image.size());
+    EXPECT_LE(report.firstUndecodable, 8000u + verifier::kMaxInsnLen);
+}
+
+// ----------------------------------------------------------------------
+// Loader integration
+// ----------------------------------------------------------------------
+
+TEST(VerifierLoader, RejectsAlignedWrpkruWithClassification)
+{
+    System sys;
+    std::vector<uint8_t> image(256, 0x90);
+    image[10] = 0x0F;
+    image[11] = 0x01;
+    image[12] = 0xEF;
+    testing::addToy(sys, "evil").withImage(image);
+    try {
+        sys.boot();
+        FAIL() << "hostile image was loaded";
+    } catch (const VerifierError &e) {
+        EXPECT_NE(std::string(e.what()).find("wrpkru"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("instruction-aligned"),
+                  std::string::npos);
+    }
+}
+
+TEST(VerifierLoader, RejectsMisalignedReachableSequence)
+{
+    System sys;
+    auto image = bytes({0xB0, 0x0F, 0x05, 0x11, 0x22, 0x33, 0x44});
+    testing::addToy(sys, "sneaky").withImage(image);
+    try {
+        sys.boot();
+        FAIL() << "misaligned-reachable image was loaded";
+    } catch (const VerifierError &e) {
+        EXPECT_NE(std::string(e.what()).find("misaligned-reachable"),
+                  std::string::npos);
+    }
+}
+
+TEST(VerifierLoader, VerifierErrorIsALoaderError)
+{
+    System sys;
+    std::vector<uint8_t> image(64, 0x90);
+    image[0] = 0x0F;
+    image[1] = 0x05;
+    testing::addToy(sys, "evil").withImage(image);
+    EXPECT_THROW(sys.boot(), LoaderError);
+}
+
+TEST(VerifierLoader, AcceptsEmbeddedConstantAndRecordsReport)
+{
+    System sys;
+    // A benign stream whose one mov immediate happens to contain the
+    // wrpkru bytes; padded with real instructions.
+    std::vector<uint8_t> image =
+        bytes({0xB8, 0x0F, 0x01, 0xEF, 0x90, 0xC3});
+    while (image.size() < 128)
+        image.push_back(0x90);
+    testing::addToy(sys, "app").withImage(image);
+    sys.boot();
+
+    const Cid cid = sys.cidOf("app");
+    const verifier::VerifierReport &report =
+        sys.monitor().verifierReport(cid);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kEmbedded);
+    EXPECT_EQ(report.findings[0].mnemonic, "wrpkru");
+    EXPECT_TRUE(report.accepted());
+    EXPECT_EQ(report.imageBytes, 128u);
+
+    EXPECT_EQ(sys.stats().verifierReported(), 1u);
+    EXPECT_EQ(sys.stats().verifierRejected(), 0u);
+}
+
+TEST(VerifierLoader, StatsCoverEveryLoadedImage)
+{
+    System sys;
+    testing::addToy(sys, "a");
+    testing::addToy(sys, "b");
+    testing::addToy(sys, "c", CubicleKind::kShared);
+    sys.boot();
+
+    const Stats &stats = sys.stats();
+    EXPECT_EQ(stats.imagesVerified(), 3u);
+    EXPECT_GT(stats.verifierBytesScanned(), 0u);
+    EXPECT_GT(stats.verifierInsns(), 0u);
+    // Synthesized images are fully decodable instruction streams.
+    EXPECT_EQ(stats.verifierBytesDecoded(), stats.verifierBytesScanned());
+    for (Cid cid = 0; cid < 3; ++cid) {
+        const auto &report = sys.monitor().verifierReport(cid);
+        EXPECT_TRUE(report.accepted());
+        EXPECT_DOUBLE_EQ(report.decodeCoverage(), 1.0) << cid;
+    }
+}
+
+} // namespace
+} // namespace cubicleos::core
