@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codescan.dir/bench_codescan.cc.o"
+  "CMakeFiles/bench_codescan.dir/bench_codescan.cc.o.d"
+  "bench_codescan"
+  "bench_codescan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codescan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_partitioning.dir/bench_fig10_partitioning.cc.o"
+  "CMakeFiles/bench_fig10_partitioning.dir/bench_fig10_partitioning.cc.o.d"
+  "bench_fig10_partitioning"
+  "bench_fig10_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

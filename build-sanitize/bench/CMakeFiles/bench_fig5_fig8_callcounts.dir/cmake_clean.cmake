@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig8_callcounts.dir/bench_fig5_fig8_callcounts.cc.o"
+  "CMakeFiles/bench_fig5_fig8_callcounts.dir/bench_fig5_fig8_callcounts.cc.o.d"
+  "bench_fig5_fig8_callcounts"
+  "bench_fig5_fig8_callcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig8_callcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sqlite.dir/bench_fig6_sqlite.cc.o"
+  "CMakeFiles/bench_fig6_sqlite.dir/bench_fig6_sqlite.cc.o.d"
+  "bench_fig6_sqlite"
+  "bench_fig6_sqlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sqlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

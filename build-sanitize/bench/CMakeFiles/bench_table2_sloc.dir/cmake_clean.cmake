@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sloc.dir/bench_table2_sloc.cc.o"
+  "CMakeFiles/bench_table2_sloc.dir/bench_table2_sloc.cc.o.d"
+  "bench_table2_sloc"
+  "bench_table2_sloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_demo.dir/isolation_demo.cpp.o"
+  "CMakeFiles/isolation_demo.dir/isolation_demo.cpp.o.d"
+  "isolation_demo"
+  "isolation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_demo.dir/webserver_demo.cpp.o"
+  "CMakeFiles/webserver_demo.dir/webserver_demo.cpp.o.d"
+  "webserver_demo"
+  "webserver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

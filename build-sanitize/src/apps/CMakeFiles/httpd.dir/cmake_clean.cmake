@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpd.dir/httpd/harness.cc.o"
+  "CMakeFiles/httpd.dir/httpd/harness.cc.o.d"
+  "CMakeFiles/httpd.dir/httpd/httpd.cc.o"
+  "CMakeFiles/httpd.dir/httpd/httpd.cc.o.d"
+  "libhttpd.a"
+  "libhttpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for httpd.
+# This may be replaced when dependencies are built.

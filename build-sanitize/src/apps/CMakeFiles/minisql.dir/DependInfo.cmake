@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/minisql/btree.cc" "src/apps/CMakeFiles/minisql.dir/minisql/btree.cc.o" "gcc" "src/apps/CMakeFiles/minisql.dir/minisql/btree.cc.o.d"
+  "/root/repo/src/apps/minisql/catalog.cc" "src/apps/CMakeFiles/minisql.dir/minisql/catalog.cc.o" "gcc" "src/apps/CMakeFiles/minisql.dir/minisql/catalog.cc.o.d"
+  "/root/repo/src/apps/minisql/db.cc" "src/apps/CMakeFiles/minisql.dir/minisql/db.cc.o" "gcc" "src/apps/CMakeFiles/minisql.dir/minisql/db.cc.o.d"
+  "/root/repo/src/apps/minisql/pager.cc" "src/apps/CMakeFiles/minisql.dir/minisql/pager.cc.o" "gcc" "src/apps/CMakeFiles/minisql.dir/minisql/pager.cc.o.d"
+  "/root/repo/src/apps/minisql/parser.cc" "src/apps/CMakeFiles/minisql.dir/minisql/parser.cc.o" "gcc" "src/apps/CMakeFiles/minisql.dir/minisql/parser.cc.o.d"
+  "/root/repo/src/apps/minisql/speedtest.cc" "src/apps/CMakeFiles/minisql.dir/minisql/speedtest.cc.o" "gcc" "src/apps/CMakeFiles/minisql.dir/minisql/speedtest.cc.o.d"
+  "/root/repo/src/apps/minisql/value.cc" "src/apps/CMakeFiles/minisql.dir/minisql/value.cc.o" "gcc" "src/apps/CMakeFiles/minisql.dir/minisql/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/libos/CMakeFiles/cubicle_libos.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/cubicle_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/cubicle_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/cubicle_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

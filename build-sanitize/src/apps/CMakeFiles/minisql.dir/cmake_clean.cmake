@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minisql.dir/minisql/btree.cc.o"
+  "CMakeFiles/minisql.dir/minisql/btree.cc.o.d"
+  "CMakeFiles/minisql.dir/minisql/catalog.cc.o"
+  "CMakeFiles/minisql.dir/minisql/catalog.cc.o.d"
+  "CMakeFiles/minisql.dir/minisql/db.cc.o"
+  "CMakeFiles/minisql.dir/minisql/db.cc.o.d"
+  "CMakeFiles/minisql.dir/minisql/pager.cc.o"
+  "CMakeFiles/minisql.dir/minisql/pager.cc.o.d"
+  "CMakeFiles/minisql.dir/minisql/parser.cc.o"
+  "CMakeFiles/minisql.dir/minisql/parser.cc.o.d"
+  "CMakeFiles/minisql.dir/minisql/speedtest.cc.o"
+  "CMakeFiles/minisql.dir/minisql/speedtest.cc.o.d"
+  "CMakeFiles/minisql.dir/minisql/value.cc.o"
+  "CMakeFiles/minisql.dir/minisql/value.cc.o.d"
+  "libminisql.a"
+  "libminisql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minisql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

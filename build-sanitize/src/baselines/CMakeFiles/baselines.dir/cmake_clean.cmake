@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines.dir/deployments.cc.o"
+  "CMakeFiles/baselines.dir/deployments.cc.o.d"
+  "CMakeFiles/baselines.dir/memfs.cc.o"
+  "CMakeFiles/baselines.dir/memfs.cc.o.d"
+  "CMakeFiles/baselines.dir/microkernel.cc.o"
+  "CMakeFiles/baselines.dir/microkernel.cc.o.d"
+  "libbaselines.a"
+  "libbaselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

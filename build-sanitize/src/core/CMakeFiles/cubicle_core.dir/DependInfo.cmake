@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codescan.cc" "src/core/CMakeFiles/cubicle_core.dir/codescan.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/codescan.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/cubicle_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/cubicle_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/system.cc.o.d"
+  "/root/repo/src/core/verifier/insn.cc" "src/core/CMakeFiles/cubicle_core.dir/verifier/insn.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/verifier/insn.cc.o.d"
+  "/root/repo/src/core/verifier/lint.cc" "src/core/CMakeFiles/cubicle_core.dir/verifier/lint.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/verifier/lint.cc.o.d"
+  "/root/repo/src/core/verifier/scanner.cc" "src/core/CMakeFiles/cubicle_core.dir/verifier/scanner.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/verifier/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/cubicle_hw.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/cubicle_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubicle_hw.dir/fault.cc.o"
+  "CMakeFiles/cubicle_hw.dir/fault.cc.o.d"
+  "CMakeFiles/cubicle_hw.dir/page_table.cc.o"
+  "CMakeFiles/cubicle_hw.dir/page_table.cc.o.d"
+  "libcubicle_hw.a"
+  "libcubicle_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubicle_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

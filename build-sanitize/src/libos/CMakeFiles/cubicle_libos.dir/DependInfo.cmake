@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libos/alloc.cc" "src/libos/CMakeFiles/cubicle_libos.dir/alloc.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/alloc.cc.o.d"
+  "/root/repo/src/libos/libc.cc" "src/libos/CMakeFiles/cubicle_libos.dir/libc.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/libc.cc.o.d"
+  "/root/repo/src/libos/lwip.cc" "src/libos/CMakeFiles/cubicle_libos.dir/lwip.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/lwip.cc.o.d"
+  "/root/repo/src/libos/netdev.cc" "src/libos/CMakeFiles/cubicle_libos.dir/netdev.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/netdev.cc.o.d"
+  "/root/repo/src/libos/plat.cc" "src/libos/CMakeFiles/cubicle_libos.dir/plat.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/plat.cc.o.d"
+  "/root/repo/src/libos/ramfs.cc" "src/libos/CMakeFiles/cubicle_libos.dir/ramfs.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/ramfs.cc.o.d"
+  "/root/repo/src/libos/sockapi.cc" "src/libos/CMakeFiles/cubicle_libos.dir/sockapi.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/sockapi.cc.o.d"
+  "/root/repo/src/libos/stack.cc" "src/libos/CMakeFiles/cubicle_libos.dir/stack.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/stack.cc.o.d"
+  "/root/repo/src/libos/tcpip.cc" "src/libos/CMakeFiles/cubicle_libos.dir/tcpip.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/tcpip.cc.o.d"
+  "/root/repo/src/libos/time.cc" "src/libos/CMakeFiles/cubicle_libos.dir/time.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/time.cc.o.d"
+  "/root/repo/src/libos/ukapi.cc" "src/libos/CMakeFiles/cubicle_libos.dir/ukapi.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/ukapi.cc.o.d"
+  "/root/repo/src/libos/vfscore.cc" "src/libos/CMakeFiles/cubicle_libos.dir/vfscore.cc.o" "gcc" "src/libos/CMakeFiles/cubicle_libos.dir/vfscore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/cubicle_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/cubicle_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/cubicle_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubicle_libos.dir/alloc.cc.o"
+  "CMakeFiles/cubicle_libos.dir/alloc.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/libc.cc.o"
+  "CMakeFiles/cubicle_libos.dir/libc.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/lwip.cc.o"
+  "CMakeFiles/cubicle_libos.dir/lwip.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/netdev.cc.o"
+  "CMakeFiles/cubicle_libos.dir/netdev.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/plat.cc.o"
+  "CMakeFiles/cubicle_libos.dir/plat.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/ramfs.cc.o"
+  "CMakeFiles/cubicle_libos.dir/ramfs.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/sockapi.cc.o"
+  "CMakeFiles/cubicle_libos.dir/sockapi.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/stack.cc.o"
+  "CMakeFiles/cubicle_libos.dir/stack.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/tcpip.cc.o"
+  "CMakeFiles/cubicle_libos.dir/tcpip.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/time.cc.o"
+  "CMakeFiles/cubicle_libos.dir/time.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/ukapi.cc.o"
+  "CMakeFiles/cubicle_libos.dir/ukapi.cc.o.d"
+  "CMakeFiles/cubicle_libos.dir/vfscore.cc.o"
+  "CMakeFiles/cubicle_libos.dir/vfscore.cc.o.d"
+  "libcubicle_libos.a"
+  "libcubicle_libos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubicle_libos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/arena.cc" "src/mem/CMakeFiles/cubicle_mem.dir/arena.cc.o" "gcc" "src/mem/CMakeFiles/cubicle_mem.dir/arena.cc.o.d"
+  "/root/repo/src/mem/page_meta.cc" "src/mem/CMakeFiles/cubicle_mem.dir/page_meta.cc.o" "gcc" "src/mem/CMakeFiles/cubicle_mem.dir/page_meta.cc.o.d"
+  "/root/repo/src/mem/suballoc.cc" "src/mem/CMakeFiles/cubicle_mem.dir/suballoc.cc.o" "gcc" "src/mem/CMakeFiles/cubicle_mem.dir/suballoc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/cubicle_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

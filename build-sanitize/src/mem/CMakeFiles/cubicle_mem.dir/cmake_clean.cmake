@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubicle_mem.dir/arena.cc.o"
+  "CMakeFiles/cubicle_mem.dir/arena.cc.o.d"
+  "CMakeFiles/cubicle_mem.dir/page_meta.cc.o"
+  "CMakeFiles/cubicle_mem.dir/page_meta.cc.o.d"
+  "CMakeFiles/cubicle_mem.dir/suballoc.cc.o"
+  "CMakeFiles/cubicle_mem.dir/suballoc.cc.o.d"
+  "libcubicle_mem.a"
+  "libcubicle_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubicle_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/harness_lint_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/harness_lint_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/harness_lint_test.cc.o.d"
+  "/root/repo/tests/apps/httpd_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/httpd_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/httpd_test.cc.o.d"
+  "/root/repo/tests/apps/speedtest_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/speedtest_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/speedtest_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/apps/CMakeFiles/minisql.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/apps/CMakeFiles/httpd.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/libos/CMakeFiles/cubicle_libos.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/cubicle_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/cubicle_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/cubicle_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

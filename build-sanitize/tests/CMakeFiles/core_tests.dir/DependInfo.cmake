@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/codescan_test.cc" "tests/CMakeFiles/core_tests.dir/core/codescan_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/codescan_test.cc.o.d"
+  "/root/repo/tests/core/concurrency_test.cc" "tests/CMakeFiles/core_tests.dir/core/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/concurrency_test.cc.o.d"
+  "/root/repo/tests/core/hot_window_test.cc" "tests/CMakeFiles/core_tests.dir/core/hot_window_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hot_window_test.cc.o.d"
+  "/root/repo/tests/core/lint_test.cc" "tests/CMakeFiles/core_tests.dir/core/lint_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lint_test.cc.o.d"
+  "/root/repo/tests/core/monitor_test.cc" "tests/CMakeFiles/core_tests.dir/core/monitor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/monitor_test.cc.o.d"
+  "/root/repo/tests/core/system_test.cc" "tests/CMakeFiles/core_tests.dir/core/system_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_test.cc.o.d"
+  "/root/repo/tests/core/threat_model_test.cc" "tests/CMakeFiles/core_tests.dir/core/threat_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/threat_model_test.cc.o.d"
+  "/root/repo/tests/core/verifier_diff_test.cc" "tests/CMakeFiles/core_tests.dir/core/verifier_diff_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/verifier_diff_test.cc.o.d"
+  "/root/repo/tests/core/verifier_test.cc" "tests/CMakeFiles/core_tests.dir/core/verifier_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/verifier_test.cc.o.d"
+  "/root/repo/tests/core/window_test.cc" "tests/CMakeFiles/core_tests.dir/core/window_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/cubicle_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/cubicle_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/cubicle_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

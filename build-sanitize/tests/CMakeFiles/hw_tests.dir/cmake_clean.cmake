@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw/cycles_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/cycles_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/mpk_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/mpk_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/page_table_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/page_table_test.cc.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libos_tests.dir/libos/components_test.cc.o"
+  "CMakeFiles/libos_tests.dir/libos/components_test.cc.o.d"
+  "CMakeFiles/libos_tests.dir/libos/fs_test.cc.o"
+  "CMakeFiles/libos_tests.dir/libos/fs_test.cc.o.d"
+  "CMakeFiles/libos_tests.dir/libos/net_stack_test.cc.o"
+  "CMakeFiles/libos_tests.dir/libos/net_stack_test.cc.o.d"
+  "CMakeFiles/libos_tests.dir/libos/netdev_test.cc.o"
+  "CMakeFiles/libos_tests.dir/libos/netdev_test.cc.o.d"
+  "CMakeFiles/libos_tests.dir/libos/tcp_property_test.cc.o"
+  "CMakeFiles/libos_tests.dir/libos/tcp_property_test.cc.o.d"
+  "CMakeFiles/libos_tests.dir/libos/tcp_test.cc.o"
+  "CMakeFiles/libos_tests.dir/libos/tcp_test.cc.o.d"
+  "CMakeFiles/libos_tests.dir/libos/ukapi_test.cc.o"
+  "CMakeFiles/libos_tests.dir/libos/ukapi_test.cc.o.d"
+  "libos_tests"
+  "libos_tests.pdb"
+  "libos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem/arena_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/arena_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/page_meta_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/page_meta_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/suballoc_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/suballoc_test.cc.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+  "mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

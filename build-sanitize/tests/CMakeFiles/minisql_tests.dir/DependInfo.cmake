@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minisql/btree_sweep_test.cc" "tests/CMakeFiles/minisql_tests.dir/minisql/btree_sweep_test.cc.o" "gcc" "tests/CMakeFiles/minisql_tests.dir/minisql/btree_sweep_test.cc.o.d"
+  "/root/repo/tests/minisql/btree_test.cc" "tests/CMakeFiles/minisql_tests.dir/minisql/btree_test.cc.o" "gcc" "tests/CMakeFiles/minisql_tests.dir/minisql/btree_test.cc.o.d"
+  "/root/repo/tests/minisql/pager_test.cc" "tests/CMakeFiles/minisql_tests.dir/minisql/pager_test.cc.o" "gcc" "tests/CMakeFiles/minisql_tests.dir/minisql/pager_test.cc.o.d"
+  "/root/repo/tests/minisql/parser_test.cc" "tests/CMakeFiles/minisql_tests.dir/minisql/parser_test.cc.o" "gcc" "tests/CMakeFiles/minisql_tests.dir/minisql/parser_test.cc.o.d"
+  "/root/repo/tests/minisql/sql_test.cc" "tests/CMakeFiles/minisql_tests.dir/minisql/sql_test.cc.o" "gcc" "tests/CMakeFiles/minisql_tests.dir/minisql/sql_test.cc.o.d"
+  "/root/repo/tests/minisql/txn_property_test.cc" "tests/CMakeFiles/minisql_tests.dir/minisql/txn_property_test.cc.o" "gcc" "tests/CMakeFiles/minisql_tests.dir/minisql/txn_property_test.cc.o.d"
+  "/root/repo/tests/minisql/value_test.cc" "tests/CMakeFiles/minisql_tests.dir/minisql/value_test.cc.o" "gcc" "tests/CMakeFiles/minisql_tests.dir/minisql/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/apps/CMakeFiles/minisql.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/libos/CMakeFiles/cubicle_libos.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/cubicle_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/cubicle_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/cubicle_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minisql_tests.dir/minisql/btree_sweep_test.cc.o"
+  "CMakeFiles/minisql_tests.dir/minisql/btree_sweep_test.cc.o.d"
+  "CMakeFiles/minisql_tests.dir/minisql/btree_test.cc.o"
+  "CMakeFiles/minisql_tests.dir/minisql/btree_test.cc.o.d"
+  "CMakeFiles/minisql_tests.dir/minisql/pager_test.cc.o"
+  "CMakeFiles/minisql_tests.dir/minisql/pager_test.cc.o.d"
+  "CMakeFiles/minisql_tests.dir/minisql/parser_test.cc.o"
+  "CMakeFiles/minisql_tests.dir/minisql/parser_test.cc.o.d"
+  "CMakeFiles/minisql_tests.dir/minisql/sql_test.cc.o"
+  "CMakeFiles/minisql_tests.dir/minisql/sql_test.cc.o.d"
+  "CMakeFiles/minisql_tests.dir/minisql/txn_property_test.cc.o"
+  "CMakeFiles/minisql_tests.dir/minisql/txn_property_test.cc.o.d"
+  "CMakeFiles/minisql_tests.dir/minisql/value_test.cc.o"
+  "CMakeFiles/minisql_tests.dir/minisql/value_test.cc.o.d"
+  "minisql_tests"
+  "minisql_tests.pdb"
+  "minisql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minisql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-sanitize/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-sanitize/tests/hw_tests[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/mem_tests[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/libos_tests[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/minisql_tests[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/core_tests[1]_include.cmake")

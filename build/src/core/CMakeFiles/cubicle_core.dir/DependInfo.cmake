@@ -11,6 +11,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/codescan.cc" "src/core/CMakeFiles/cubicle_core.dir/codescan.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/codescan.cc.o.d"
   "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/cubicle_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/monitor.cc.o.d"
   "/root/repo/src/core/system.cc" "src/core/CMakeFiles/cubicle_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/system.cc.o.d"
+  "/root/repo/src/core/verifier/insn.cc" "src/core/CMakeFiles/cubicle_core.dir/verifier/insn.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/verifier/insn.cc.o.d"
+  "/root/repo/src/core/verifier/lint.cc" "src/core/CMakeFiles/cubicle_core.dir/verifier/lint.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/verifier/lint.cc.o.d"
+  "/root/repo/src/core/verifier/scanner.cc" "src/core/CMakeFiles/cubicle_core.dir/verifier/scanner.cc.o" "gcc" "src/core/CMakeFiles/cubicle_core.dir/verifier/scanner.cc.o.d"
   )
 
 # Targets to which this target links.

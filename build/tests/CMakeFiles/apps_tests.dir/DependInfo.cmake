@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/harness_lint_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/harness_lint_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/harness_lint_test.cc.o.d"
   "/root/repo/tests/apps/httpd_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/httpd_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/httpd_test.cc.o.d"
   "/root/repo/tests/apps/speedtest_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/speedtest_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/speedtest_test.cc.o.d"
   )

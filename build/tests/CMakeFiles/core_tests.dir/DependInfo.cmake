@@ -11,9 +11,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/codescan_test.cc" "tests/CMakeFiles/core_tests.dir/core/codescan_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/codescan_test.cc.o.d"
   "/root/repo/tests/core/concurrency_test.cc" "tests/CMakeFiles/core_tests.dir/core/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/concurrency_test.cc.o.d"
   "/root/repo/tests/core/hot_window_test.cc" "tests/CMakeFiles/core_tests.dir/core/hot_window_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hot_window_test.cc.o.d"
+  "/root/repo/tests/core/lint_test.cc" "tests/CMakeFiles/core_tests.dir/core/lint_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lint_test.cc.o.d"
   "/root/repo/tests/core/monitor_test.cc" "tests/CMakeFiles/core_tests.dir/core/monitor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/monitor_test.cc.o.d"
   "/root/repo/tests/core/system_test.cc" "tests/CMakeFiles/core_tests.dir/core/system_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_test.cc.o.d"
   "/root/repo/tests/core/threat_model_test.cc" "tests/CMakeFiles/core_tests.dir/core/threat_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/threat_model_test.cc.o.d"
+  "/root/repo/tests/core/verifier_diff_test.cc" "tests/CMakeFiles/core_tests.dir/core/verifier_diff_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/verifier_diff_test.cc.o.d"
+  "/root/repo/tests/core/verifier_test.cc" "tests/CMakeFiles/core_tests.dir/core/verifier_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/verifier_test.cc.o.d"
   "/root/repo/tests/core/window_test.cc" "tests/CMakeFiles/core_tests.dir/core/window_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/window_test.cc.o.d"
   )
 
