@@ -1,13 +1,15 @@
 /**
  * @file
- * Load-time verification throughput: the conservative byte-grep
- * versus the instruction-aware linear-sweep verifier, over synthesized
- * component images from 64 KiB to 16 MiB.
+ * Load-time verification throughput: the conservative byte-grep, the
+ * instruction-aware linear-sweep verifier, and the reachability walk
+ * (sweep + direct-branch CFG from entry 0), over synthesized component
+ * images from 64 KiB to 16 MiB.
  *
- * The verifier runs the grep *and* a full linear-sweep disassembly, so
- * its throughput bounds how much load-time latency the classification
- * pass adds on top of the original scan. Both are one-shot load-time
- * costs, not steady-state costs.
+ * The verifier runs the grep *and* a full linear-sweep disassembly;
+ * the CFG walk re-decodes only the reachable subset on top of that.
+ * Their throughputs bound how much load-time latency each pass adds on
+ * top of the original scan. All are one-shot load-time costs, not
+ * steady-state costs.
  */
 
 #include <cstdint>
@@ -15,6 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "core/codescan.h"
+#include "core/verifier/cfg.h"
 #include "core/verifier/scanner.h"
 
 namespace {
@@ -35,23 +38,25 @@ int
 main()
 {
     bench::header("Load-time code verification throughput",
-                  "loader rule 2 (paper §5.4) — grep vs linear sweep");
+                  "loader rule 2 (paper §5.4) — grep vs sweep vs CFG walk");
 
     const int reps = bench::intFromEnv("CODESCAN_REPS", 8);
     const std::size_t sizes[] = {64u << 10, 256u << 10, 1u << 20,
                                  4u << 20, 16u << 20};
 
-    std::printf("%10s %6s %14s %14s %10s\n", "image", "reps",
-                "grep MB/s", "verify MB/s", "insns");
+    std::printf("%10s %6s %12s %12s %12s %10s %10s\n", "image", "reps",
+                "grep MB/s", "verify MB/s", "cfg MB/s", "insns",
+                "reached");
     bench::rule();
 
-    hw::CycleClock clock; // unused by either scanner; wall time only
+    hw::CycleClock clock; // unused by any scanner; wall time only
     for (const std::size_t size : sizes) {
         const auto image = core::makeBenignImage(size, /*seed=*/size);
 
-        // Warm-up + correctness guard: benign images must pass both.
+        // Warm-up + correctness guard: benign images must pass all.
         if (core::scanCodeImage(image).has_value() ||
-            !core::verifier::verifyImage(image).accepted()) {
+            !core::verifier::verifyImage(image).accepted() ||
+            !core::verifier::verifyImageFrom(image, {}).accepted()) {
             std::printf("BUG: benign image flagged at size %zu\n", size);
             return 1;
         }
@@ -69,13 +74,22 @@ main()
                 insns = core::verifier::verifyImage(image).insnCount;
         });
 
+        std::size_t reached = 0;
+        auto walk = bench::measure(clock, [&] {
+            for (int r = 0; r < reps; ++r)
+                reached = core::verifier::verifyImageFrom(image, {})
+                              .cfg.reachableInsns;
+        });
+
         const std::size_t total = size * static_cast<std::size_t>(reps);
-        std::printf("%8zuK %6d %14.1f %14.1f %10zu\n", size >> 10, reps,
-                    mbPerSec(total, grep.wallMs),
-                    mbPerSec(total, verify.wallMs), insns);
+        std::printf("%8zuK %6d %12.1f %12.1f %12.1f %10zu %10zu\n",
+                    size >> 10, reps, mbPerSec(total, grep.wallMs),
+                    mbPerSec(total, verify.wallMs),
+                    mbPerSec(total, walk.wallMs), insns, reached);
     }
     bench::rule();
     std::printf("verify = grep + instruction-length decode of every "
-                "byte (one-shot, at load).\n");
+                "byte; cfg = verify + direct-branch\nreachability walk "
+                "from entry 0 (all one-shot, at load).\n");
     return 0;
 }

@@ -102,7 +102,7 @@ makeBenignImage(std::size_t size, uint64_t seed)
 
     while (image.size() < size) {
         const std::size_t room = size - image.size();
-        switch (prng.nextBelow(8)) {
+        switch (prng.nextBelow(12)) {
           case 0: // nop
             image.push_back(0x90);
             break;
@@ -151,6 +151,45 @@ makeBenignImage(std::size_t size, uint64_t seed)
             break;
           case 7: // ret
             image.push_back(0xC3);
+            break;
+          // The two-byte-map and prefixed entries below keep the
+          // invariant: 0x0F is always followed by a second opcode byte
+          // outside {01, AE, 05, 34}, and 0xCD is never emitted.
+          case 8: // movaps xmm, xmm
+            if (room < 3) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(0x0F);
+            image.push_back(0x28);
+            image.push_back(modrmReg());
+            break;
+          case 9: // movzx r32, r8
+            if (room < 3) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(0x0F);
+            image.push_back(0xB6);
+            image.push_back(modrmReg());
+            break;
+          case 10: // shl/shr r64, imm8 (group 2)
+            if (room < 4) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(0x48);
+            image.push_back(0xC1);
+            image.push_back(modrmReg());
+            image.push_back(immByte());
+            break;
+          case 11: // rep movsb
+            if (room < 2) {
+                image.push_back(0x90);
+                break;
+            }
+            image.push_back(0xF3);
+            image.push_back(0xA4);
             break;
         }
     }

@@ -48,6 +48,14 @@ struct ComponentSpec {
     std::size_t heapChunkPages = 0; ///< 0: use system default
 
     /**
+     * Offsets of exported entry points within @c image, seeding the
+     * verifier's reachability walk (pass 2). Empty means "the image
+     * exports its base": the walk starts at offset 0. An offset past
+     * the image end fails the load.
+     */
+    std::vector<std::size_t> entryPoints;
+
+    /**
      * If non-empty, load this component into the cubicle of the named
      * (earlier-registered) component instead of a fresh one. This is
      * how coarser partitionings are expressed — e.g. the paper's

@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "core/codescan.h"
-#include "core/verifier/scanner.h"
+#include "core/verifier/cfg.h"
 
 namespace cubicleos::core {
 
@@ -41,15 +41,26 @@ Monitor::loadComponent(const ComponentSpec &spec)
         throw LoaderError("too many cubicles for ACL bitmask width");
 
     // Rule 2 (§5.4): refuse code that could subvert isolation. The
-    // instruction-aware verifier classifies every forbidden byte
-    // sequence; only reachable ones (instruction-aligned or
-    // misaligned-reachable) block the load, while sequences embedded in
-    // instruction payloads are recorded in the report for audit.
+    // reachability verifier walks the direct-branch CFG from every
+    // exported entry point; only forbidden sequences an entry path
+    // executes block the load, while sequences in payload constants or
+    // provably dead code are recorded in the report for audit. An
+    // undecodable reachable byte falls back to the linear-sweep
+    // verdict (never more permissive).
     std::vector<uint8_t> image = spec.image.empty()
         ? makeBenignImage(spec.codePages * hw::kPageSize,
                           cubicles_.size() + 1)
         : spec.image;
-    verifier::VerifierReport report = verifier::verifyImage(image);
+    for (const std::size_t e : spec.entryPoints) {
+        if (e >= image.size()) {
+            throw VerifierError(
+                "component '" + spec.name + "' exports entry point " +
+                std::to_string(e) + " outside its " +
+                std::to_string(image.size()) + "-byte image");
+        }
+    }
+    verifier::VerifierReport report =
+        verifier::verifyImageFrom(image, spec.entryPoints);
     stats_->countVerifiedImage(report.imageBytes, report.decodedBytes,
                                report.insnCount, report.rejectingCount(),
                                report.embeddedCount());
@@ -156,7 +167,8 @@ Monitor::snapshotWiring() const
         if (!w.live)
             continue;
         snap.windows.push_back(verifier::WindowWiring{
-            wid, w.owner, w.acl, w.rangeCount, w.hotKey});
+            wid, w.owner, w.acl, w.rangeCount, w.hotKey,
+            w.rangesEverAdded});
     }
     return snap;
 }
@@ -240,6 +252,7 @@ Monitor::windowAdd(Cid caller, Wid wid, const void *ptr, std::size_t size)
                           " does not own the memory range");
     cubicles_[caller]->windows.add(pm.type, ptr, size, wid);
     ++w.rangeCount;
+    ++w.rangesEverAdded;
 
     if (w.hotKey >= 0) {
         // Hot window: tag the pages with the window key now, so uses

@@ -58,6 +58,14 @@ struct SystemConfig {
     std::size_t stackPages = 16;
     /** Default heap growth granularity in pages. */
     std::size_t heapChunkPages = 16;
+    /**
+     * Strict verification: after boot wires every component, run the
+     * isolation linter (verifier pass 3) over the wiring snapshot and
+     * refuse to boot on any warning-or-worse finding. Off by default:
+     * deliberately loose deployments (ablation baselines, lint demos)
+     * must stay bootable.
+     */
+    bool strictVerify = false;
 };
 
 /**
@@ -93,14 +101,16 @@ class Monitor {
     /**
      * Loads a component into a fresh cubicle.
      *
-     * Runs the instruction-aware verifier over the code image (linear
-     * sweep + classification of every forbidden byte sequence; see
-     * core/verifier/scanner.h), allocates an MPK key (isolated
-     * cubicles), maps code pages execute-only, and sets up globals,
-     * the stack arena and the heap sub-allocator.
+     * Runs the reachability verifier over the code image (linear-sweep
+     * classification refined by a branch-graph walk from the spec's
+     * entry points; see core/verifier/cfg.h), allocates an MPK key
+     * (isolated cubicles), maps code pages execute-only, and sets up
+     * globals, the stack arena and the heap sub-allocator.
      *
      * @throws VerifierError when a forbidden sequence is reachable
-     *         (instruction-aligned or misaligned-reachable);
+     *         from an entry point (or conservatively, when the walk
+     *         hits undecodable reachable bytes and the linear sweep
+     *         rejects), or when an entry point lies outside the image;
      *         LoaderError on key or table exhaustion.
      */
     Cid loadComponent(const ComponentSpec &spec);

@@ -174,6 +174,29 @@ System::boot()
     for (auto &comp : components_) {
         runAs(comp->self_, [&] { comp->init(); });
     }
+
+    // Strict mode: init hooks have wired windows and heap sources, so
+    // the snapshot now shows the deployment's real topology. Refuse to
+    // hand it to the application if the linter finds anything at
+    // warning severity or above.
+    if (config().strictVerify) {
+        const std::vector<verifier::LintFinding> findings = lintWiring();
+        if (!verifier::lintClean(findings)) {
+            std::string msg =
+                "strict verify: isolation lint failed at boot:";
+            for (const verifier::LintFinding &f : findings) {
+                if (f.severity < verifier::LintSeverity::kWarning)
+                    continue;
+                msg += "\n  [";
+                msg += verifier::lintSeverityName(f.severity);
+                msg += "] ";
+                msg += verifier::lintRuleName(f.rule);
+                msg += ": ";
+                msg += f.message;
+            }
+            throw LoaderError(msg);
+        }
+    }
 }
 
 Cid

@@ -1,0 +1,180 @@
+#include "core/verifier/cfg.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/verifier/insn.h"
+#include "core/verifier/scanner.h"
+
+namespace cubicleos::core::verifier {
+
+namespace {
+
+/** A reachable instruction span that decodes forbidden. */
+struct ForbiddenSpan {
+    std::size_t start = 0;
+    std::size_t length = 0;
+    const char *mnemonic = "insn";
+};
+
+bool
+overlaps(const CodeFinding &f, const ForbiddenSpan &s)
+{
+    return f.offset < s.start + s.length &&
+           s.start < f.offset + f.length;
+}
+
+} // namespace
+
+VerifierReport
+verifyImageFrom(std::span<const uint8_t> image,
+                std::span<const std::size_t> entryPoints)
+{
+    VerifierReport report = verifyImage(image);
+    CfgSummary &cfg = report.cfg;
+    const std::size_t n = image.size();
+    cfg.ran = true;
+    cfg.firstOpaque = n;
+    cfg.entryCount = entryPoints.size();
+    if (n == 0)
+        return report;
+
+    // An image that names no entry points exports its base offset.
+    static constexpr std::size_t kDefaultEntry[] = {0};
+    std::span<const std::size_t> entries =
+        entryPoints.empty() ? std::span<const std::size_t>(kDefaultEntry)
+                            : entryPoints;
+    cfg.entryCount = entries.size();
+
+    std::vector<std::size_t> work;
+    for (const std::size_t e : entries) {
+        if (e >= n) {
+            // A broken export table leaves us nothing to prove: keep
+            // the conservative pass-1 classes.
+            cfg.opaque = true;
+            cfg.firstOpaque = std::min(cfg.firstOpaque, e);
+            return report;
+        }
+        work.push_back(e);
+    }
+
+    std::vector<uint8_t> visitedStart(n, 0);  // walked boundaries
+    std::vector<uint8_t> reachableByte(n, 0); // union of insn spans
+    std::vector<ForbiddenSpan> forbiddenSpans;
+
+    // A direct edge out of the image is an external sink (imports go
+    // through relocated stubs); so is falling off the image end.
+    auto pushEdge = [&](int64_t target) {
+        if (target < 0 || static_cast<std::size_t>(target) >= n) {
+            cfg.externalTargets++;
+            return;
+        }
+        work.push_back(static_cast<std::size_t>(target));
+    };
+
+    while (!work.empty()) {
+        const std::size_t pos = work.back();
+        work.pop_back();
+        if (visitedStart[pos])
+            continue;
+        visitedStart[pos] = 1;
+
+        const auto insn = decodeAt(image, pos);
+        if (!insn) {
+            // Reachable bytes we cannot decode: the CFG has a hole, so
+            // no unreachability claim downstream of here is sound.
+            // Abort the refinement; pass-1 classes stand.
+            cfg.opaque = true;
+            cfg.firstOpaque = pos;
+            return report;
+        }
+
+        const std::size_t end = pos + insn->length;
+        cfg.reachableInsns++;
+        for (std::size_t b = pos; b < end; ++b)
+            reachableByte[b] = 1;
+        if (insn->forbidden) {
+            // The walk stops here: the load is already lost, and the
+            // instruction's behaviour (trap or PKRU write) makes its
+            // architectural fall-through irrelevant.
+            forbiddenSpans.push_back(
+                ForbiddenSpan{pos, insn->length, insn->mnemonic});
+            continue;
+        }
+
+        const int64_t target =
+            static_cast<int64_t>(end) + insn->branchRel;
+        switch (insn->flow) {
+          case FlowKind::kSequential:
+            pushEdge(static_cast<int64_t>(end));
+            break;
+          case FlowKind::kBranch:
+            cfg.directBranches++;
+            pushEdge(target);
+            pushEdge(static_cast<int64_t>(end));
+            break;
+          case FlowKind::kJump:
+            cfg.directBranches++;
+            pushEdge(target);
+            break;
+          case FlowKind::kCall:
+            cfg.directBranches++;
+            pushEdge(target);
+            pushEdge(static_cast<int64_t>(end));
+            break;
+          case FlowKind::kIndirectCall:
+            cfg.indirectSites++;
+            pushEdge(static_cast<int64_t>(end));
+            break;
+          case FlowKind::kTerminal:
+            cfg.terminals++;
+            break;
+        }
+    }
+
+    for (std::size_t b = 0; b < n; ++b)
+        cfg.reachableBytes += reachableByte[b];
+
+    // Refine pass-1 classes against the reachable set. A finding that
+    // overlaps a reachable forbidden span is executed from an entry
+    // point: hard reject. Any other rejecting finding sits wholly in
+    // code no direct path reaches: downgrade to report-only. Embedded
+    // findings can only be *upgraded* (an entry point may land right
+    // on a payload constant).
+    for (CodeFinding &f : report.findings) {
+        bool hit = false;
+        for (const ForbiddenSpan &s : forbiddenSpans) {
+            if (overlaps(f, s)) {
+                hit = true;
+                break;
+            }
+        }
+        if (hit)
+            f.cls = FindingClass::kAligned;
+        else if (f.cls != FindingClass::kEmbedded)
+            f.cls = FindingClass::kUnreachable;
+    }
+
+    // Safety net: a reachable forbidden instruction the byte-grep
+    // somehow missed still rejects the image.
+    for (const ForbiddenSpan &s : forbiddenSpans) {
+        bool reported = false;
+        for (const CodeFinding &f : report.findings) {
+            if (f.cls == FindingClass::kAligned && overlaps(f, s)) {
+                reported = true;
+                break;
+            }
+        }
+        if (!reported) {
+            report.findings.push_back(CodeFinding{
+                s.start, s.length, s.mnemonic, FindingClass::kAligned});
+        }
+    }
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const CodeFinding &a, const CodeFinding &b) {
+                  return a.offset < b.offset;
+              });
+    return report;
+}
+
+} // namespace cubicleos::core::verifier

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Entry-point reachability walk (verifier pass 2).
+ *
+ * Pass 1 (scanner.h) classifies forbidden byte sequences against a
+ * blind linear sweep: every instruction boundary the sweep visits is
+ * presumed executable. That over-rejects — a `0f 01 ef` landing
+ * misaligned inside data after a `ret`, or inside an instruction in a
+ * dead code island, can never execute, yet pass 1 calls it
+ * misaligned-reachable and the loader refuses the component.
+ *
+ * Pass 2 builds a direct-branch control-flow graph over the image and
+ * walks it from every exported entry point:
+ *
+ *   - fall-through edges from every sequential instruction;
+ *   - `jcc rel8/rel32`: target + fall-through;
+ *   - `jmp rel8/rel32`: target only;
+ *   - `call rel32`: target + fall-through (callees return);
+ *   - `call r/m`: fall-through only — the unknowable callee is an
+ *     *indirect site*, counted but not followed (in-image indirect
+ *     targets are constrained by the trampoline CFI story, DESIGN.md);
+ *   - `ret` / `jmp r/m` / `hlt` / `ud2` / `int3`: sinks, no successor;
+ *   - a direct edge leaving the image is an external sink (imports go
+ *     through relocated call stubs; nothing more is reachable here).
+ *
+ * A rejecting pass-1 finding that overlaps no *reachable* instruction
+ * span is downgraded to kUnreachable (report-only). A reachable
+ * boundary that decodes forbidden is upgraded/kept as kAligned. The
+ * walk never makes the verdict more permissive on reachable code than
+ * pass 1: it only ever downgrades findings it has proven dead.
+ *
+ * Conservatism fallback: if the walk reaches a byte it cannot decode,
+ * or an entry point lies outside the image, the image is *opaque* —
+ * the refinement is discarded and the pass-1 classes stand unchanged
+ * (CfgSummary::opaque is set so callers can see why).
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_CFG_H_
+#define CUBICLEOS_CORE_VERIFIER_CFG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/verifier/report.h"
+
+namespace cubicleos::core::verifier {
+
+/**
+ * Verifies @p image with the reachability refinement: runs the pass-1
+ * linear sweep, then walks the direct-branch CFG from every offset in
+ * @p entryPoints and reclassifies findings against the reachable set.
+ *
+ * @param entryPoints exported entry offsets; an empty span seeds the
+ *        walk at offset 0. Out-of-range entries make the image opaque
+ *        (pass-1 classes kept), they do not throw.
+ * @return report with CfgSummary filled in (cfg.ran == true).
+ */
+VerifierReport verifyImageFrom(std::span<const uint8_t> image,
+                               std::span<const std::size_t> entryPoints);
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_CFG_H_

@@ -63,6 +63,7 @@ struct OpSpec {
     bool forbidden = false;
     bool branch = false;     ///< rel8/rel32 direct branch
     int branchBytes = 0;     ///< 1 or 4
+    FlowKind flow = FlowKind::kSequential;
     const char *mnemonic = "insn";
 };
 
@@ -94,10 +95,16 @@ specOneByte(uint8_t op)
         s.branch = true;
         s.branchBytes = 1;
         s.imm = 1;
+        s.flow = FlowKind::kBranch;
         s.mnemonic = "jcc";
         return s;
     }
     if (op >= 0x91 && op <= 0x97) { s.mnemonic = "xchg"; return s; }
+    // String ops; rep/repne arrive as legacy prefixes.
+    if (op >= 0xA4 && op <= 0xAF && op != 0xA8 && op != 0xA9) {
+        s.mnemonic = "string";
+        return s;
+    }
     if (op >= 0xB0 && op <= 0xB7) { s.imm = 1; s.mnemonic = "mov"; return s; }
     if (op >= 0xB8 && op <= 0xBF) {
         s.imm = kImmV;
@@ -124,26 +131,36 @@ specOneByte(uint8_t op)
       case 0x99: s.mnemonic = "cdq"; return s;
       case 0xA8: s.imm = 1; s.mnemonic = "test"; return s;
       case 0xA9: s.imm = kImmZ; s.mnemonic = "test"; return s;
-      case 0xC2: s.imm = 2; s.mnemonic = "ret"; return s;
-      case 0xC3: s.mnemonic = "ret"; return s;
+      // Group 2 shifts/rotates (rol..sar by imm8, 1 or cl).
+      case 0xC0: s.hasModRm = true; s.imm = 1; s.mnemonic = "shift"; return s;
+      case 0xC1: s.hasModRm = true; s.imm = 1; s.mnemonic = "shift"; return s;
+      case 0xD0: case 0xD1: case 0xD2: case 0xD3:
+        s.hasModRm = true; s.mnemonic = "shift"; return s;
+      case 0xC2:
+        s.imm = 2; s.flow = FlowKind::kTerminal; s.mnemonic = "ret";
+        return s;
+      case 0xC3: s.flow = FlowKind::kTerminal; s.mnemonic = "ret"; return s;
       case 0xC6: s.hasModRm = true; s.imm = 1; s.mnemonic = "mov"; return s;
       case 0xC7: s.hasModRm = true; s.imm = kImmZ; s.mnemonic = "mov"; return s;
       case 0xC9: s.mnemonic = "leave"; return s;
-      case 0xCC: s.mnemonic = "int3"; return s;
+      case 0xCC: s.flow = FlowKind::kTerminal; s.mnemonic = "int3"; return s;
       case 0xCD: s.imm = 1; s.mnemonic = "int"; return s;
       case 0xE8:
         s.branch = true; s.branchBytes = 4; s.imm = 4;
+        s.flow = FlowKind::kCall;
         s.mnemonic = "call";
         return s;
       case 0xE9:
         s.branch = true; s.branchBytes = 4; s.imm = 4;
+        s.flow = FlowKind::kJump;
         s.mnemonic = "jmp";
         return s;
       case 0xEB:
         s.branch = true; s.branchBytes = 1; s.imm = 1;
+        s.flow = FlowKind::kJump;
         s.mnemonic = "jmp";
         return s;
-      case 0xF4: s.mnemonic = "hlt"; return s;
+      case 0xF4: s.flow = FlowKind::kTerminal; s.mnemonic = "hlt"; return s;
       case 0xF6: case 0xF7: s.hasModRm = true; s.mnemonic = "grp3"; return s;
       case 0xFE: case 0xFF: s.hasModRm = true; s.mnemonic = "grp5"; return s;
       default:
@@ -157,11 +174,27 @@ specTwoByte(uint8_t op)
 {
     OpSpec s;
     s.valid = true;
+    // SSE/SSE2 moves and unpacks (movups/movlps/movhps/unpck...,
+    // movaps + conversions/comparisons, movd/movq/movdqa under their
+    // 66/F3 prefixes). All plain ModRM operands; VEX forms are a
+    // different encoding and stay undecodable.
+    if (op >= 0x10 && op <= 0x17) { s.hasModRm = true; s.mnemonic = "ssemov"; return s; }
+    if (op >= 0x28 && op <= 0x2F) { s.hasModRm = true; s.mnemonic = "ssemov"; return s; }
     if (op >= 0x40 && op <= 0x4F) { s.hasModRm = true; s.mnemonic = "cmov"; return s; }
+    // Packed single/double arithmetic (sqrtps..maxps block).
+    if (op >= 0x51 && op <= 0x5F) { s.hasModRm = true; s.mnemonic = "ssearith"; return s; }
+    // punpck/packss/pcmpgt/movd/movdqa block.
+    if (op >= 0x60 && op <= 0x6F) { s.hasModRm = true; s.mnemonic = "sse"; return s; }
+    // Groups 12-14: packed shifts by imm8 (psrlw xmm, imm8, ...).
+    if (op >= 0x71 && op <= 0x73) {
+        s.hasModRm = true; s.imm = 1; s.mnemonic = "sseshift"; return s;
+    }
+    if (op >= 0x74 && op <= 0x76) { s.hasModRm = true; s.mnemonic = "pcmpeq"; return s; }
     if (op >= 0x80 && op <= 0x8F) {
         s.branch = true;
         s.branchBytes = 4;
         s.imm = 4;
+        s.flow = FlowKind::kBranch;
         s.mnemonic = "jcc";
         return s;
     }
@@ -169,16 +202,19 @@ specTwoByte(uint8_t op)
     if (op >= 0xC8 && op <= 0xCF) { s.mnemonic = "bswap"; return s; }
     switch (op) {
       case 0x05: s.forbidden = true; s.mnemonic = "syscall"; return s;
-      case 0x0B: s.mnemonic = "ud2"; return s;
-      case 0x10: case 0x11: case 0x28: case 0x29:
-        s.hasModRm = true; s.mnemonic = "movups"; return s;
+      case 0x0B: s.flow = FlowKind::kTerminal; s.mnemonic = "ud2"; return s;
       case 0x1E: s.hasModRm = true; s.mnemonic = "endbr"; return s;
       case 0x1F: s.hasModRm = true; s.mnemonic = "nop"; return s;
       case 0x34: s.forbidden = true; s.mnemonic = "sysenter"; return s;
+      case 0x70: s.hasModRm = true; s.imm = 1; s.mnemonic = "pshuf"; return s;
+      case 0x7E: case 0x7F: s.hasModRm = true; s.mnemonic = "ssemov"; return s;
       case 0xA2: s.mnemonic = "cpuid"; return s;
       case 0xAF: s.hasModRm = true; s.mnemonic = "imul"; return s;
       case 0xB6: case 0xB7: s.hasModRm = true; s.mnemonic = "movzx"; return s;
       case 0xBE: case 0xBF: s.hasModRm = true; s.mnemonic = "movsx"; return s;
+      case 0xC6: s.hasModRm = true; s.imm = 1; s.mnemonic = "shufps"; return s;
+      case 0xD6: s.hasModRm = true; s.mnemonic = "ssemov"; return s;
+      case 0xEF: s.hasModRm = true; s.mnemonic = "pxor"; return s;
       default:
         s.valid = false;
         return s;
@@ -282,6 +318,18 @@ decodeAt(std::span<const uint8_t> image, std::size_t pos)
             enc->reg <= 1) {
             spec.imm = (op == 0xF6) ? 1 : kImmZ;
         }
+        // grp5 splits by /reg: call r/m falls through past the call
+        // site; jmp r/m transfers to an unknowable target (indirect
+        // sink for the reachability walk).
+        if (op == 0xFF) {
+            if (enc->reg == 2 || enc->reg == 3) {
+                spec.flow = FlowKind::kIndirectCall;
+                spec.mnemonic = "call";
+            } else if (enc->reg == 4 || enc->reg == 5) {
+                spec.flow = FlowKind::kTerminal;
+                spec.mnemonic = "jmp";
+            }
+        }
     }
 
     int immBytes = spec.imm;
@@ -297,6 +345,7 @@ decodeAt(std::span<const uint8_t> image, std::size_t pos)
     insn.length = static_cast<uint8_t>(len);
     insn.payloadOff = static_cast<uint8_t>(payload);
     insn.forbidden = spec.forbidden;
+    insn.flow = spec.flow;
     insn.mnemonic = spec.mnemonic;
 
     // int imm8: only vector 0x80 (the legacy Linux syscall gate) is

@@ -2,20 +2,25 @@
  * @file
  * Minimal x86-64 instruction-length decoder for the load-time verifier.
  *
- * Decodes the opcode subset our synthesized images and tests use:
- * legacy/REX prefixes, ModRM/SIB addressing, displacement and immediate
- * sizing, the one-byte ALU/mov/push/pop/branch groups and the two-byte
- * 0F map entries relevant to isolation (syscall, sysenter, the 0F 01
- * and 0F AE groups). Anything outside the subset is *undecodable*: the
- * caller must treat such bytes conservatively (reject-on-reach), never
- * optimistically.
+ * Decodes the compiler-emitted subset our synthesized images and tests
+ * use: legacy/REX prefixes, ModRM/SIB addressing, displacement and
+ * immediate sizing, the one-byte ALU/mov/push/pop/branch groups, the
+ * group-2 shifts/rotates, the string ops (with rep prefixes), and the
+ * two-byte 0F map entries real code leans on — SSE moves and packed
+ * arithmetic, movzx/movsx, cmov/setcc, plus the isolation-relevant
+ * entries (syscall, sysenter, the 0F 01 and 0F AE groups). Anything
+ * outside the subset — VEX/EVEX encodings included — is *undecodable*:
+ * the caller must treat such bytes conservatively (reject-on-reach),
+ * never optimistically.
  *
- * The decoder answers three questions per instruction:
- *   - how long is it (so a linear sweep can find the next boundary)?
+ * The decoder answers four questions per instruction:
+ *   - how long is it (so a sweep or walk can find the next boundary)?
  *   - where do its data bytes (displacement + immediate) start, so a
  *     forbidden byte pattern can be classified as embedded-in-constant
  *     versus overlapping structural opcode bytes?
  *   - is it itself a forbidden, isolation-subverting instruction?
+ *   - how does control leave it (fall through, direct branch, indirect
+ *     sink), so the reachability pass can build a branch graph?
  */
 
 #ifndef CUBICLEOS_CORE_VERIFIER_INSN_H_
@@ -30,6 +35,16 @@ namespace cubicleos::core::verifier {
 
 /** Architectural maximum x86 instruction length. */
 inline constexpr std::size_t kMaxInsnLen = 15;
+
+/** How control flow leaves an instruction (CFG successor shape). */
+enum class FlowKind : uint8_t {
+    kSequential,   ///< falls through to the next instruction only
+    kBranch,       ///< conditional direct branch: target + fall-through
+    kJump,         ///< unconditional direct jump: target only
+    kCall,         ///< direct call: target + fall-through
+    kIndirectCall, ///< call r/m: unknown target, falls through
+    kTerminal,     ///< ret / jmp r/m / hlt / ud2 / int3: no successor
+};
 
 /** One decoded instruction. */
 struct Insn {
@@ -48,6 +63,8 @@ struct Insn {
     bool isDirectBranch = false;
     /** Sign-extended branch displacement (valid iff isDirectBranch). */
     int32_t branchRel = 0;
+    /** Successor shape for the reachability walk. */
+    FlowKind flow = FlowKind::kSequential;
     /** Static mnemonic (coarse; "insn" for generic group members). */
     const char *mnemonic = "insn";
 };

@@ -14,6 +14,7 @@ lintRuleName(LintRule rule)
       case LintRule::kAclSelfGrant: return "acl-self-grant";
       case LintRule::kPointerExportNoWindow: return "pointer-export-no-window";
       case LintRule::kOpenWindowNoRanges: return "open-window-no-ranges";
+      case LintRule::kAclStaleGrant: return "acl-stale-grant";
     }
     return "unknown";
 }
@@ -138,15 +139,31 @@ lintWiring(const WiringSnapshot &snapshot)
             }
         }
 
-        // Rule: an open ACL over an empty window usually means ranges
-        // were removed while peers kept the grant.
+        // Rule: an open ACL over an empty window. Two flavours: if
+        // ranges *were* added and have all been removed (or destroyed
+        // and the slot recycled), the ACL has outlived every grant it
+        // covered — that is the stale-grant bug class from the paper's
+        // window lifecycle (§4.2) and warrants a warning. An ACL that
+        // never covered any range is merely odd wiring (info).
         if (w.acl != 0 && w.rangeCount == 0) {
-            findings.push_back(LintFinding{
-                LintRule::kOpenWindowNoRanges, LintSeverity::kInfo,
-                w.owner, w.wid,
-                "window " + std::to_string(w.wid) + " of '" +
-                    cubicleName(w.owner) +
-                    "' has an open ACL but no memory ranges"});
+            if (w.rangesEverAdded > 0) {
+                findings.push_back(LintFinding{
+                    LintRule::kAclStaleGrant, LintSeverity::kWarning,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleName(w.owner) +
+                        "' keeps an open ACL after every range it ever "
+                        "added (" + std::to_string(w.rangesEverAdded) +
+                        ") was removed; peers retain a grant over "
+                        "nothing and the next add re-exposes memory"});
+            } else {
+                findings.push_back(LintFinding{
+                    LintRule::kOpenWindowNoRanges, LintSeverity::kInfo,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleName(w.owner) +
+                        "' has an open ACL but no memory ranges"});
+            }
         }
     }
 

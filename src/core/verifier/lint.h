@@ -1,6 +1,6 @@
 /**
  * @file
- * Isolation linter (verifier pass 2): static checks over system wiring.
+ * Isolation linter (verifier pass 3): static checks over system wiring.
  *
  * The linter inspects a plain-data snapshot of a booted system — the
  * cubicle table, the live window descriptors with their ACL bitmasks,
@@ -43,6 +43,7 @@ enum class LintRule : uint8_t {
     kAclSelfGrant,          ///< ACL grants the window's own owner
     kPointerExportNoWindow, ///< pointer export, no window grants callee
     kOpenWindowNoRanges,    ///< non-empty ACL over an empty window
+    kAclStaleGrant,         ///< ACL outlived every range ever added
 };
 
 enum class LintSeverity : uint8_t { kInfo, kWarning, kError };
@@ -78,6 +79,8 @@ struct WindowWiring {
     AclMask acl = 0;
     uint32_t rangeCount = 0;
     int hotKey = -1;
+    /** Ranges added over the window's whole lifetime (survives removes). */
+    uint32_t rangesEverAdded = 0;
 };
 
 struct ExportWiring {

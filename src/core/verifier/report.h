@@ -23,11 +23,18 @@ namespace cubicleos::core::verifier {
  * inside one instruction's displacement/immediate payload is a
  * compiler constant no in-image control flow reaches, and is recorded
  * for audit instead.
+ *
+ * kUnreachable is produced only by pass 2 (the entry-point
+ * reachability walk, cfg.h): a sequence the linear sweep would reject
+ * but that no branch path from any exported entry point executes —
+ * e.g. bytes after an unconditional ret, or a misaligned overlap in
+ * dead code. Like kEmbedded it is report-only.
  */
 enum class FindingClass : uint8_t {
     kAligned,             ///< starts on an instruction boundary
     kMisalignedReachable, ///< overlaps structural bytes / undecoded region
     kEmbedded,            ///< wholly inside one instruction's payload
+    kUnreachable,         ///< pass 2: no path from any entry point
 };
 
 /** Human-readable class name. */
@@ -40,7 +47,32 @@ struct CodeFinding {
     std::string mnemonic;       ///< e.g. "wrpkru"
     FindingClass cls = FindingClass::kMisalignedReachable;
 
-    bool rejecting() const { return cls != FindingClass::kEmbedded; }
+    bool rejecting() const
+    {
+        return cls == FindingClass::kAligned ||
+               cls == FindingClass::kMisalignedReachable;
+    }
+};
+
+/**
+ * Summary of the pass-2 reachability walk (zeroed when only the
+ * linear sweep ran).
+ *
+ * When @c opaque is true the walk hit a reachable byte it could not
+ * decode (or an entry point outside the image) and its refinement was
+ * discarded: the report keeps the conservative pass-1 classes.
+ */
+struct CfgSummary {
+    bool ran = false;            ///< verifyImageFrom was used
+    bool opaque = false;         ///< walk aborted, pass-1 classes kept
+    std::size_t firstOpaque = 0; ///< offset that stopped the walk
+    std::size_t entryCount = 0;
+    std::size_t reachableInsns = 0;
+    std::size_t reachableBytes = 0;
+    std::size_t directBranches = 0;  ///< jcc/jmp/call edges followed
+    std::size_t indirectSites = 0;   ///< call r/m seen (fall-through kept)
+    std::size_t terminals = 0;       ///< ret/jmp r/m/hlt/ud2/int3 sinks
+    std::size_t externalTargets = 0; ///< direct edges leaving the image
 };
 
 /** Result of verifying one component image. */
@@ -52,6 +84,7 @@ struct VerifierReport {
     /** Offset of the first undecodable byte, or imageBytes if none. */
     std::size_t firstUndecodable = 0;
     std::vector<CodeFinding> findings;
+    CfgSummary cfg;
 
     /** True when no finding forces a reject. */
     bool accepted() const
@@ -94,6 +127,15 @@ struct VerifierReport {
         if (imageBytes == 0)
             return 1.0;
         return static_cast<double>(decodedBytes) /
+               static_cast<double>(imageBytes);
+    }
+
+    /** Fraction of image bytes proven reachable by pass 2 (0 if not run). */
+    double reachableCoverage() const
+    {
+        if (!cfg.ran || imageBytes == 0)
+            return 0.0;
+        return static_cast<double>(cfg.reachableBytes) /
                static_cast<double>(imageBytes);
     }
 };

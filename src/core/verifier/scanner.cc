@@ -14,6 +14,7 @@ findingClassName(FindingClass cls)
       case FindingClass::kAligned: return "instruction-aligned";
       case FindingClass::kMisalignedReachable: return "misaligned-reachable";
       case FindingClass::kEmbedded: return "unreachable-embedded";
+      case FindingClass::kUnreachable: return "unreachable-code";
     }
     return "unknown";
 }

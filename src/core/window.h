@@ -61,6 +61,13 @@ struct Window {
      * the key in its PKRU — frequent use costs no trap-and-map.
      */
     int hotKey = -1;
+    /**
+     * Ranges added over the descriptor's whole lifetime, never
+     * decremented by removes. The stale-ACL lint rule uses it to tell
+     * "ACL outlived its ranges" (warning) from "ACL never covered a
+     * range" (info). Reset when the slot is recycled by windowCreate.
+     */
+    uint32_t rangesEverAdded = 0;
 };
 
 /**

@@ -125,6 +125,44 @@ TEST(Lint, OpenAclOverEmptyWindowIsInfo)
     EXPECT_TRUE(lintClean(findings)); // info does not fail CI
 }
 
+TEST(Lint, StaleAclAfterAllRangesRemovedIsAWarning)
+{
+    WiringSnapshot snap = baseSnapshot();
+    // Open ACL, zero live ranges, but three ranges existed once: the
+    // ACL has outlived everything it ever covered.
+    snap.windows = {{0, 0, aclBit(1), 0, -1, 3}};
+    auto findings = lintWiring(snap);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, LintRule::kAclStaleGrant);
+    EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+    EXPECT_EQ(findings[0].window, 0u);
+    EXPECT_NE(findings[0].message.find("3"), std::string::npos);
+    EXPECT_FALSE(lintClean(findings));
+}
+
+TEST(Lint, StaleAclSupersedesTheInfoFlavour)
+{
+    // The two empty-window rules are mutually exclusive per window.
+    WiringSnapshot snap = baseSnapshot();
+    snap.windows = {{0, 0, aclBit(1), 0, -1, 1},  // stale (had a range)
+                    {1, 1, aclBit(0), 0, -1, 0}}; // odd (never had one)
+    auto findings = lintWiring(snap);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_TRUE(hasRule(findings, LintRule::kAclStaleGrant));
+    EXPECT_TRUE(hasRule(findings, LintRule::kOpenWindowNoRanges));
+}
+
+TEST(Lint, LiveRangesOrClosedAclAreNotStale)
+{
+    WiringSnapshot snap = baseSnapshot();
+    // Ranges still live → fine; ACL already closed → fine.
+    snap.windows = {{0, 0, aclBit(1), 2, -1, 5},
+                    {1, 1, 0, 0, -1, 5}};
+    auto findings = lintWiring(snap);
+    EXPECT_FALSE(hasRule(findings, LintRule::kAclStaleGrant));
+    EXPECT_FALSE(hasRule(findings, LintRule::kOpenWindowNoRanges));
+}
+
 TEST(Lint, PointerExportWithoutAnyWindowIsInfo)
 {
     WiringSnapshot snap = baseSnapshot();
@@ -240,6 +278,54 @@ TEST(LintSystem, FlagsOverBroadAclAtRuntime)
     EXPECT_TRUE(hasRule(findings, LintRule::kAclSharedPeer));
     EXPECT_FALSE(lintClean(findings));
     EXPECT_EQ(sys.stats().lintFindings(), findings.size());
+}
+
+TEST(LintSystem, StaleAclFlaggedAfterAddRemoveCycle)
+{
+    System sys;
+    auto &producer = testing::addToy(sys, "producer");
+    testing::addToy(sys, "consumer");
+    producer.onInit([](testing::ToyComponent &self) {
+        System &s = *self.sys();
+        void *buf = s.heapAlloc(128);
+        const Wid wid = s.windowInit();
+        s.windowAdd(wid, buf, 128);
+        s.windowOpen(wid, s.cidOf("consumer"));
+        // The range goes away, the grant stays behind.
+        s.windowRemove(wid, buf);
+    });
+    sys.boot();
+
+    auto findings = sys.lintWiring();
+    EXPECT_TRUE(hasRule(findings, LintRule::kAclStaleGrant));
+    EXPECT_FALSE(hasRule(findings, LintRule::kOpenWindowNoRanges));
+    EXPECT_FALSE(lintClean(findings));
+}
+
+TEST(LintSystem, RecycledWindowSlotStartsWithFreshHistory)
+{
+    System sys;
+    auto &producer = testing::addToy(sys, "producer");
+    testing::addToy(sys, "consumer");
+    producer.onInit([](testing::ToyComponent &self) {
+        System &s = *self.sys();
+        void *buf = s.heapAlloc(128);
+        // First lifetime: add a range, then destroy the window.
+        const Wid first = s.windowInit();
+        s.windowAdd(first, buf, 128);
+        s.windowDestroy(first);
+        // Second lifetime reuses the slot; its ACL never covered a
+        // range in *this* lifetime, so it must lint as the info
+        // flavour, not as stale.
+        const Wid second = s.windowInit();
+        ASSERT_EQ(second, first);
+        s.windowOpen(second, s.cidOf("consumer"));
+    });
+    sys.boot();
+
+    auto findings = sys.lintWiring();
+    EXPECT_TRUE(hasRule(findings, LintRule::kOpenWindowNoRanges));
+    EXPECT_FALSE(hasRule(findings, LintRule::kAclStaleGrant));
 }
 
 TEST(LintSystem, SnapshotReflectsExportsAndWindows)

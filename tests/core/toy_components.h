@@ -30,6 +30,7 @@ class ToyComponent : public Component {
         s.name = name_;
         s.kind = kind_;
         s.image = image_;
+        s.entryPoints = entryPoints_;
         return s;
     }
 
@@ -51,6 +52,12 @@ class ToyComponent : public Component {
         return *this;
     }
 
+    ToyComponent &withEntryPoints(std::vector<std::size_t> entries)
+    {
+        entryPoints_ = std::move(entries);
+        return *this;
+    }
+
     ToyComponent &
     onExports(std::function<void(Exporter &, ToyComponent &)> f)
     {
@@ -68,6 +75,7 @@ class ToyComponent : public Component {
     std::string name_;
     CubicleKind kind_;
     std::vector<uint8_t> image_;
+    std::vector<std::size_t> entryPoints_;
     std::function<void(Exporter &, ToyComponent &)> exportsFn_;
     std::function<void(ToyComponent &)> initFn_;
 };

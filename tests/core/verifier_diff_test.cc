@@ -23,14 +23,17 @@
 #include <algorithm>
 
 #include "core/codescan.h"
+#include "core/verifier/cfg.h"
 #include "core/verifier/scanner.h"
 #include "hw/prng.h"
 
 namespace cubicleos::core {
 namespace {
 
+using verifier::FindingClass;
 using verifier::VerifierReport;
 using verifier::verifyImage;
+using verifier::verifyImageFrom;
 
 std::vector<uint8_t>
 randomBytes(std::size_t size, uint64_t seed)
@@ -105,6 +108,116 @@ TEST(VerifierDiff, BenignStreamsWithSplicedForbiddenSequences)
         // contract must hold.
         checkDifferential(image, seed);
         EXPECT_TRUE(scanCodeImage(image).has_value()) << seed;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pass 1 vs pass 2: the reachability walk may only downgrade
+// ----------------------------------------------------------------------
+
+/**
+ * Checks the pass-2 monotonicity contract on one image:
+ *   - pass 2 rejects      ⟹ pass 1 rejects (never *more* strict);
+ *   - pass 2 opaque       ⟹ classes identical to pass 1;
+ *   - every pass-1 kAligned finding that pass 2 keeps rejecting keeps
+ *     the kAligned class (reachable-aligned occurrences never soften
+ *     into a weaker rejecting class).
+ */
+void
+checkReachabilityMonotone(const std::vector<uint8_t> &image, uint64_t seed)
+{
+    const VerifierReport r1 = verifyImage(image);
+    const VerifierReport r2 = verifyImageFrom(image, {});
+
+    if (!r2.accepted()) {
+        EXPECT_FALSE(r1.accepted())
+            << "walk rejected what the sweep accepted, seed " << seed;
+    }
+    if (r2.cfg.opaque) {
+        ASSERT_EQ(r2.findings.size(), r1.findings.size()) << seed;
+        for (std::size_t i = 0; i < r1.findings.size(); ++i) {
+            EXPECT_EQ(r2.findings[i].cls, r1.findings[i].cls) << seed;
+            EXPECT_EQ(r2.findings[i].offset, r1.findings[i].offset)
+                << seed;
+        }
+    }
+    if (!r2.cfg.opaque) {
+        for (const verifier::CodeFinding &f : r2.findings) {
+            if (f.rejecting()) {
+                EXPECT_EQ(f.cls, FindingClass::kAligned) << seed;
+            }
+        }
+    }
+}
+
+TEST(VerifierDiff, ReachabilityMonotoneOnRandomBytes)
+{
+    // Random byte soup is almost always opaque: the property reduces
+    // to "classes identical to pass 1".
+    for (uint64_t seed = 1; seed <= 64; ++seed)
+        checkReachabilityMonotone(randomBytes(4096, seed), seed);
+}
+
+TEST(VerifierDiff, ReachabilityMonotoneOnBenignStreams)
+{
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        auto image = makeBenignImage(4096, seed);
+        checkReachabilityMonotone(image, seed);
+        EXPECT_TRUE(verifyImageFrom(image, {}).accepted()) << seed;
+    }
+}
+
+TEST(VerifierDiff, ReachabilityMonotoneOnSplicedStreams)
+{
+    const uint8_t sequences[][3] = {
+        {0x0F, 0x01, 0xEF}, // wrpkru
+        {0x0F, 0x05, 0x90}, // syscall (+pad)
+        {0xCD, 0x80, 0x90}, // int80 (+pad)
+        {0x0F, 0xAE, 0x28}, // xrstor [rax]
+    };
+    hw::Prng prng(0xCF6u);
+    for (uint64_t seed = 1; seed <= 128; ++seed) {
+        auto image = makeBenignImage(4096, seed);
+        const auto &seq = sequences[prng.nextBelow(4)];
+        const auto at = static_cast<std::size_t>(
+            prng.nextBelow(image.size() - 3));
+        std::copy(seq, seq + 3, image.begin() + at);
+        checkReachabilityMonotone(image, seed);
+    }
+}
+
+TEST(VerifierDiff, NopSledSpliceRejectsUnderBothPasses)
+{
+    // Inside a nop sled every byte is a reachable boundary: a spliced
+    // forbidden sequence must fail pass 1 AND pass 2 wherever it lands
+    // before the first ret.
+    hw::Prng prng(0xABCDu);
+    for (int round = 0; round < 32; ++round) {
+        std::vector<uint8_t> image(2048, 0x90);
+        image.back() = 0xC3;
+        const auto at =
+            static_cast<std::size_t>(prng.nextBelow(image.size() - 4));
+        image[at] = 0x0F;
+        image[at + 1] = 0x01;
+        image[at + 2] = 0xEF;
+        EXPECT_FALSE(verifyImage(image).accepted()) << at;
+        EXPECT_FALSE(verifyImageFrom(image, {}).accepted()) << at;
+    }
+}
+
+TEST(VerifierDiff, RealComponentSnapshotsAcceptedWithFullDecodeCoverage)
+{
+    // The loader's synthesized component images, at every size the
+    // in-tree deployments use: both passes accept, and the sweep
+    // decodes every byte.
+    for (uint64_t seed = 1; seed <= 16; ++seed) {
+        for (std::size_t pages = 1; pages <= 4; ++pages) {
+            auto image = makeBenignImage(pages * 4096, seed);
+            const VerifierReport r = verifyImageFrom(image, {});
+            EXPECT_TRUE(r.accepted()) << seed;
+            EXPECT_FALSE(r.cfg.opaque) << seed;
+            EXPECT_DOUBLE_EQ(r.decodeCoverage(), 1.0) << seed;
+        }
     }
 }
 

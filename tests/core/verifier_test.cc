@@ -1,14 +1,16 @@
 /**
  * @file
  * Tests for the load-time verifier: the x86-64 length decoder, the
- * linear-sweep classification of forbidden sequences, and the loader
- * integration (reject vs report-only, reports and stats).
+ * linear-sweep classification of forbidden sequences, the entry-point
+ * reachability walk (pass 2), and the loader integration (reject vs
+ * report-only, reports and stats).
  */
 
 #include <gtest/gtest.h>
 
 #include "core/codescan.h"
 #include "core/system.h"
+#include "core/verifier/cfg.h"
 #include "core/verifier/insn.h"
 #include "core/verifier/scanner.h"
 #include "tests/core/toy_components.h"
@@ -17,10 +19,12 @@ namespace cubicleos::core {
 namespace {
 
 using verifier::FindingClass;
+using verifier::FlowKind;
 using verifier::Insn;
 using verifier::VerifierReport;
 using verifier::decodeAt;
 using verifier::verifyImage;
+using verifier::verifyImageFrom;
 
 std::vector<uint8_t>
 bytes(std::initializer_list<int> list)
@@ -219,6 +223,129 @@ TEST(InsnDecode, OverlongPrefixRunIsUndecodable)
     EXPECT_FALSE(decodeAt(image, 0).has_value());
 }
 
+// Round-trip cases for the opcode families added for real compiler
+// output: (bytes, expected length, expected payload offset, mnemonic).
+struct RoundTrip {
+    std::vector<uint8_t> image;
+    std::size_t length;
+    std::size_t payloadOff;
+    const char *mnemonic;
+};
+
+void
+expectRoundTrip(const RoundTrip &c)
+{
+    auto insn = decodeAt(c.image, 0);
+    ASSERT_TRUE(insn.has_value()) << c.mnemonic;
+    EXPECT_EQ(insn->length, c.length) << c.mnemonic;
+    EXPECT_EQ(insn->payloadOff, c.payloadOff) << c.mnemonic;
+    EXPECT_STREQ(insn->mnemonic, c.mnemonic);
+    EXPECT_FALSE(insn->forbidden) << c.mnemonic;
+}
+
+TEST(InsnDecode, Group2ShiftsAndRotates)
+{
+    const RoundTrip cases[] = {
+        {bytes({0x48, 0xC1, 0xE0, 0x05}), 4, 3, "shift"}, // shl rax, 5
+        {bytes({0xC1, 0xE8, 0x02}), 3, 2, "shift"},       // shr eax, 2
+        {bytes({0xC0, 0xC8, 0x01}), 3, 2, "shift"},       // ror al, 1
+        {bytes({0xD1, 0xE0}), 2, 2, "shift"},             // shl eax, 1
+        {bytes({0x48, 0xD3, 0xE2}), 3, 3, "shift"},       // shl rdx, cl
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, StringOpsWithRepPrefixes)
+{
+    const RoundTrip cases[] = {
+        {bytes({0xA4}), 1, 1, "string"},             // movsb
+        {bytes({0xF3, 0xA4}), 2, 2, "string"},       // rep movsb
+        {bytes({0xF3, 0x48, 0xA5}), 3, 3, "string"}, // rep movsq
+        {bytes({0xF3, 0xAA}), 2, 2, "string"},       // rep stosb
+        {bytes({0xF2, 0xAE}), 2, 2, "string"},       // repne scasb
+        {bytes({0xA6}), 1, 1, "string"},             // cmpsb
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, SseMoves)
+{
+    const RoundTrip cases[] = {
+        {bytes({0x0F, 0x28, 0xC1}), 3, 3, "ssemov"},       // movaps
+        {bytes({0x0F, 0x10, 0x00}), 3, 3, "ssemov"},       // movups [rax]
+        {bytes({0x66, 0x0F, 0x6F, 0xC8}), 4, 4, "sse"},    // movdqa
+        {bytes({0xF3, 0x0F, 0x7E, 0xC0}), 4, 4, "ssemov"}, // movq
+        {bytes({0x66, 0x0F, 0x7F, 0x01}), 4, 4, "ssemov"}, // movdqa [rcx]
+        {bytes({0x66, 0x0F, 0xD6, 0xC1}), 4, 4, "ssemov"}, // movq xmm,xmm
+        // movss xmm0, [rip+d32]: the disp32 is payload.
+        {bytes({0xF3, 0x0F, 0x10, 0x05, 1, 2, 3, 4}), 8, 4, "ssemov"},
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, SsePackedArithmeticAndCompare)
+{
+    const RoundTrip cases[] = {
+        {bytes({0x0F, 0x58, 0xC1}), 3, 3, "ssearith"},       // addps
+        {bytes({0xF2, 0x0F, 0x59, 0xC8}), 4, 4, "ssearith"}, // mulsd
+        {bytes({0x0F, 0x51, 0xC0}), 3, 3, "ssearith"},       // sqrtps
+        {bytes({0x66, 0x0F, 0xEF, 0xC0}), 4, 4, "pxor"},     // pxor
+        {bytes({0x66, 0x0F, 0x74, 0xC1}), 4, 4, "pcmpeq"},   // pcmpeqb
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, SseShuffleAndShiftImmediates)
+{
+    const RoundTrip cases[] = {
+        // psrlw xmm0, 4 (group 12, /2, imm8 payload)
+        {bytes({0x66, 0x0F, 0x71, 0xD0, 0x04}), 5, 4, "sseshift"},
+        // pshufd xmm0, xmm1, 0x1B
+        {bytes({0x66, 0x0F, 0x70, 0xC1, 0x1B}), 5, 4, "pshuf"},
+        // shufps xmm0, xmm1, 3
+        {bytes({0x0F, 0xC6, 0xC1, 0x03}), 4, 3, "shufps"},
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, FlowKinds)
+{
+    struct FlowCase {
+        std::vector<uint8_t> image;
+        FlowKind flow;
+    };
+    const FlowCase cases[] = {
+        {bytes({0x90}), FlowKind::kSequential},
+        {bytes({0x48, 0x89, 0xC3}), FlowKind::kSequential},
+        {bytes({0x74, 0x05}), FlowKind::kBranch},          // je
+        {bytes({0x0F, 0x84, 1, 0, 0, 0}), FlowKind::kBranch},
+        {bytes({0xEB, 0x05}), FlowKind::kJump},
+        {bytes({0xE9, 1, 0, 0, 0}), FlowKind::kJump},
+        {bytes({0xE8, 1, 0, 0, 0}), FlowKind::kCall},
+        {bytes({0xFF, 0xD0}), FlowKind::kIndirectCall},    // call rax
+        {bytes({0xFF, 0x10}), FlowKind::kIndirectCall},    // call [rax]
+        {bytes({0xFF, 0xE0}), FlowKind::kTerminal},        // jmp rax
+        {bytes({0xFF, 0x20}), FlowKind::kTerminal},        // jmp [rax]
+        {bytes({0xFF, 0xC0}), FlowKind::kSequential},      // inc eax
+        {bytes({0xC3}), FlowKind::kTerminal},              // ret
+        {bytes({0xC2, 0x08, 0x00}), FlowKind::kTerminal},  // ret imm16
+        {bytes({0xCC}), FlowKind::kTerminal},              // int3
+        {bytes({0xF4}), FlowKind::kTerminal},              // hlt
+        {bytes({0x0F, 0x0B}), FlowKind::kTerminal},        // ud2
+    };
+    for (const FlowCase &c : cases) {
+        auto insn = decodeAt(c.image, 0);
+        ASSERT_TRUE(insn.has_value()) << static_cast<int>(c.image[0]);
+        EXPECT_EQ(insn->flow, c.flow)
+            << "opcode " << static_cast<int>(c.image[0]);
+    }
+}
+
 // ----------------------------------------------------------------------
 // Linear-sweep classification
 // ----------------------------------------------------------------------
@@ -354,6 +481,186 @@ TEST(Verifier, CoverageCountsAreConsistent)
 }
 
 // ----------------------------------------------------------------------
+// Pass 2: entry-point reachability walk
+// ----------------------------------------------------------------------
+
+TEST(Cfg, DataAfterRetIsUnreachable)
+{
+    // ret ; wrpkru — the linear sweep rejects, the walk proves the
+    // forbidden bytes sit beyond the function's only exit.
+    auto image = bytes({0xC3, 0x0F, 0x01, 0xEF});
+    VerifierReport r1 = verifyImage(image);
+    EXPECT_FALSE(r1.accepted());
+
+    VerifierReport r2 = verifyImageFrom(image, {});
+    EXPECT_TRUE(r2.accepted());
+    ASSERT_EQ(r2.findings.size(), 1u);
+    EXPECT_EQ(r2.findings[0].cls, FindingClass::kUnreachable);
+    EXPECT_TRUE(r2.cfg.ran);
+    EXPECT_FALSE(r2.cfg.opaque);
+    EXPECT_EQ(r2.cfg.reachableInsns, 1u);
+    EXPECT_EQ(r2.cfg.terminals, 1u);
+}
+
+TEST(Cfg, JumpOverDataSkipsForbiddenBytes)
+{
+    // jmp +3 hops over a wrpkru island; nothing branches back into it.
+    auto image = bytes({0xEB, 0x03,             // jmp → 5
+                        0x0F, 0x01, 0xEF,       // dead wrpkru
+                        0x90, 0xC3});
+    EXPECT_FALSE(verifyImage(image).accepted());
+
+    VerifierReport r = verifyImageFrom(image, {});
+    EXPECT_TRUE(r.accepted());
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].cls, FindingClass::kUnreachable);
+    EXPECT_EQ(r.cfg.directBranches, 1u);
+}
+
+TEST(Cfg, ReachableAlignedStillRejected)
+{
+    auto image = bytes({0x90, 0x0F, 0x01, 0xEF, 0xC3});
+    VerifierReport r = verifyImageFrom(image, {});
+    EXPECT_FALSE(r.accepted());
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].cls, FindingClass::kAligned);
+    EXPECT_EQ(r.findings[0].offset, 1u);
+}
+
+TEST(Cfg, ConditionalBranchWalksBothPaths)
+{
+    // Taken path reaches syscall.
+    auto taken = bytes({0x74, 0x03,       // je → 5
+                        0x90, 0x90, 0xC3, // fall-through exits cleanly
+                        0x0F, 0x05});     // target: syscall
+    EXPECT_FALSE(verifyImageFrom(taken, {}).accepted());
+
+    // Fall-through path reaches syscall.
+    auto fallthrough = bytes({0x74, 0x02, // je → 4 (ret)
+                              0x0F, 0x05, // fall-through: syscall
+                              0xC3});
+    EXPECT_FALSE(verifyImageFrom(fallthrough, {}).accepted());
+}
+
+TEST(Cfg, CallWalksTargetAndFallThrough)
+{
+    // Callee (target of call rel32) contains the forbidden bytes.
+    auto callee = bytes({0xE8, 0x01, 0x00, 0x00, 0x00, // call → 6
+                         0xC3,
+                         0x0F, 0x01, 0xEF});
+    EXPECT_FALSE(verifyImageFrom(callee, {}).accepted());
+
+    // Return path (after the call site) contains them.
+    auto after = bytes({0xE8, 0x02, 0x00, 0x00, 0x00, // call → 7
+                        0x0F, 0x05,                   // fall-through
+                        0xC3});
+    EXPECT_FALSE(verifyImageFrom(after, {}).accepted());
+}
+
+TEST(Cfg, EntryPointsSeedTheWalk)
+{
+    auto image = bytes({0xC3, 0x0F, 0x01, 0xEF});
+    const std::size_t first[] = {0};
+    const std::size_t both[] = {0, 1};
+    EXPECT_TRUE(verifyImageFrom(image, first).accepted());
+    EXPECT_FALSE(verifyImageFrom(image, both).accepted());
+    EXPECT_EQ(verifyImageFrom(image, both).cfg.entryCount, 2u);
+}
+
+TEST(Cfg, EntryPointOnEmbeddedConstantUpgradesToReject)
+{
+    // Pass 1 calls the wrpkru bytes an immediate constant; an export
+    // table handing out offset 1 makes them an entry point.
+    auto image = bytes({0xB8, 0x0F, 0x01, 0xEF, 0x90, 0xC3});
+    EXPECT_TRUE(verifyImage(image).accepted());
+    const std::size_t entries[] = {1};
+    VerifierReport r = verifyImageFrom(image, entries);
+    EXPECT_FALSE(r.accepted());
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].cls, FindingClass::kAligned);
+}
+
+TEST(Cfg, IndirectJumpIsASink)
+{
+    // jmp rax ends the walk; the bytes after it are not provably
+    // reachable through any direct edge.
+    auto image = bytes({0xFF, 0xE0, 0x0F, 0x05});
+    VerifierReport r = verifyImageFrom(image, {});
+    EXPECT_TRUE(r.accepted());
+    EXPECT_EQ(r.cfg.terminals, 1u);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].cls, FindingClass::kUnreachable);
+}
+
+TEST(Cfg, IndirectCallFallsThrough)
+{
+    // call rax returns: the syscall after it is reachable.
+    auto image = bytes({0xFF, 0xD0, 0x0F, 0x05});
+    VerifierReport r = verifyImageFrom(image, {});
+    EXPECT_FALSE(r.accepted());
+    EXPECT_EQ(r.cfg.indirectSites, 1u);
+}
+
+TEST(Cfg, ReachableUndecodableByteFallsBackToSweepVerdict)
+{
+    // 0x06 is undecodable; the walk cannot see past it, so the
+    // conservative pass-1 classes stand (here: reject).
+    auto image = bytes({0x06, 0x0F, 0x01, 0xEF});
+    VerifierReport r = verifyImageFrom(image, {});
+    EXPECT_TRUE(r.cfg.opaque);
+    EXPECT_EQ(r.cfg.firstOpaque, 0u);
+    EXPECT_FALSE(r.accepted());
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].cls, FindingClass::kAligned);
+}
+
+TEST(Cfg, OutOfRangeEntryPointIsOpaque)
+{
+    auto image = bytes({0xC3, 0x0F, 0x01, 0xEF});
+    const std::size_t entries[] = {100};
+    VerifierReport r = verifyImageFrom(image, entries);
+    EXPECT_TRUE(r.cfg.opaque);
+    EXPECT_FALSE(r.accepted()); // pass-1 verdict kept
+}
+
+TEST(Cfg, EdgesLeavingTheImageAreExternalSinks)
+{
+    // jmp far past the end, and a nop falling off the last byte: both
+    // count as external targets, neither makes the image opaque.
+    auto jump = bytes({0xEB, 0x10, 0xC3});
+    VerifierReport r = verifyImageFrom(jump, {});
+    EXPECT_TRUE(r.accepted());
+    EXPECT_FALSE(r.cfg.opaque);
+    EXPECT_EQ(r.cfg.externalTargets, 1u);
+
+    auto falloff = bytes({0x90, 0x90});
+    r = verifyImageFrom(falloff, {});
+    EXPECT_TRUE(r.accepted());
+    EXPECT_EQ(r.cfg.externalTargets, 1u);
+}
+
+TEST(Cfg, ReachableCoverageGauge)
+{
+    auto image = bytes({0xEB, 0x03,       // jmp → 5
+                        0x90, 0x90, 0x90, // dead
+                        0xC3});
+    VerifierReport r = verifyImageFrom(image, {});
+    EXPECT_EQ(r.cfg.reachableBytes, 3u); // jmp (2) + ret (1)
+    EXPECT_GT(r.reachableCoverage(), 0.0);
+    EXPECT_LT(r.reachableCoverage(), 1.0);
+    // Pass 1 alone reports zero reachable coverage.
+    EXPECT_DOUBLE_EQ(verifyImage(image).reachableCoverage(), 0.0);
+}
+
+TEST(Cfg, EmptyImageIsTriviallyAccepted)
+{
+    VerifierReport r = verifyImageFrom({}, {});
+    EXPECT_TRUE(r.accepted());
+    EXPECT_TRUE(r.cfg.ran);
+    EXPECT_FALSE(r.cfg.opaque);
+}
+
+// ----------------------------------------------------------------------
 // Loader integration
 // ----------------------------------------------------------------------
 
@@ -375,18 +682,78 @@ TEST(VerifierLoader, RejectsAlignedWrpkruWithClassification)
     }
 }
 
-TEST(VerifierLoader, RejectsMisalignedReachableSequence)
+TEST(VerifierLoader, AcceptsMisalignedSpanOnlyTheSweepWouldReject)
 {
+    // mov al, 0x0F ; add eax, imm32 ; ret — the grep's "0F 05" spans
+    // two instructions, and no entry path executes at offset 1. Pass 1
+    // alone rejected this shape (a false reject the reachability walk
+    // exists to fix); the loader now accepts and keeps the downgraded
+    // finding in the report.
     System sys;
-    auto image = bytes({0xB0, 0x0F, 0x05, 0x11, 0x22, 0x33, 0x44});
-    testing::addToy(sys, "sneaky").withImage(image);
+    auto image = bytes({0xB0, 0x0F, 0x05, 0x11, 0x22, 0x33, 0x44, 0xC3});
+    EXPECT_FALSE(verifyImage(image).accepted());
+    testing::addToy(sys, "spanner").withImage(image);
+    sys.boot();
+
+    const auto &report = sys.monitor().verifierReport(sys.cidOf("spanner"));
+    EXPECT_TRUE(report.accepted());
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kUnreachable);
+    EXPECT_TRUE(report.cfg.ran);
+}
+
+TEST(VerifierLoader, RejectsEntryPointIntoMisalignedSequence)
+{
+    // The same bytes with an export table handing out offset 1: the
+    // walk decodes syscall right at the entry point.
+    System sys;
+    auto image = bytes({0xB0, 0x0F, 0x05, 0x11, 0x22, 0x33, 0x44, 0xC3});
+    testing::addToy(sys, "sneaky")
+        .withImage(image)
+        .withEntryPoints({0, 1});
     try {
         sys.boot();
-        FAIL() << "misaligned-reachable image was loaded";
+        FAIL() << "image with a forbidden entry path was loaded";
     } catch (const VerifierError &e) {
-        EXPECT_NE(std::string(e.what()).find("misaligned-reachable"),
-                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("syscall"), std::string::npos);
     }
+}
+
+TEST(VerifierLoader, RejectsEntryPointOutsideImage)
+{
+    System sys;
+    std::vector<uint8_t> image(64, 0x90);
+    image.push_back(0xC3);
+    testing::addToy(sys, "broken")
+        .withImage(image)
+        .withEntryPoints({4096});
+    try {
+        sys.boot();
+        FAIL() << "out-of-range entry point was accepted";
+    } catch (const VerifierError &e) {
+        EXPECT_NE(std::string(e.what()).find("outside"), std::string::npos);
+    }
+}
+
+TEST(VerifierLoader, RetainsCfgSummaryInLoadReport)
+{
+    System sys;
+    // jmp over a dead wrpkru island, then nops to a ret.
+    auto image = bytes({0xEB, 0x03, 0x0F, 0x01, 0xEF});
+    while (image.size() < 127)
+        image.push_back(0x90);
+    image.push_back(0xC3);
+    testing::addToy(sys, "app").withImage(image);
+    sys.boot();
+
+    const auto &report = sys.monitor().verifierReport(sys.cidOf("app"));
+    EXPECT_TRUE(report.accepted());
+    EXPECT_TRUE(report.cfg.ran);
+    EXPECT_FALSE(report.cfg.opaque);
+    EXPECT_GT(report.cfg.reachableInsns, 0u);
+    EXPECT_GT(report.reachableCoverage(), 0.9);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].cls, FindingClass::kUnreachable);
 }
 
 TEST(VerifierLoader, VerifierErrorIsALoaderError)
