@@ -13,11 +13,13 @@
 #define CUBICLEOS_CORE_CUBICLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/ids.h"
 #include "core/window.h"
+#include "hw/mpk.h"
 #include "mem/arena.h"
 #include "mem/suballoc.h"
 
@@ -28,6 +30,14 @@ namespace cubicleos::core {
  *
  * Created by the loader; owned by the monitor. Untrusted code never holds
  * a Cubicle pointer — it interacts through the System facade.
+ *
+ * Concurrency: id/name/kind/pkey and the page ranges are immutable after
+ * loadComponent publishes the cubicle, so any thread may read them
+ * without locking. Mutable state is split per concern so cubicles never
+ * contend with each other: the stack arena cursor under stackMu, the
+ * heap sub-allocator under heapMu, the window-descriptor arrays under
+ * the monitor's window lock, and extraAllow as an atomic PKRU image
+ * (see monitor.h for the lock hierarchy).
  */
 struct Cubicle {
     Cid id = kNoCubicle;
@@ -46,18 +56,30 @@ struct Cubicle {
     /** Per-cubicle stack pages with a bump offset (see StackFrame). */
     mem::PageRange stackRange;
     std::size_t stackUsed = 0;
+    /** Guards stackUsed (StackFrame save/alloc/restore). */
+    mutable std::mutex stackMu;
 
     /** Fine-grained heap backed by pages tagged with this cubicle's key. */
     std::unique_ptr<mem::HeapAllocator> heap;
+    /**
+     * Guards the heap sub-allocator's free lists. Chunk-source
+     * callbacks run under it and may cross-call (e.g. into ALLOC), so
+     * heapMu of different cubicles can nest — safely, because heap
+     * page-source routing is acyclic (a heap source never routes back
+     * into a cubicle whose allocation is in flight).
+     */
+    mutable std::mutex heapMu;
 
     /** The per-cubicle window descriptor arrays. */
     WindowTable windows;
 
     /**
      * Extra PKRU grants from hot windows opened for this cubicle
-     * (merged into pkruFor's result at every switch).
+     * (merged into pkruFor's result at every switch). Written by
+     * window open/close under the monitor's window lock; read
+     * lock-free by every permission switch, hence atomic.
      */
-    hw::Pkru extraAllow = hw::Pkru::denyAll();
+    hw::AtomicPkru extraAllow;
 
     bool isolated() const { return kind == CubicleKind::kIsolated; }
 };

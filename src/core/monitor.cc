@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "core/codescan.h"
-#include "core/verifier/cfg.h"
+#include "core/verifier/cache.h"
 
 namespace cubicleos::core {
 
@@ -30,12 +30,16 @@ Monitor::Monitor(const SystemConfig &cfg, Stats *stats)
     // One key for all shared cubicles' static data; readable everywhere.
     sharedKey_ = mpk_.allocKey();
     assert(sharedKey_ == 1);
+    // Pre-reserve so the tables never reallocate: fault-path readers
+    // index them without holding any lock.
+    cubicles_.reserve(kMaxCubicles);
+    loadReports_.reserve(kMaxCubicles);
 }
 
 Cid
 Monitor::loadComponent(const ComponentSpec &spec)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(loaderMutex_);
 
     if (cubicles_.size() >= static_cast<std::size_t>(kMaxCubicles))
         throw LoaderError("too many cubicles for ACL bitmask width");
@@ -46,7 +50,9 @@ Monitor::loadComponent(const ComponentSpec &spec)
     // executes block the load, while sequences in payload constants or
     // provably dead code are recorded in the report for audit. An
     // undecodable reachable byte falls back to the linear-sweep
-    // verdict (never more permissive).
+    // verdict (never more permissive). The verdict is memoised by
+    // image content hash, so reloading an identical image skips the
+    // sweep + walk.
     std::vector<uint8_t> image = spec.image.empty()
         ? makeBenignImage(spec.codePages * hw::kPageSize,
                           cubicles_.size() + 1)
@@ -59,8 +65,16 @@ Monitor::loadComponent(const ComponentSpec &spec)
                 std::to_string(image.size()) + "-byte image");
         }
     }
+    bool cacheHit = false;
     verifier::VerifierReport report =
-        verifier::verifyImageFrom(image, spec.entryPoints);
+        verifier::VerifyCache::instance().verify(image, spec.entryPoints,
+                                                 &cacheHit);
+    if (cacheHit)
+        stats_->countVerifyCacheHit();
+    else
+        stats_->countVerifyCacheMiss();
+    // Counted per load, hit or miss: imagesVerified tracks verified
+    // loads, the hit/miss counters tell how many ran the passes.
     stats_->countVerifiedImage(report.imageBytes, report.decodedBytes,
                                report.insnCount, report.rejectingCount(),
                                report.embeddedCount());
@@ -93,9 +107,12 @@ Monitor::loadComponent(const ComponentSpec &spec)
     // Code pages: map writable to copy the image, then execute-only
     // (rule 1, §5.4: cubicles cannot change execute permissions later).
     const std::size_t code_pages = hw::pagesFor(image.size());
-    cub->codeRange = pageAlloc_.allocPages(code_pages, cid,
-                                           mem::PageType::kCode,
-                                           hw::kPermWrite, pkey);
+    {
+        std::lock_guard<std::mutex> pages(pageMutex_);
+        cub->codeRange = pageAlloc_.allocPages(code_pages, cid,
+                                               mem::PageType::kCode,
+                                               hw::kPermWrite, pkey);
+    }
     if (!cub->codeRange.valid())
         throw OutOfMemory("code pages for '" + spec.name + "'");
     std::memcpy(cub->codeRange.ptr, image.data(), image.size());
@@ -104,6 +121,7 @@ Monitor::loadComponent(const ComponentSpec &spec)
 
     // Global data pages.
     if (spec.globalPages > 0) {
+        std::lock_guard<std::mutex> pages(pageMutex_);
         cub->globalRange = pageAlloc_.allocPages(
             spec.globalPages, cid, mem::PageType::kGlobal,
             hw::kPermRead | hw::kPermWrite, pkey);
@@ -114,47 +132,59 @@ Monitor::loadComponent(const ComponentSpec &spec)
     // Per-cubicle stack arena.
     const std::size_t stack_pages =
         spec.stackPages ? spec.stackPages : cfg_.stackPages;
-    cub->stackRange = pageAlloc_.allocPages(
-        stack_pages, cid, mem::PageType::kStack,
-        hw::kPermRead | hw::kPermWrite, pkey);
+    {
+        std::lock_guard<std::mutex> pages(pageMutex_);
+        cub->stackRange = pageAlloc_.allocPages(
+            stack_pages, cid, mem::PageType::kStack,
+            hw::kPermRead | hw::kPermWrite, pkey);
+    }
     if (!cub->stackRange.valid())
         throw OutOfMemory("stack pages for '" + spec.name + "'");
 
     // Heap: default page source is the monitor's pool. The boot code may
     // rewire it to cross-call the ALLOC component (see System::boot).
+    // The callbacks run under the owning cubicle's heapMu and take only
+    // the leaf pageMutex_, per the lock hierarchy.
     const std::size_t chunk_pages =
         spec.heapChunkPages ? spec.heapChunkPages : cfg_.heapChunkPages;
     cub->heap = std::make_unique<mem::HeapAllocator>(
         [this, cid](std::size_t pages) {
-            std::lock_guard<std::mutex> l(mutex_);
+            const auto key =
+                static_cast<uint8_t>(cubicles_[cid]->pkey);
+            std::lock_guard<std::mutex> l(pageMutex_);
             return pageAlloc_.allocPages(
                 pages, cid, mem::PageType::kHeap,
-                hw::kPermRead | hw::kPermWrite,
-                static_cast<uint8_t>(cubicles_[cid]->pkey));
+                hw::kPermRead | hw::kPermWrite, key);
         },
         [this](const mem::PageRange &r) {
-            std::lock_guard<std::mutex> l(mutex_);
+            std::lock_guard<std::mutex> l(pageMutex_);
             pageAlloc_.freePages(r);
         },
         chunk_pages);
 
+    // Publish: the release store pairs with cubicleCount()'s acquire
+    // load, making the fully constructed cubicle (and its parallel
+    // report) visible to lock-free readers.
     cubicles_.push_back(std::move(cub));
     loadReports_.push_back(std::move(report));
+    cubicleCount_.store(cubicles_.size(), std::memory_order_release);
     return cid;
 }
 
 const verifier::VerifierReport &
 Monitor::verifierReport(Cid cid) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    assert(cid < loadReports_.size());
+    assert(cid < cubicleCount());
     return loadReports_[cid];
 }
 
 verifier::WiringSnapshot
 Monitor::snapshotWiring() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Loader lock freezes the cubicle table, shared window lock
+    // freezes ACLs — acquired in hierarchy order.
+    std::lock_guard<std::mutex> loader(loaderMutex_);
+    std::shared_lock<std::shared_mutex> windows(windowMutex_);
     verifier::WiringSnapshot snap;
     snap.sharedKey = sharedKey_;
     snap.cubicles.reserve(cubicles_.size());
@@ -176,25 +206,27 @@ Monitor::snapshotWiring() const
 Cubicle &
 Monitor::cubicle(Cid cid)
 {
-    assert(cid < cubicles_.size());
+    assert(cid < cubicleCount());
     return *cubicles_[cid];
 }
 
 const Cubicle &
 Monitor::cubicle(Cid cid) const
 {
-    assert(cid < cubicles_.size());
+    assert(cid < cubicleCount());
     return *cubicles_[cid];
 }
 
 hw::Pkru
 Monitor::pkruFor(Cid cid) const
 {
+    // Lock-free: pkey is immutable after publication and extraAllow is
+    // an atomic register image. Runs on every cross-call switch.
     hw::Pkru pkru = hw::Pkru::denyAll();
-    if (cid < cubicles_.size()) {
+    if (cid < cubicleCount()) {
         pkru.allow(cubicles_[cid]->pkey);
         // Hot-window keys granted to this cubicle (paper §8).
-        pkru.mergeAllow(cubicles_[cid]->extraAllow);
+        pkru.mergeAllow(cubicles_[cid]->extraAllow.load());
     }
     // Shared cubicles' static data is accessible from every cubicle.
     pkru.allow(sharedKey_);
@@ -223,7 +255,7 @@ Monitor::windowChecked(Cid caller, Wid wid, const char *op)
 Wid
 Monitor::windowInit(Cid caller)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     // Reuse a dead slot if available.
     for (Wid wid = 0; wid < windows_.size(); ++wid) {
@@ -239,7 +271,7 @@ Monitor::windowInit(Cid caller)
 void
 Monitor::windowAdd(Cid caller, Wid wid, const void *ptr, std::size_t size)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_add");
 
@@ -269,64 +301,72 @@ Monitor::windowAdd(Cid caller, Wid wid, const void *ptr, std::size_t size)
 void
 Monitor::windowRemove(Cid caller, Wid wid, const void *ptr)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_remove");
     if (!cubicles_[caller]->windows.remove(wid, ptr))
         throw WindowError("window_remove: no such range in window");
     --w.rangeCount;
+    bumpEpoch(); // the range's pages are no longer grantable
 }
 
 void
 Monitor::windowOpen(Cid caller, Wid wid, Cid peer)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_open");
     w.acl |= aclBit(peer);
-    if (w.hotKey >= 0 && peer < cubicles_.size())
+    if (w.hotKey >= 0 && peer < cubicleCount())
         cubicles_[peer]->extraAllow.allow(w.hotKey);
+    // No epoch bump: opening only widens grants, cached ones stay valid.
 }
 
 void
 Monitor::windowClose(Cid caller, Wid wid, Cid peer)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_close");
     // Lazy revocation: the ACL bit is cleared but pages keep their
     // current tag (causal tag consistency, §5.6). Hot windows revoke
     // eagerly through the PKRU mask instead.
     w.acl &= ~aclBit(peer);
-    if (w.hotKey >= 0 && peer < cubicles_.size())
+    if (w.hotKey >= 0 && peer < cubicleCount())
         cubicles_[peer]->extraAllow.deny(w.hotKey);
+    bumpEpoch();
 }
 
 void
 Monitor::windowCloseAll(Cid caller, Wid wid)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_close_all");
     if (w.hotKey >= 0) {
-        for (Cid cid = 0; cid < cubicles_.size(); ++cid) {
+        for (Cid cid = 0; cid < cubicleCount(); ++cid) {
             if ((w.acl & aclBit(cid)) && cid != caller)
                 cubicles_[cid]->extraAllow.deny(w.hotKey);
         }
     }
     w.acl = 0;
+    bumpEpoch();
 }
 
 void
 Monitor::windowDestroy(Cid caller, Wid wid)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_destroy");
     if (w.hotKey >= 0) {
         // Return the window's pages to the owner's tag and revoke the
         // key from every PKRU mask. (The key itself is not recycled;
         // hardware keys are a scarce, explicitly-requested resource.)
+        // A lock-free fast-path fault (owner retag / no-ACL mode) may
+        // race this sweep and win on a page; it leaves the page tagged
+        // for a still-entitled accessor, which lazy close already
+        // permits.
         for (std::size_t page = 0; page < space_.numPages(); ++page) {
             if (space_.entryAt(page).present &&
                 space_.entryAt(page).pkey == w.hotKey) {
@@ -335,17 +375,18 @@ Monitor::windowDestroy(Cid caller, Wid wid)
                                   cubicles_[caller]->pkey));
             }
         }
-        for (auto &cub : cubicles_)
-            cub->extraAllow.deny(w.hotKey);
+        for (std::size_t i = 0; i < cubicleCount(); ++i)
+            cubicles_[i]->extraAllow.deny(w.hotKey);
     }
     cubicles_[caller]->windows.removeAll(wid);
     w = Window{}; // live = false; slot reusable
+    bumpEpoch();
 }
 
 void
 Monitor::windowSetHot(Cid caller, Wid wid)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_set_hot");
     if (w.hotKey >= 0)
@@ -358,7 +399,7 @@ Monitor::windowSetHot(Cid caller, Wid wid)
     }
     w.hotKey = key;
     cubicles_[caller]->extraAllow.allow(key);
-    for (Cid cid = 0; cid < cubicles_.size(); ++cid) {
+    for (Cid cid = 0; cid < cubicleCount(); ++cid) {
         if (w.acl & aclBit(cid))
             cubicles_[cid]->extraAllow.allow(key);
     }
@@ -367,7 +408,7 @@ Monitor::windowSetHot(Cid caller, Wid wid)
 AclMask
 Monitor::windowAcl(Wid wid) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(windowMutex_);
     if (wid >= windows_.size() || !windows_[wid].live)
         throw WindowError("windowAcl: invalid window id");
     return windows_[wid].acl;
@@ -381,8 +422,6 @@ bool
 Monitor::handleFault(const hw::Fault &fault, Cid accessor,
                      IsolationMode mode)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-
     clock_.charge(hw::cost::kFaultTrap);
     stats_->countTrap();
 
@@ -392,13 +431,14 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
         fault.reason != hw::FaultReason::kPkuWrite) {
         return false;
     }
-    if (!space_.contains(fault.addr) || accessor >= cubicles_.size())
+    if (!space_.contains(fault.addr) || accessor >= cubicleCount())
         return false;
 
-    // ❷ page metadata: owner and type in O(1).
+    // ❷ page metadata: owner and type in O(1). Atomic reads — no lock.
     const std::size_t page = space_.pageIndexOf(fault.addr);
     const mem::PageMeta &pm = meta_.at(page);
-    if (pm.owner == kNoCubicle || pm.owner >= cubicles_.size())
+    const Cid page_owner = pm.owner;
+    if (page_owner == kNoCubicle || page_owner >= cubicleCount())
         return false;
 
     const auto accessor_key =
@@ -406,8 +446,9 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
 
     // The owner always has access to its own pages (implicit window 0):
     // a fault here means the page was lazily left tagged for a previous
-    // accessor; retag it back.
-    if (pm.owner == accessor) {
+    // accessor; retag it back. Lock-free: the atomic tag store is the
+    // whole commit.
+    if (page_owner == accessor) {
         space_.setKey(page, 1, accessor_key);
         stats_->countRetag();
         return true;
@@ -420,18 +461,23 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
         return true;
     }
 
-    // ❸ linear search of the owner's window-descriptor array.
-    Cubicle &owner = *cubicles_[pm.owner];
+    // ❸ interval lookup in the owner's window-descriptor array and
+    // ❹ the O(1) ACL bitmask check — both reads, under the shared
+    // window lock so faults in different cubicles proceed in parallel
+    // and only window mutations exclude them.
+    std::shared_lock<std::shared_mutex> lock(windowMutex_);
+    const Cubicle &owner = *cubicles_[page_owner];
     const Wid wid = owner.windows.findWindowFor(pm.type, fault.addr);
     if (wid == kInvalidWindow)
         return false;
 
-    // ❹ O(1) ACL bitmask check.
     const Window &w = windows_[wid];
     if (!w.live || (w.acl & aclBit(accessor)) == 0)
         return false;
 
-    // ❺ grant: retag the page to the accessor's cubicle.
+    // ❺ grant: retag the page to the accessor's cubicle. The tag store
+    // is atomic, so the commit needs no exclusive lock; a concurrent
+    // close cannot interleave (it takes the lock exclusively).
     space_.setKey(page, 1, accessor_key);
     stats_->countRetag();
     return true;
@@ -445,24 +491,24 @@ mem::PageRange
 Monitor::allocPagesFor(Cid cid, std::size_t n, mem::PageType type,
                        uint8_t perms)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    assert(cid < cubicles_.size());
-    return pageAlloc_.allocPages(
-        n, cid, type, perms, static_cast<uint8_t>(cubicles_[cid]->pkey));
+    assert(cid < cubicleCount());
+    const auto key = static_cast<uint8_t>(cubicles_[cid]->pkey);
+    std::lock_guard<std::mutex> lock(pageMutex_);
+    return pageAlloc_.allocPages(n, cid, type, perms, key);
 }
 
 void
 Monitor::freePages(const mem::PageRange &range)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(pageMutex_);
     pageAlloc_.freePages(range);
 }
 
 std::byte *
 Monitor::stackAlloc(Cid cid, std::size_t size, std::size_t align)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     Cubicle &cub = cubicle(cid);
+    std::lock_guard<std::mutex> lock(cub.stackMu);
     std::size_t off = (cub.stackUsed + align - 1) & ~(align - 1);
     if (off + size > cub.stackRange.sizeBytes())
         throw OutOfMemory("stack arena of '" + cub.name + "'");
@@ -473,15 +519,17 @@ Monitor::stackAlloc(Cid cid, std::size_t size, std::size_t align)
 std::size_t
 Monitor::stackOffset(Cid cid) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cubicles_[cid]->stackUsed;
+    const Cubicle &cub = cubicle(cid);
+    std::lock_guard<std::mutex> lock(cub.stackMu);
+    return cub.stackUsed;
 }
 
 void
 Monitor::stackRestore(Cid cid, std::size_t saved)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    cubicles_[cid]->stackUsed = saved;
+    Cubicle &cub = cubicle(cid);
+    std::lock_guard<std::mutex> lock(cub.stackMu);
+    cub.stackUsed = saved;
 }
 
 } // namespace cubicleos::core

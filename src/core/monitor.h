@@ -11,20 +11,57 @@
  *   ❶ a cross-cubicle access faults (simulated MPK check fails);
  *   ❷ the faulting page's metadata yields its owner and type in O(1);
  *   ❸ the owner's window-descriptor array for that type is searched
- *     linearly for a range containing the address;
+ *     for a range containing the address (sorted interval index);
  *   ❹ the window's ACL bitmask is indexed by the accessor's cubicle ID;
  *   ❺ on success the page's MPK tag is reassigned to the accessor.
  *
  * Closing a window does not retag pages (causal tag consistency, §5.6):
  * the page keeps its tag until a cubicle with access — including the
  * owner — touches it again and traps.
+ *
+ * # Lock hierarchy
+ *
+ * The monitor used to serialise every entry point — loads, window ops,
+ * faults, stack bumps, heap chunks — on one mutex, so concurrent
+ * cubicles queued behind each other's faults. State is now guarded by
+ * scope, acquired strictly in this order (never the reverse):
+ *
+ *   1. loaderMutex_      — cubicle/report table growth (loadComponent)
+ *   2. windowMutex_      — windows_, per-cubicle WindowTables, ACLs,
+ *                          hot keys. shared_mutex: faults take it
+ *                          shared (❸/❹ are reads), window mutations
+ *                          take it exclusive.
+ *   3. Cubicle::stackMu / Cubicle::heapMu — per-cubicle arena and heap
+ *                          state; cubicles never contend with each
+ *                          other. heapMu of different cubicles may
+ *                          chain through cross-calling chunk sources
+ *                          (acyclic heap-source routing).
+ *   4. pageMutex_        — the page pool + metadata assignment (leaf).
+ *
+ * Lock-free by design (no level): the fault fast paths. Page metadata
+ * (owner/type), page-table entries (present/perms/pkey) and each
+ * cubicle's published fields are word-atomic, the cubicle table is
+ * pre-reserved and append-only behind an atomic count, and the grant
+ * commit ❺ is an atomic tag store (hw::AddressSpace::setKey) — so an
+ * owner re-faulting its own page, and the whole no-ACL ablation mode,
+ * resolve without taking any lock, and System::touch's no-fault check
+ * never synchronises at all (like the hardware TLB check).
+ *
+ * Revocation ordering: windowClose/CloseAll/Remove/Destroy bump
+ * windowEpoch_ after mutating the ACL/ranges, which invalidates every
+ * thread's grant cache (see System::touch). Revocation remains lazy
+ * exactly as §5.6 specifies — pages keep their tags — so a bounded
+ * stale-grant window is inherent to the design, not added by the
+ * caching.
  */
 
 #ifndef CUBICLEOS_CORE_MONITOR_H_
 #define CUBICLEOS_CORE_MONITOR_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -71,11 +108,9 @@ struct SystemConfig {
 /**
  * Trusted memory monitor + cubicle loader.
  *
- * Thread-safety: mutating entry points (loading, window ops, page
- * allocation, fault handling) serialise on an internal mutex; the fast
- * no-fault access check path in System::touch reads page entries without
- * locking, mirroring how the hardware TLB check is free of software
- * synchronisation.
+ * Thread-safety: see the lock-hierarchy note in the file header. Every
+ * public entry point is safe to call from any thread after boot;
+ * loadComponent additionally serialises against itself.
  */
 class Monitor {
   public:
@@ -103,7 +138,8 @@ class Monitor {
      *
      * Runs the reachability verifier over the code image (linear-sweep
      * classification refined by a branch-graph walk from the spec's
-     * entry points; see core/verifier/cfg.h), allocates an MPK key
+     * entry points; see core/verifier/cfg.h) through the process-wide
+     * image-hash cache (core/verifier/cache.h), allocates an MPK key
      * (isolated cubicles), maps code pages execute-only, and sets up
      * globals, the stack arena and the heap sub-allocator.
      *
@@ -117,7 +153,10 @@ class Monitor {
 
     Cubicle &cubicle(Cid cid);
     const Cubicle &cubicle(Cid cid) const;
-    std::size_t cubicleCount() const { return cubicles_.size(); }
+    std::size_t cubicleCount() const
+    {
+        return cubicleCount_.load(std::memory_order_acquire);
+    }
 
     /**
      * The verifier report for @p cid's image, recorded at load time
@@ -168,12 +207,28 @@ class Monitor {
     /** Returns the ACL of a window (introspection for tests/tools). */
     AclMask windowAcl(Wid wid) const;
 
+    /**
+     * Monotonic revocation epoch. Bumped by every operation that can
+     * shrink a grant (close, closeAll, remove, destroy); per-thread
+     * grant caches compare their entries' epoch against it and fall
+     * back to the fault path on mismatch.
+     */
+    uint64_t windowEpoch() const
+    {
+        return windowEpoch_.load(std::memory_order_seq_cst);
+    }
+
     // ------------------------------------------------------------------
     // Trap-and-map (paper §5.3, Fig. 4)
     // ------------------------------------------------------------------
 
     /**
      * Attempts to resolve a protection fault taken by @p accessor.
+     *
+     * Lock-free when the accessor owns the page (or in no-ACL mode);
+     * otherwise takes windowMutex_ shared for the window walk and
+     * commits the grant with an atomic tag store, so concurrent faults
+     * in different cubicles resolve in parallel.
      *
      * @return true if the page was retagged and the access may be
      *         retried; false if this is a genuine isolation violation.
@@ -205,10 +260,18 @@ class Monitor {
     void stackRestore(Cid cid, std::size_t saved);
 
     /** Free pages remaining in the monitor's pool. */
-    std::size_t freePageCount() const { return pageAlloc_.freePageCount(); }
+    std::size_t freePageCount() const
+    {
+        std::lock_guard<std::mutex> lock(pageMutex_);
+        return pageAlloc_.freePageCount();
+    }
 
   private:
     Window &windowChecked(Cid caller, Wid wid, const char *op);
+    void bumpEpoch()
+    {
+        windowEpoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
 
     SystemConfig cfg_;
     Stats *stats_;
@@ -219,16 +282,27 @@ class Monitor {
     mem::PageAllocator pageAlloc_;
     int sharedKey_;
 
-    /**
-     * Declared before the cubicle table: cubicle heap destructors
-     * return chunks through callbacks that lock this mutex, so it must
-     * outlive them.
-     */
-    mutable std::mutex mutex_;
+    // Locks, in acquisition order (see the file-header hierarchy).
+    // Declared before the cubicle table: cubicle heap destructors
+    // return chunks through callbacks that lock pageMutex_, so it must
+    // outlive them.
+    mutable std::mutex loaderMutex_;
+    mutable std::shared_mutex windowMutex_;
+    mutable std::mutex pageMutex_;
 
+    /**
+     * Append-only, pre-reserved to kMaxCubicles so readers index it
+     * without locking: elements never move, and cubicleCount_'s
+     * release/acquire pair publishes each new entry.
+     */
     std::vector<std::unique_ptr<Cubicle>> cubicles_;
+    std::atomic<std::size_t> cubicleCount_{0};
+
     std::vector<Window> windows_;
-    /** Load-time verifier reports, parallel to cubicles_. */
+    std::atomic<uint64_t> windowEpoch_{0};
+
+    /** Load-time verifier reports, parallel to cubicles_ (same
+     *  pre-reserved append-only publication scheme). */
     std::vector<verifier::VerifierReport> loadReports_;
 };
 

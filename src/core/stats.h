@@ -4,16 +4,26 @@
  *
  * The per-edge call counters regenerate the annotations on the component
  * graphs of Fig. 5 (NGINX) and Fig. 8 (SQLite).
+ *
+ * Thread-safety: every counter is a relaxed atomic. CrossCallGuard
+ * bumps countCall/countWrpkru on every cross-cubicle call from any
+ * thread, and the trap-and-map handler runs concurrently across
+ * threads, so the counters must not serialise the hot paths: relaxed
+ * increments add no ordering and no locks, mirroring per-CPU event
+ * counters. Readers (benches, tests) see values at least as fresh as
+ * the last synchronisation point (thread join, lock release).
  */
 
 #ifndef CUBICLEOS_CORE_STATS_H_
 #define CUBICLEOS_CORE_STATS_H_
 
-#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/ids.h"
+#include "hw/relaxed_atomic.h"
 
 namespace cubicleos::core {
 
@@ -27,52 +37,70 @@ struct CallEdge {
 /** Aggregated runtime counters for one System. */
 class Stats {
   public:
-    Stats() : edgeMatrix_(kMaxCubicles * kMaxCubicles, 0) {}
+    Stats() : edgeMatrix_(kMaxCubicles * kMaxCubicles) {}
+
+    Stats(const Stats &) = delete;
+    Stats &operator=(const Stats &) = delete;
 
     /**
      * Records one cross-cubicle call on the (caller, callee) edge.
      * A flat-matrix increment: cheap enough to keep on in every mode.
+     * @throws std::out_of_range when either cubicle ID is outside the
+     *         ACL/matrix width (kMaxCubicles) — out-of-range IDs used
+     *         to alias silently onto `cid % kMaxCubicles`, corrupting
+     *         another cubicle's edge counters.
      */
     void countCall(Cid caller, Cid callee)
     {
-        edgeMatrix_[matrixIndex(caller, callee)]++;
+        edgeMatrix_[matrixIndex(caller, callee)].fetchAdd(1);
     }
 
     /** Memory-protection traps taken (trap-and-map entries). */
-    void countTrap() { ++traps_; }
+    void countTrap() { traps_.fetchAdd(1); }
     /** Pages retagged by the trap handler. */
-    void countRetag() { ++retags_; }
+    void countRetag() { retags_.fetchAdd(1); }
     /** PKRU register writes. */
-    void countWrpkru(uint64_t n = 1) { wrpkrus_ += n; }
+    void countWrpkru(uint64_t n = 1) { wrpkrus_.fetchAdd(n); }
     /** Window API operations (init/add/open/close/...). */
-    void countWindowOp() { ++windowOps_; }
+    void countWindowOp() { windowOps_.fetchAdd(1); }
     /** Faults the monitor could not resolve (isolation violations). */
-    void countViolation() { ++violations_; }
+    void countViolation() { violations_.fetchAdd(1); }
+    /**
+     * Faults absorbed by a thread's grant cache (the simulated TLB):
+     * the access was allowed from the cached window grant without
+     * entering the monitor or retagging the page.
+     */
+    void countGrantCacheHit() { grantCacheHits_.fetchAdd(1); }
 
     /** Records one load-time verifier run over a component image. */
     void countVerifiedImage(uint64_t imageBytes, uint64_t decodedBytes,
                             uint64_t insns, uint64_t rejecting,
                             uint64_t reportOnly)
     {
-        ++imagesVerified_;
-        verifierBytesScanned_ += imageBytes;
-        verifierBytesDecoded_ += decodedBytes;
-        verifierInsns_ += insns;
-        verifierRejected_ += rejecting;
-        verifierReported_ += reportOnly;
+        imagesVerified_.fetchAdd(1);
+        verifierBytesScanned_.fetchAdd(imageBytes);
+        verifierBytesDecoded_.fetchAdd(decodedBytes);
+        verifierInsns_.fetchAdd(insns);
+        verifierRejected_.fetchAdd(rejecting);
+        verifierReported_.fetchAdd(reportOnly);
     }
     /** Records one isolation-lint run yielding @p findings findings. */
     void countLintRun(uint64_t findings)
     {
-        ++lintRuns_;
-        lintFindings_ += findings;
+        lintRuns_.fetchAdd(1);
+        lintFindings_.fetchAdd(findings);
     }
+    /** Load served from the verifier's image-hash cache. */
+    void countVerifyCacheHit() { verifyCacheHits_.fetchAdd(1); }
+    /** Load that ran the sweep + CFG walk for real. */
+    void countVerifyCacheMiss() { verifyCacheMisses_.fetchAdd(1); }
 
     uint64_t traps() const { return traps_; }
     uint64_t retags() const { return retags_; }
     uint64_t wrpkrus() const { return wrpkrus_; }
     uint64_t windowOps() const { return windowOps_; }
     uint64_t violations() const { return violations_; }
+    uint64_t grantCacheHits() const { return grantCacheHits_; }
     uint64_t imagesVerified() const { return imagesVerified_; }
     uint64_t verifierBytesScanned() const { return verifierBytesScanned_; }
     uint64_t verifierBytesDecoded() const { return verifierBytesDecoded_; }
@@ -81,6 +109,8 @@ class Stats {
     uint64_t verifierReported() const { return verifierReported_; }
     uint64_t lintRuns() const { return lintRuns_; }
     uint64_t lintFindings() const { return lintFindings_; }
+    uint64_t verifyCacheHits() const { return verifyCacheHits_; }
+    uint64_t verifyCacheMisses() const { return verifyCacheMisses_; }
 
     /** Returns the call count on one edge. */
     uint64_t callsOnEdge(Cid caller, Cid callee) const
@@ -92,7 +122,7 @@ class Stats {
     uint64_t totalCalls() const
     {
         uint64_t n = 0;
-        for (uint64_t v : edgeMatrix_)
+        for (const auto &v : edgeMatrix_)
             n += v;
         return n;
     }
@@ -116,34 +146,60 @@ class Stats {
     /** Resets every counter (benchmark warm-up boundary). */
     void reset()
     {
-        std::fill(edgeMatrix_.begin(), edgeMatrix_.end(), 0);
-        traps_ = retags_ = wrpkrus_ = windowOps_ = violations_ = 0;
-        imagesVerified_ = verifierBytesScanned_ = verifierBytesDecoded_ = 0;
-        verifierInsns_ = verifierRejected_ = verifierReported_ = 0;
-        lintRuns_ = lintFindings_ = 0;
+        for (auto &v : edgeMatrix_)
+            v = 0;
+        traps_ = 0;
+        retags_ = 0;
+        wrpkrus_ = 0;
+        windowOps_ = 0;
+        violations_ = 0;
+        grantCacheHits_ = 0;
+        imagesVerified_ = 0;
+        verifierBytesScanned_ = 0;
+        verifierBytesDecoded_ = 0;
+        verifierInsns_ = 0;
+        verifierRejected_ = 0;
+        verifierReported_ = 0;
+        lintRuns_ = 0;
+        lintFindings_ = 0;
+        verifyCacheHits_ = 0;
+        verifyCacheMisses_ = 0;
     }
 
   private:
     static std::size_t matrixIndex(Cid caller, Cid callee)
     {
-        return (caller % kMaxCubicles) * kMaxCubicles
-            + (callee % kMaxCubicles);
+        if (caller >= static_cast<Cid>(kMaxCubicles) ||
+            callee >= static_cast<Cid>(kMaxCubicles)) {
+            throw std::out_of_range(
+                "Stats: cubicle id outside the " +
+                std::to_string(kMaxCubicles) +
+                "-wide call-edge matrix (caller " +
+                std::to_string(caller) + ", callee " +
+                std::to_string(callee) + ")");
+        }
+        return static_cast<std::size_t>(caller) * kMaxCubicles + callee;
     }
 
-    std::vector<uint64_t> edgeMatrix_;
-    uint64_t traps_ = 0;
-    uint64_t retags_ = 0;
-    uint64_t wrpkrus_ = 0;
-    uint64_t windowOps_ = 0;
-    uint64_t violations_ = 0;
-    uint64_t imagesVerified_ = 0;
-    uint64_t verifierBytesScanned_ = 0;
-    uint64_t verifierBytesDecoded_ = 0;
-    uint64_t verifierInsns_ = 0;
-    uint64_t verifierRejected_ = 0;
-    uint64_t verifierReported_ = 0;
-    uint64_t lintRuns_ = 0;
-    uint64_t lintFindings_ = 0;
+    using Counter = hw::RelaxedAtomic<uint64_t>;
+
+    std::vector<Counter> edgeMatrix_;
+    Counter traps_;
+    Counter retags_;
+    Counter wrpkrus_;
+    Counter windowOps_;
+    Counter violations_;
+    Counter grantCacheHits_;
+    Counter imagesVerified_;
+    Counter verifierBytesScanned_;
+    Counter verifierBytesDecoded_;
+    Counter verifierInsns_;
+    Counter verifierRejected_;
+    Counter verifierReported_;
+    Counter lintRuns_;
+    Counter lintFindings_;
+    Counter verifyCacheHits_;
+    Counter verifyCacheMisses_;
 };
 
 } // namespace cubicleos::core

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <mutex>
 
 namespace cubicleos::core {
 
@@ -82,9 +83,12 @@ System::~System()
     // must not cross-call into them. Chunks go down with the pool.
     for (Cid cid = 0; cid < static_cast<Cid>(monitor_.cubicleCount());
          ++cid) {
-        if (auto &heap = monitor_.cubicle(cid).heap)
-            heap->setSource([](std::size_t) { return mem::PageRange{}; },
-                            nullptr);
+        Cubicle &cub = monitor_.cubicle(cid);
+        if (cub.heap) {
+            std::lock_guard<std::mutex> lock(cub.heapMu);
+            cub.heap->setSource(
+                [](std::size_t) { return mem::PageRange{}; }, nullptr);
+        }
     }
 
     // Invalidate this thread's cache; other threads' stale entries are
@@ -290,10 +294,48 @@ System::touchSlow(ThreadCtx &ctx, const void *ptr, std::size_t len,
             stats_.countWrpkru();
             continue;
         }
+
+        const bool pku_fault =
+            fault->reason == hw::FaultReason::kPkuRead ||
+            fault->reason == hw::FaultReason::kPkuWrite;
+        const bool in_space = monitor_.space().contains(fault->addr);
+        const std::size_t page =
+            in_space ? monitor_.space().pageIndexOf(fault->addr) : 0;
+
+        if (pku_fault && in_space) {
+            // Grant cache (simulated TLB): this thread already took a
+            // full trap-and-map on this page as this cubicle, and no
+            // revocation happened since. Absorb the fault — skip past
+            // the page without retagging, so two cubicles alternating
+            // accesses through one window stop ping-ponging the tag.
+            if (ctx.grants.hit(page, ctx.current,
+                               monitor_.windowEpoch())) {
+                stats_.countGrantCacheHit();
+                const auto *addr =
+                    static_cast<const std::byte *>(fault->addr);
+                const std::size_t in_page = hw::kPageSize -
+                    (reinterpret_cast<uintptr_t>(addr) &
+                     (hw::kPageSize - 1));
+                const std::size_t consumed = static_cast<std::size_t>(
+                    addr - static_cast<const std::byte *>(ptr)) + in_page;
+                if (consumed >= len)
+                    return;
+                ptr = addr + in_page;
+                len -= consumed;
+                continue;
+            }
+        }
+
+        // Capture the revocation epoch BEFORE the fault walk: if a
+        // close races between the walk and the insert, the cached
+        // entry carries the pre-close epoch and can never hit.
+        const uint64_t epoch = monitor_.windowEpoch();
         if (!monitor_.handleFault(*fault, ctx.current, mode_)) {
             stats_.countViolation();
             throw hw::CubicleFault(*fault);
         }
+        if (pku_fault && in_space)
+            ctx.grants.insert(page, ctx.current, epoch);
         // handleFault retagged the faulting page; re-check continues
         // with the next page, guaranteeing progress.
     }
@@ -321,9 +363,17 @@ System::heapAlloc(std::size_t size)
     const Cid cid = currentCtx().current;
     if (cid == kNoCubicle)
         throw LoaderError("heapAlloc outside any cubicle");
-    void *p = monitor_.cubicle(cid).heap->alloc(size);
+    Cubicle &cub = monitor_.cubicle(cid);
+    void *p;
+    {
+        // Per-cubicle heap lock: threads in different cubicles allocate
+        // in parallel; a chunk-source cross-call from here may nest
+        // another cubicle's heapMu (acyclic routing, see cubicle.h).
+        std::lock_guard<std::mutex> lock(cub.heapMu);
+        p = cub.heap->alloc(size);
+    }
     if (!p)
-        throw OutOfMemory("heap of '" + monitor_.cubicle(cid).name + "'");
+        throw OutOfMemory("heap of '" + cub.name + "'");
     return p;
 }
 
@@ -333,9 +383,14 @@ System::heapAllocZeroed(std::size_t size)
     const Cid cid = currentCtx().current;
     if (cid == kNoCubicle)
         throw LoaderError("heapAlloc outside any cubicle");
-    void *p = monitor_.cubicle(cid).heap->allocZeroed(size);
+    Cubicle &cub = monitor_.cubicle(cid);
+    void *p;
+    {
+        std::lock_guard<std::mutex> lock(cub.heapMu);
+        p = cub.heap->allocZeroed(size);
+    }
     if (!p)
-        throw OutOfMemory("heap of '" + monitor_.cubicle(cid).name + "'");
+        throw OutOfMemory("heap of '" + cub.name + "'");
     return p;
 }
 
@@ -345,15 +400,18 @@ System::heapFree(void *ptr)
     const Cid cid = currentCtx().current;
     if (cid == kNoCubicle)
         throw LoaderError("heapFree outside any cubicle");
-    monitor_.cubicle(cid).heap->free(ptr);
+    Cubicle &cub = monitor_.cubicle(cid);
+    std::lock_guard<std::mutex> lock(cub.heapMu);
+    cub.heap->free(ptr);
 }
 
 void
 System::setHeapSource(Cid cid, mem::HeapAllocator::PageSource source,
                       mem::HeapAllocator::PageReturn ret)
 {
-    monitor_.cubicle(cid).heap->setSource(std::move(source),
-                                          std::move(ret));
+    Cubicle &cub = monitor_.cubicle(cid);
+    std::lock_guard<std::mutex> lock(cub.heapMu);
+    cub.heap->setSource(std::move(source), std::move(ret));
 }
 
 } // namespace cubicleos::core

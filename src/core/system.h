@@ -13,6 +13,7 @@
 #ifndef CUBICLEOS_CORE_SYSTEM_H_
 #define CUBICLEOS_CORE_SYSTEM_H_
 
+#include <array>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -31,13 +32,66 @@ namespace cubicleos::core {
 class System;
 
 /**
+ * Per-thread cache of resolved window grants — the simulated TLB.
+ *
+ * After trap-and-map resolves a fault, the page's tag belongs to the
+ * accessor until someone else faults it away; but two cubicles
+ * ping-ponging accesses through one window would otherwise take a trap
+ * + retag on every alternation. The cache remembers "(page, cubicle)
+ * was granted at revocation epoch E": a later PKU fault on that page
+ * by the same cubicle is absorbed without a trap, exactly as a TLB
+ * entry carrying a permitted translation absorbs the walk.
+ *
+ * Correctness: a hit is only trusted while the monitor's revocation
+ * epoch still equals E. Any close/remove/destroy bumps the epoch, so
+ * stale grants fall back to the fault path, whose ACL walk then
+ * rejects them — the cache can only ever re-grant what a full
+ * trap-and-map at insert time already granted, within the same lazy
+ * revocation bounds as §5.6's tag consistency.
+ *
+ * Direct-mapped by (page, cubicle) — like TLB entries tagged with an
+ * address-space id, one thread's entries for different cubicles
+ * coexist across cross-call switches. Collisions just evict (a miss
+ * is only a performance event).
+ */
+struct GrantCache {
+    static constexpr std::size_t kSlots = 64;
+
+    struct Entry {
+        std::size_t page = 0;
+        Cid cid = kNoCubicle;
+        uint64_t epoch = 0;
+    };
+
+    std::array<Entry, kSlots> slots{};
+
+    static std::size_t slotOf(std::size_t page, Cid cid)
+    {
+        return (page + static_cast<std::size_t>(cid) * 7919) % kSlots;
+    }
+
+    bool hit(std::size_t page, Cid cid, uint64_t currentEpoch) const
+    {
+        const Entry &e = slots[slotOf(page, cid)];
+        return e.cid == cid && e.page == page && e.epoch == currentEpoch;
+    }
+
+    void insert(std::size_t page, Cid cid, uint64_t epoch)
+    {
+        slots[slotOf(page, cid)] = Entry{page, cid, epoch};
+    }
+};
+
+/**
  * Per-thread execution state: the currently executing cubicle, the
- * thread's PKRU register, and the cross-call stack used for return CFI.
+ * thread's PKRU register, the cross-call stack used for return CFI,
+ * and the thread's grant cache (simulated TLB).
  */
 struct ThreadCtx {
     Cid current = kNoCubicle;
     hw::Pkru pkru = hw::Pkru::denyAll();
     std::vector<Cid> callStack;
+    GrantCache grants;
 };
 
 /**

@@ -1,0 +1,78 @@
+#include "core/verifier/cache.h"
+
+#include <mutex>
+
+#include "core/verifier/cfg.h"
+
+namespace cubicleos::core::verifier {
+
+VerifyCache &
+VerifyCache::instance()
+{
+    static VerifyCache cache;
+    return cache;
+}
+
+uint64_t
+VerifyCache::hashImage(std::span<const uint8_t> image,
+                       std::span<const std::size_t> entryPoints)
+{
+    constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t h = kOffset;
+    auto mix = [&h](uint8_t byte) {
+        h ^= byte;
+        h *= kPrime;
+    };
+    for (uint8_t b : image)
+        mix(b);
+    for (int i = 0; i < 8; ++i)
+        mix(static_cast<uint8_t>(image.size() >> (8 * i)));
+    for (std::size_t e : entryPoints) {
+        for (int i = 0; i < 8; ++i)
+            mix(static_cast<uint8_t>(e >> (8 * i)));
+    }
+    return h;
+}
+
+VerifierReport
+VerifyCache::verify(std::span<const uint8_t> image,
+                    std::span<const std::size_t> entryPoints, bool *hit)
+{
+    const uint64_t key = hashImage(image, entryPoints);
+    {
+        std::shared_lock lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            if (hit)
+                *hit = true;
+            return it->second;
+        }
+    }
+    if (hit)
+        *hit = false;
+    VerifierReport report = verifyImageFrom(image, entryPoints);
+    {
+        std::unique_lock lock(mu_);
+        if (entries_.size() >= kMaxEntries)
+            entries_.clear();
+        entries_.emplace(key, report);
+    }
+    return report;
+}
+
+void
+VerifyCache::clear()
+{
+    std::unique_lock lock(mu_);
+    entries_.clear();
+}
+
+std::size_t
+VerifyCache::size() const
+{
+    std::shared_lock lock(mu_);
+    return entries_.size();
+}
+
+} // namespace cubicleos::core::verifier

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Verification cache keyed by image content (verifier follow-up,
+ * ROADMAP "cache sweep results by image hash").
+ *
+ * The linear sweep + reachability walk is deterministic in the image
+ * bytes and the entry-point set, so verifying the same image twice is
+ * pure waste — and common: every System in a test binary reloads the
+ * same generated components, and a deployment restarting a component
+ * reloads an identical file. The cache memoises the full
+ * VerifierReport under a 64-bit FNV-1a hash of (image bytes, image
+ * size, entry points).
+ *
+ * The cache is process-global (images are immutable inputs, not System
+ * state) and thread-safe: lookups take a shared lock, inserts an
+ * exclusive one. Two threads missing on the same image both verify and
+ * both insert — the results are identical, so the race is benign.
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_CACHE_H_
+#define CUBICLEOS_CORE_VERIFIER_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+
+#include "core/verifier/report.h"
+
+namespace cubicleos::core::verifier {
+
+/** Process-global memo of verifier verdicts, keyed by image content. */
+class VerifyCache {
+  public:
+    /** The process-wide instance used by the loader. */
+    static VerifyCache &instance();
+
+    /**
+     * Verifies @p image from @p entryPoints, consulting the cache
+     * first. Semantically identical to verifier::verifyImageFrom.
+     *
+     * @param hit if non-null, set to true when the report came from
+     *        the cache without re-running the sweep + CFG walk.
+     */
+    VerifierReport verify(std::span<const uint8_t> image,
+                          std::span<const std::size_t> entryPoints,
+                          bool *hit = nullptr);
+
+    /** Drops every entry (tests; and the eviction policy when full). */
+    void clear();
+
+    /** Number of cached reports. */
+    std::size_t size() const;
+
+    /**
+     * Content hash: FNV-1a 64 over the image bytes, then the image
+     * size and each entry-point offset, so images differing only in
+     * their export set hash apart. (A 64-bit digest can collide in
+     * principle; a collision would replay another image's verdict.
+     * For the simulator's image population this is accepted — a
+     * deployment-grade cache would key on a cryptographic digest.)
+     */
+    static uint64_t hashImage(std::span<const uint8_t> image,
+                              std::span<const std::size_t> entryPoints);
+
+  private:
+    /** Eviction bound: clearing at the cap keeps the map O(1)-ish
+     *  without LRU bookkeeping on the (rare) insert path. */
+    static constexpr std::size_t kMaxEntries = 256;
+
+    mutable std::shared_mutex mu_;
+    std::unordered_map<uint64_t, VerifierReport> entries_;
+};
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_CACHE_H_

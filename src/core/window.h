@@ -9,16 +9,22 @@
  *
  * Each cubicle keeps three window-descriptor arrays — for global, stack
  * and heap data — so the trap handler can locate candidate ranges from
- * the faulting page's type in O(1) + a short linear search.
+ * the faulting page's type in O(1) + an interval lookup. The arrays are
+ * kept sorted by range start, so the trap-and-map step ❸ search is a
+ * binary search instead of the paper's linear scan — the paper notes
+ * all but one cubicle have <10 windows, but a server multiplexing many
+ * client buffers through one cubicle does not stay that small.
  */
 
 #ifndef CUBICLEOS_CORE_WINDOW_H_
 #define CUBICLEOS_CORE_WINDOW_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "core/errors.h"
 #include "core/ids.h"
 #include "mem/page_meta.h"
 
@@ -27,11 +33,23 @@ namespace cubicleos::core {
 /** ACL bitmask over cubicle IDs (bit i = cubicle i may access). */
 using AclMask = uint64_t;
 
-/** Returns the ACL bit for cubicle @p cid. */
+/**
+ * Returns the ACL bit for cubicle @p cid.
+ *
+ * @throws WindowError when @p cid does not fit the mask. This used to
+ *         alias silently (`cid % kMaxCubicles`), which would have let
+ *         cubicle 64 share ACL bits — and therefore window access —
+ *         with cubicle 0.
+ */
 constexpr AclMask
 aclBit(Cid cid)
 {
-    return AclMask{1} << (cid % kMaxCubicles);
+    if (cid >= static_cast<Cid>(kMaxCubicles)) {
+        throw WindowError("cubicle id " + std::to_string(cid) +
+                          " outside the " + std::to_string(kMaxCubicles) +
+                          "-bit ACL mask");
+    }
+    return AclMask{1} << cid;
 }
 
 /** One memory range associated with a window. */
@@ -39,6 +57,8 @@ struct WindowRange {
     const void *ptr = nullptr;
     std::size_t size = 0;
     Wid wid = kInvalidWindow;
+
+    uintptr_t start() const { return reinterpret_cast<uintptr_t>(ptr); }
 
     bool contains(const void *p) const
     {
@@ -74,14 +94,31 @@ struct Window {
  * The per-cubicle window-descriptor arrays (global / stack / heap).
  *
  * Ranges are stored by the data type of their pages so the trap handler
- * goes straight from page metadata to the right array.
+ * goes straight from page metadata to the right array. Each array is a
+ * sorted interval index: ranges are ordered by start address, and a
+ * per-array upper bound on range size caps the backwards walk, so
+ * lookups are O(log n) for the disjoint ranges produced by the window
+ * API (overlapping ranges degrade gracefully toward the old linear
+ * scan, bounded by the largest range ever added).
+ *
+ * Thread-safety: none here — the monitor wraps mutation in its
+ * exclusive window lock and lookups in the shared one (monitor.h).
  */
 class WindowTable {
   public:
     /** Adds a range (classified as @p type) belonging to window @p wid. */
     void add(mem::PageType type, const void *ptr, std::size_t size, Wid wid)
     {
-        arrayFor(type).push_back(WindowRange{ptr, size, wid});
+        TypeIndex &idx = indexOf(type);
+        const WindowRange r{ptr, size, wid};
+        idx.ranges.insert(
+            std::upper_bound(idx.ranges.begin(), idx.ranges.end(),
+                             r.start(),
+                             [](uintptr_t q, const WindowRange &w) {
+                                 return q < w.start();
+                             }),
+            r);
+        idx.maxSize = std::max(idx.maxSize, size);
     }
 
     /**
@@ -90,11 +127,12 @@ class WindowTable {
      */
     bool remove(Wid wid, const void *ptr)
     {
-        for (auto &arr : arrays_) {
-            for (std::size_t i = 0; i < arr.size(); ++i) {
-                if (arr[i].wid == wid && arr[i].ptr == ptr) {
-                    arr[i] = arr.back();
-                    arr.pop_back();
+        for (auto &idx : indexes_) {
+            for (std::size_t i = 0; i < idx.ranges.size(); ++i) {
+                if (idx.ranges[i].wid == wid &&
+                    idx.ranges[i].ptr == ptr) {
+                    idx.ranges.erase(idx.ranges.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
                     return true;
                 }
             }
@@ -105,22 +143,35 @@ class WindowTable {
     /** Removes every range belonging to window @p wid. */
     void removeAll(Wid wid)
     {
-        for (auto &arr : arrays_) {
-            std::erase_if(arr,
-                          [wid](const WindowRange &r) { return r.wid == wid; });
+        for (auto &idx : indexes_) {
+            std::erase_if(idx.ranges, [wid](const WindowRange &r) {
+                return r.wid == wid;
+            });
         }
     }
 
     /**
-     * Linear search (paper §5.3 step ❸) for a range containing @p ptr
-     * in the array for @p type.
+     * Interval lookup (paper §5.3 step ❸) for a range containing
+     * @p ptr in the array for @p type: binary search to the last range
+     * starting at or before @p ptr, then walk back no further than the
+     * largest registered range could reach.
      * @return the window id, or kInvalidWindow.
      */
     Wid findWindowFor(mem::PageType type, const void *ptr) const
     {
-        for (const auto &r : arrayFor(type)) {
-            if (r.contains(ptr))
-                return r.wid;
+        const TypeIndex &idx = indexOf(type);
+        const auto q = reinterpret_cast<uintptr_t>(ptr);
+        auto it = std::upper_bound(
+            idx.ranges.begin(), idx.ranges.end(), q,
+            [](uintptr_t p, const WindowRange &w) {
+                return p < w.start();
+            });
+        while (it != idx.ranges.begin()) {
+            --it;
+            if (it->contains(ptr))
+                return it->wid;
+            if (it->start() + idx.maxSize <= q)
+                break; // nothing earlier can reach ptr
         }
         return kInvalidWindow;
     }
@@ -128,20 +179,30 @@ class WindowTable {
     /** Number of ranges currently registered for @p type. */
     std::size_t rangeCount(mem::PageType type) const
     {
-        return arrayFor(type).size();
+        return indexOf(type).ranges.size();
     }
 
     /** Total ranges across all three arrays. */
     std::size_t totalRanges() const
     {
         std::size_t n = 0;
-        for (const auto &arr : arrays_)
-            n += arr.size();
+        for (const auto &idx : indexes_)
+            n += idx.ranges.size();
         return n;
     }
 
   private:
-    static std::size_t indexFor(mem::PageType type)
+    /**
+     * One sorted range array. maxSize only ever grows — it is a bound
+     * on the backwards walk, not an exact maximum, so removes need not
+     * rescan.
+     */
+    struct TypeIndex {
+        std::vector<WindowRange> ranges;
+        std::size_t maxSize = 0;
+    };
+
+    static std::size_t slotFor(mem::PageType type)
     {
         switch (type) {
           case mem::PageType::kGlobal:
@@ -154,16 +215,16 @@ class WindowTable {
         }
     }
 
-    std::vector<WindowRange> &arrayFor(mem::PageType type)
+    TypeIndex &indexOf(mem::PageType type)
     {
-        return arrays_[indexFor(type)];
+        return indexes_[slotFor(type)];
     }
-    const std::vector<WindowRange> &arrayFor(mem::PageType type) const
+    const TypeIndex &indexOf(mem::PageType type) const
     {
-        return arrays_[indexFor(type)];
+        return indexes_[slotFor(type)];
     }
 
-    std::array<std::vector<WindowRange>, 3> arrays_;
+    std::array<TypeIndex, 3> indexes_;
 };
 
 } // namespace cubicleos::core

@@ -17,6 +17,7 @@
 #ifndef CUBICLEOS_HW_MPK_H_
 #define CUBICLEOS_HW_MPK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -104,6 +105,59 @@ class Pkru {
 };
 
 /**
+ * An atomically updatable PKRU value.
+ *
+ * Used for state that is logically a PKRU register but shared between
+ * threads — a cubicle's hot-window grant set, written by window
+ * open/close under the monitor's window lock and read lock-free by
+ * every permission switch (Monitor::pkruFor). Updates go through a
+ * CAS loop over the 32-bit register image, so concurrent grant and
+ * revoke operations both land.
+ */
+class AtomicPkru {
+  public:
+    AtomicPkru() : raw_(Pkru::denyAll().raw()) {}
+    explicit AtomicPkru(const Pkru &p) : raw_(p.raw()) {}
+
+    AtomicPkru(const AtomicPkru &) = delete;
+    AtomicPkru &operator=(const AtomicPkru &) = delete;
+
+    /** Snapshot of the current register image. */
+    Pkru load() const
+    {
+        return Pkru(raw_.load(std::memory_order_relaxed));
+    }
+
+    /** Grants read+write on @p key. */
+    void allow(int key)
+    {
+        update([key](Pkru &p) { p.allow(key); });
+    }
+
+    /** Revokes all access to @p key. */
+    void deny(int key)
+    {
+        update([key](Pkru &p) { p.deny(key); });
+    }
+
+  private:
+    template <typename F>
+    void update(F fn)
+    {
+        uint32_t v = raw_.load(std::memory_order_relaxed);
+        for (;;) {
+            Pkru p(v);
+            fn(p);
+            if (raw_.compare_exchange_weak(v, p.raw(),
+                                           std::memory_order_relaxed))
+                return;
+        }
+    }
+
+    std::atomic<uint32_t> raw_;
+};
+
+/**
  * MPK key allocator and access-check policy for one address space.
  *
  * Hands out the 16 hardware keys (key 0 is reserved for the trusted
@@ -124,6 +178,10 @@ class Mpk {
     /**
      * Allocates a fresh protection key.
      *
+     * Thread-safe: the loader and windowSetHot allocate keys under
+     * different locks of the monitor's hierarchy, so the counter
+     * advances with a CAS instead of relying on external exclusion.
+     *
      * @param virtualize if true, allocation past the hardware limit
      *        returns the shared spill key instead of failing.
      * @return the key, or -1 if the hardware keys are exhausted and
@@ -131,13 +189,20 @@ class Mpk {
      */
     int allocKey(bool virtualize = false)
     {
-        if (nextKey_ < kNumPkeys)
-            return nextKey_++;
+        int cur = nextKey_.load(std::memory_order_relaxed);
+        while (cur < kNumPkeys) {
+            if (nextKey_.compare_exchange_weak(
+                    cur, cur + 1, std::memory_order_relaxed))
+                return cur;
+        }
         return virtualize ? kNumPkeys - 1 : -1;
     }
 
     /** Number of keys handed out so far (excluding the monitor key). */
-    int allocatedKeys() const { return nextKey_ - 1; }
+    int allocatedKeys() const
+    {
+        return nextKey_.load(std::memory_order_relaxed) - 1;
+    }
 
     /** True when the modified-MPK execute semantics are modelled. */
     bool modifiedExecSemantics() const { return modifiedExec_; }
@@ -169,7 +234,7 @@ class Mpk {
     }
 
   private:
-    int nextKey_;
+    std::atomic<int> nextKey_;
     bool modifiedExec_;
 };
 

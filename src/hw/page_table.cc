@@ -41,8 +41,9 @@ AddressSpace::setKey(std::size_t first, std::size_t n, uint8_t pkey)
 {
     assert(first + n <= entries_.size());
     for (std::size_t i = first; i < first + n; ++i)
-        entries_[i].pkey = pkey;
-    ++retags_;
+        entries_[i].pkey = pkey; // atomic store; concurrent checks see
+                                 // either the old or the new tag
+    retags_.fetchAdd(1);
     if (clock_)
         clock_->charge(cost::kPkeyMprotect);
 }

@@ -25,6 +25,7 @@
 #include "hw/cycles.h"
 #include "hw/fault.h"
 #include "hw/mpk.h"
+#include "hw/relaxed_atomic.h"
 
 namespace cubicleos::hw {
 
@@ -48,11 +49,20 @@ enum PagePerm : uint8_t {
     kPermExec = 1 << 2,
 };
 
-/** One page-table entry of the simulated MMU. */
+/**
+ * One page-table entry of the simulated MMU.
+ *
+ * Fields are individually word-atomic (RelaxedAtomic), mirroring how
+ * hardware page-table walks race benignly with PTE updates: a checker
+ * thread observes either the old or the new tag, never a torn value.
+ * This is what lets the monitor's trap-and-map handler commit a grant
+ * (setKey) under a shared lock while other threads run access checks
+ * with no lock at all.
+ */
 struct PageEntry {
-    bool present = false;
-    uint8_t perms = kPermNone;
-    uint8_t pkey = Mpk::kMonitorKey;
+    RelaxedAtomic<bool> present = false;
+    RelaxedAtomic<uint8_t> perms = kPermNone;
+    RelaxedAtomic<uint8_t> pkey = Mpk::kMonitorKey;
 };
 
 /**
@@ -121,7 +131,11 @@ class AddressSpace {
      * Reassigns the protection key on a page range.
      *
      * Models pkey_mprotect: charges cost::kPkeyMprotect per call
-     * (the paper's >1,100-cycle kernel path).
+     * (the paper's >1,100-cycle kernel path). The per-page tag write
+     * is an atomic store, so a retag may commit concurrently with
+     * other threads' access checks and with other retags: the last
+     * writer wins, exactly like racing pkey_mprotect calls on real
+     * hardware. Callers need no exclusive lock around setKey.
      */
     void setKey(std::size_t first, std::size_t n, uint8_t pkey);
 
@@ -151,7 +165,7 @@ class AddressSpace {
     std::unique_ptr<std::byte[], FreeDeleter> memory_;
     std::vector<PageEntry> entries_;
     CycleClock *clock_;
-    uint64_t retags_ = 0;
+    RelaxedAtomic<uint64_t> retags_ = uint64_t{0};
 };
 
 } // namespace cubicleos::hw

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "hw/relaxed_atomic.h"
+
 namespace cubicleos {
 
 /** Cubicle identifier. IDs are dense and known at link time. */
@@ -37,10 +39,18 @@ enum class PageType : uint8_t {
 /** Returns a human-readable page-type name. */
 const char *pageTypeName(PageType type);
 
-/** Metadata for one page. */
+/**
+ * Metadata for one page.
+ *
+ * Fields are word-atomic (RelaxedAtomic): the trap-and-map handler
+ * reads owner/type without holding the page-pool lock that writers
+ * (allocation/free) hold. A fault racing a free of the same page sees
+ * either the old owner or kNoCubicle — both are handled; what never
+ * happens is a torn read.
+ */
 struct PageMeta {
-    Cid owner = kNoCubicle;
-    PageType type = PageType::kFree;
+    hw::RelaxedAtomic<Cid> owner = kNoCubicle;
+    hw::RelaxedAtomic<PageType> type = PageType::kFree;
 };
 
 /**

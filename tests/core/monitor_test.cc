@@ -229,6 +229,25 @@ TEST_F(TwoCubicleTest, InvalidWidRejected)
     });
 }
 
+TEST_F(TwoCubicleTest, OutOfRangePeerRejectedNotAliased)
+{
+    bootWith(IsolationMode::kFull);
+    sys->runAs(foo, [&] {
+        const Wid wid = sys->windowInit();
+        sys->windowAdd(wid, buf, 64);
+        // A peer id beyond the ACL width used to wrap modulo
+        // kMaxCubicles and grant the aliased cubicle instead.
+        EXPECT_THROW(sys->windowOpen(
+                         wid, static_cast<Cid>(kMaxCubicles)),
+                     WindowError);
+        EXPECT_THROW(sys->windowOpen(
+                         wid, static_cast<Cid>(kMaxCubicles + bar)),
+                     WindowError);
+        EXPECT_EQ(sys->monitor().windowAcl(wid), 0u)
+            << "failed opens must not leave ACL bits behind";
+    });
+}
+
 TEST_F(TwoCubicleTest, NoAclModeGrantsAnyCrossAccess)
 {
     bootWith(IsolationMode::kNoAcl);

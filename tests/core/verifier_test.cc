@@ -10,6 +10,7 @@
 
 #include "core/codescan.h"
 #include "core/system.h"
+#include "core/verifier/cache.h"
 #include "core/verifier/cfg.h"
 #include "core/verifier/insn.h"
 #include "core/verifier/scanner.h"
@@ -809,6 +810,84 @@ TEST(VerifierLoader, StatsCoverEveryLoadedImage)
         const auto &report = sys.monitor().verifierReport(cid);
         EXPECT_TRUE(report.accepted());
         EXPECT_DOUBLE_EQ(report.decodeCoverage(), 1.0) << cid;
+    }
+}
+
+TEST(VerifyCache, IdenticalImagesLoadFromCache)
+{
+    verifier::VerifyCache::instance().clear();
+
+    std::vector<uint8_t> shared_image(96, 0x90);
+    shared_image.back() = 0xC3;
+    std::vector<uint8_t> other_image(96, 0x90);
+    other_image[0] = 0x50; // push rax: different bytes, different hash
+    other_image.back() = 0xC3;
+
+    System sys;
+    testing::addToy(sys, "a").withImage(shared_image);
+    testing::addToy(sys, "b").withImage(shared_image);
+    testing::addToy(sys, "c").withImage(other_image);
+    sys.boot();
+
+    const Stats &stats = sys.stats();
+    // Every load is a verified image; only two ran the sweep + walk.
+    EXPECT_EQ(stats.imagesVerified(), 3u);
+    EXPECT_EQ(stats.verifyCacheMisses(), 2u);
+    EXPECT_EQ(stats.verifyCacheHits(), 1u);
+    EXPECT_EQ(verifier::VerifyCache::instance().size(), 2u);
+
+    // The cached report is indistinguishable from a fresh run.
+    const auto &fresh = sys.monitor().verifierReport(sys.cidOf("a"));
+    const auto &cached = sys.monitor().verifierReport(sys.cidOf("b"));
+    EXPECT_EQ(cached.imageBytes, fresh.imageBytes);
+    EXPECT_EQ(cached.insnCount, fresh.insnCount);
+    EXPECT_EQ(cached.findings.size(), fresh.findings.size());
+    EXPECT_TRUE(cached.cfg.ran);
+}
+
+TEST(VerifyCache, EntryPointsArePartOfTheKey)
+{
+    verifier::VerifyCache::instance().clear();
+
+    // Same bytes, different export sets: the reachability walk seeds
+    // differ, so the verdict may differ — they must not share a slot.
+    std::vector<uint8_t> image(64, 0x90);
+    image.back() = 0xC3;
+    const std::size_t e0[] = {0};
+    const std::size_t e8[] = {8};
+    EXPECT_NE(verifier::VerifyCache::hashImage(image, e0),
+              verifier::VerifyCache::hashImage(image, e8));
+
+    bool hit = true;
+    verifier::VerifyCache::instance().verify(image, e0, &hit);
+    EXPECT_FALSE(hit);
+    verifier::VerifyCache::instance().verify(image, e8, &hit);
+    EXPECT_FALSE(hit);
+    verifier::VerifyCache::instance().verify(image, e0, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(verifier::VerifyCache::instance().size(), 2u);
+}
+
+TEST(VerifyCache, RejectingImageRejectsAgainOnHit)
+{
+    verifier::VerifyCache::instance().clear();
+
+    std::vector<uint8_t> evil(64, 0x90);
+    evil[0] = 0x0F; // aligned wrpkru
+    evil[1] = 0x01;
+    evil[2] = 0xEF;
+
+    {
+        System sys;
+        testing::addToy(sys, "evil").withImage(evil);
+        EXPECT_THROW(sys.boot(), VerifierError);
+    }
+    {
+        // Second load is served from the cache — and still rejected.
+        System sys;
+        testing::addToy(sys, "evil2").withImage(evil);
+        EXPECT_THROW(sys.boot(), VerifierError);
+        EXPECT_EQ(sys.stats().verifyCacheHits(), 1u);
     }
 }
 

@@ -19,6 +19,17 @@ TEST(AclMask, BitPerCubicle)
     EXPECT_FALSE(acl & aclBit(3));
 }
 
+TEST(AclMask, OutOfRangeCubicleThrowsInsteadOfAliasing)
+{
+    // cid % kMaxCubicles used to silently alias cubicle 64 onto
+    // cubicle 0's ACL bit — an isolation hole, not a convenience.
+    EXPECT_EQ(aclBit(static_cast<Cid>(kMaxCubicles - 1)),
+              AclMask{1} << (kMaxCubicles - 1));
+    EXPECT_THROW(aclBit(static_cast<Cid>(kMaxCubicles)), WindowError);
+    EXPECT_THROW(aclBit(static_cast<Cid>(kMaxCubicles + 1)), WindowError);
+    EXPECT_THROW(aclBit(kNoCubicle), WindowError);
+}
+
 TEST(WindowRange, ContainsIsHalfOpen)
 {
     char buf[64];
@@ -98,6 +109,44 @@ TEST_F(WindowTableTest, CodePagesShareGlobalArray)
 {
     table.add(mem::PageType::kCode, global_buf, 16, 4);
     EXPECT_EQ(table.findWindowFor(mem::PageType::kGlobal, global_buf), 4u);
+}
+
+TEST_F(WindowTableTest, SortedIndexResolvesOutOfOrderInsertion)
+{
+    // The interval index sorts by start address at insert time, so
+    // lookups must not depend on registration order.
+    table.add(mem::PageType::kHeap, heap_buf + 96, 32, 12);
+    table.add(mem::PageType::kHeap, heap_buf, 32, 10);
+    table.add(mem::PageType::kHeap, heap_buf + 48, 32, 11);
+
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kHeap, heap_buf + 1), 10u);
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kHeap, heap_buf + 50), 11u);
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kHeap, heap_buf + 100),
+              12u);
+    // Gap between ranges misses.
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kHeap, heap_buf + 40),
+              kInvalidWindow);
+    // Just past the last range misses too.
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kHeap, heap_buf + 127),
+              12u);
+}
+
+TEST_F(WindowTableTest, BackwardWalkBoundedByLargestRange)
+{
+    // A large early range must still be found for addresses deep
+    // inside it even when many small later ranges sort between its
+    // start and the queried address.
+    table.add(mem::PageType::kStack, stack_buf, 128, 20);
+    table.add(mem::PageType::kHeap, heap_buf, 8, 21);
+    table.add(mem::PageType::kHeap, heap_buf + 16, 8, 22);
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kStack, stack_buf + 127),
+              20u);
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kHeap, heap_buf + 17),
+              22u);
+    // Address between the small heap ranges: the bound must not stop
+    // the walk before the containment checks reject both.
+    EXPECT_EQ(table.findWindowFor(mem::PageType::kHeap, heap_buf + 12),
+              kInvalidWindow);
 }
 
 } // namespace
