@@ -7,7 +7,7 @@ namespace cubicleos::httpd {
 
 HttpHarness::HttpHarness(core::IsolationMode mode,
                          std::size_t num_pages,
-                         uint64_t request_base_cycles)
+                         uint64_t request_base_cycles, bool sendfile)
     : requestBaseCycles_(request_base_cycles)
 {
     core::SystemConfig cfg;
@@ -20,8 +20,8 @@ HttpHarness::HttpHarness(core::IsolationMode mode,
     opts.withNet = true;
     opts.wire = wire_.get();
     libos::addLibosComponents(*sys_, opts);
-    nginx_ = static_cast<NginxComponent *>(
-        &sys_->addComponent(std::make_unique<NginxComponent>(80)));
+    nginx_ = static_cast<NginxComponent *>(&sys_->addComponent(
+        std::make_unique<NginxComponent>(80, sendfile)));
     libos::finishBoot(*sys_);
 
     nginxCid_ = sys_->cidOf("nginx");
@@ -109,9 +109,10 @@ HttpHarness::fetch(const std::string &path)
 
     if (response.compare(0, 9, "HTTP/1.1 ") == 0)
         res.status = std::atoi(response.c_str() + 9);
-    res.bodyBytes = header_end == std::string::npos
-                        ? 0
-                        : response.size() - header_end - 4;
+    if (header_end != std::string::npos) {
+        res.body = response.substr(header_end + 4);
+        res.bodyBytes = res.body.size();
+    }
 
     res.wallMs =
         std::chrono::duration<double, std::milli>(

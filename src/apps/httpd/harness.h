@@ -26,6 +26,7 @@ namespace cubicleos::httpd {
 struct FetchResult {
     int status = 0;
     std::size_t bodyBytes = 0;
+    std::string body;     ///< response payload (byte-identity checks)
     double wallMs = 0;    ///< real time spent simulating
     double modelMs = 0;   ///< modelled hardware time
     double latencyMs() const { return wallMs + modelMs; }
@@ -40,10 +41,12 @@ class HttpHarness {
      * @param request_base_cycles fixed per-request cost modelling the
      *        external client and network round trips that dominate
      *        small-file latency in the paper (≈5 ms at 2.2 GHz)
+     * @param sendfile serve file bodies through the zero-copy path
      */
     explicit HttpHarness(core::IsolationMode mode,
                          std::size_t num_pages = 32768,
-                         uint64_t request_base_cycles = 11'000'000);
+                         uint64_t request_base_cycles = 11'000'000,
+                         bool sendfile = false);
     ~HttpHarness();
 
     /** Creates a served file with deterministic contents. */

@@ -13,6 +13,7 @@ NginxComponent::init()
 {
     sock_ = std::make_unique<libos::CubicleSockApi>(*sys());
     fs_ = std::make_unique<libos::CubicleFileApi>(*sys(), "ramfs");
+    lwipCid_ = sys()->cidOf("lwip");
 
     auto buf_range =
         sys()->monitor().allocPagesFor(self(), hw::pagesFor(kIoChunk),
@@ -147,6 +148,7 @@ NginxComponent::progress(Conn &conn)
         const std::size_t chunk = std::min(remaining, kIoChunk);
         std::memcpy(conn.buf, conn.header.data() + conn.headerSent,
                     chunk);
+        sys()->stats().countDataCopy(chunk); // header → staging buffer
         const int64_t n = sock_->send(conn.fd, conn.buf, chunk);
         if (n > 0)
             conn.headerSent += static_cast<std::size_t>(n);
@@ -163,6 +165,37 @@ NginxComponent::progress(Conn &conn)
         break;
       }
       case Conn::kSendBody: {
+        if (sendfile_) {
+            releaseCompleted(conn);
+            if (!conn.spanPending) {
+                if (conn.fileOff >= conn.fileSize) {
+                    // Keep fileFd open: outstanding spans are released
+                    // through it once the stack acknowledges them.
+                    conn.state = Conn::kClosing;
+                    break;
+                }
+                const int rc = fs_->borrow(conn.fileFd, conn.fileOff,
+                                           lwipCid_, &conn.span);
+                if (rc != 0 || conn.span.len == 0) {
+                    conn.state = Conn::kClosing;
+                    break;
+                }
+                conn.spanPending = true;
+            }
+            // All-or-nothing queueing: on kNetAgain the same borrowed
+            // span is retried next poll without re-borrowing.
+            const int64_t n = sock_->sendZero(conn.fd, conn.span.ptr,
+                                              conn.span.len);
+            if (n > 0) {
+                conn.fileOff += conn.span.len;
+                stats_.bytesSent += conn.span.len;
+                conn.zcTokens.push_back(conn.span.token);
+                conn.spanPending = false;
+            } else if (n != NetErr::kNetAgain) {
+                conn.state = Conn::kClosing;
+            }
+            break;
+        }
         if (conn.chunkSent == conn.chunkLen) {
             // Refill from the file system.
             if (conn.fileOff >= conn.fileSize) {
@@ -194,7 +227,18 @@ NginxComponent::progress(Conn &conn)
         break;
       }
       case Conn::kClosing: {
-        if (sock_->sendDrained(conn.fd)) {
+        if (conn.spanPending && conn.fileFd >= 0) {
+            // Borrowed but never queued (connection died first): give
+            // it straight back.
+            fs_->release(conn.fileFd, conn.span.token);
+            conn.spanPending = false;
+        }
+        releaseCompleted(conn);
+        if (sock_->sendDrained(conn.fd) && conn.zcTokens.empty()) {
+            if (conn.fileFd >= 0) {
+                fs_->close(conn.fileFd);
+                conn.fileFd = -1;
+            }
             sock_->close(conn.fd);
             sys()->heapFree(conn.buf);
             conn.buf = nullptr;
@@ -202,6 +246,21 @@ NginxComponent::progress(Conn &conn)
         }
         break;
       }
+    }
+}
+
+void
+NginxComponent::releaseCompleted(Conn &conn)
+{
+    if (conn.zcTokens.empty() || conn.fileFd < 0)
+        return;
+    // Spans complete in FIFO submission order, so the completion count
+    // maps onto our oldest outstanding tokens.
+    int64_t done = sock_->zeroCopyDone(conn.fd);
+    while (done > 0 && !conn.zcTokens.empty()) {
+        fs_->release(conn.fileFd, conn.zcTokens.front());
+        conn.zcTokens.pop_front();
+        --done;
     }
 }
 

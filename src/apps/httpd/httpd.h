@@ -14,6 +14,7 @@
 #ifndef CUBICLEOS_APPS_HTTPD_HTTPD_H_
 #define CUBICLEOS_APPS_HTTPD_HTTPD_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,7 +35,18 @@ struct HttpdStats {
 /** The isolated NGINX application component. */
 class NginxComponent : public core::Component {
   public:
-    explicit NginxComponent(uint16_t port = 80) : port_(port) {}
+    /**
+     * @param sendfile when set, file bodies are served through the
+     * zero-copy path: each 4 KiB span is borrowed from the backend
+     * (vfs_borrow), queued by reference into the network stack
+     * (sendZero) and released once acknowledged — no payload byte is
+     * copied between the RAMFS block and the TCP segment. When clear,
+     * bodies take the classic pread-into-buffer-then-send path.
+     */
+    explicit NginxComponent(uint16_t port = 80, bool sendfile = false)
+        : port_(port), sendfile_(sendfile)
+    {
+    }
 
     core::ComponentSpec spec() const override
     {
@@ -72,13 +84,21 @@ class NginxComponent : public core::Component {
         uint64_t fileOff = 0;
         std::size_t chunkLen = 0; ///< bytes of body staged in buffer
         std::size_t chunkSent = 0;
+        // Zero-copy sendfile state.
+        libos::VfsSpan span;     ///< borrowed but not yet queued span
+        bool spanPending = false;
+        std::deque<uint64_t> zcTokens; ///< queued spans awaiting ACK
     };
 
     int64_t poll(uint64_t now_ns);
     void progress(Conn &conn);
     void handleRequest(Conn &conn);
+    /** Releases every span the stack has fully acknowledged. */
+    void releaseCompleted(Conn &conn);
 
     uint16_t port_;
+    bool sendfile_;
+    core::Cid lwipCid_ = core::kNoCubicle;
     int listenFd_ = -1;
     std::unique_ptr<libos::CubicleSockApi> sock_;
     std::unique_ptr<libos::CubicleFileApi> fs_;

@@ -94,6 +94,22 @@ class Stats {
     void countVerifyCacheHit() { verifyCacheHits_.fetchAdd(1); }
     /** Load that ran the sweep + CFG walk for real. */
     void countVerifyCacheMiss() { verifyCacheMisses_.fetchAdd(1); }
+    /**
+     * One payload memcpy on the data path (FS block ↔ app buffer,
+     * header staging, send-queue staging). The sendfile experiment
+     * compares this counter between the copying and zero-copy paths.
+     */
+    void countDataCopy(uint64_t bytes)
+    {
+        dataCopies_.fetchAdd(1);
+        dataCopyBytes_.fetchAdd(bytes);
+    }
+    /** TCP segments whose payload came straight from a borrowed span. */
+    void countZeroCopySend(uint64_t bytes, uint64_t segs = 1)
+    {
+        zeroCopySends_.fetchAdd(segs);
+        zeroCopyBytes_.fetchAdd(bytes);
+    }
 
     uint64_t traps() const { return traps_; }
     uint64_t retags() const { return retags_; }
@@ -111,6 +127,10 @@ class Stats {
     uint64_t lintFindings() const { return lintFindings_; }
     uint64_t verifyCacheHits() const { return verifyCacheHits_; }
     uint64_t verifyCacheMisses() const { return verifyCacheMisses_; }
+    uint64_t dataCopies() const { return dataCopies_; }
+    uint64_t dataCopyBytes() const { return dataCopyBytes_; }
+    uint64_t zeroCopySends() const { return zeroCopySends_; }
+    uint64_t zeroCopyBytes() const { return zeroCopyBytes_; }
 
     /** Returns the call count on one edge. */
     uint64_t callsOnEdge(Cid caller, Cid callee) const
@@ -164,6 +184,10 @@ class Stats {
         lintFindings_ = 0;
         verifyCacheHits_ = 0;
         verifyCacheMisses_ = 0;
+        dataCopies_ = 0;
+        dataCopyBytes_ = 0;
+        zeroCopySends_ = 0;
+        zeroCopyBytes_ = 0;
     }
 
   private:
@@ -200,6 +224,10 @@ class Stats {
     Counter lintFindings_;
     Counter verifyCacheHits_;
     Counter verifyCacheMisses_;
+    Counter dataCopies_;
+    Counter dataCopyBytes_;
+    Counter zeroCopySends_;
+    Counter zeroCopyBytes_;
 };
 
 } // namespace cubicleos::core

@@ -1,0 +1,224 @@
+#include "libos/grant.h"
+
+namespace cubicleos::libos {
+
+// --- GrantWindow ------------------------------------------------------
+
+GrantWindow::GrantWindow(core::System &sys, const PeerSet &peers,
+                         bool hot)
+    : sys_(&sys), owner_(sys.currentCubicle()), hot_(hot), peers_(peers)
+{
+    wid_ = sys.windowInit();
+    if (hot_) {
+        sys.windowSetHot(wid_);
+        // Hot windows keep their ACL open across calls (§8): the
+        // dedicated key sits in every peer's PKRU permanently.
+        open(peers_);
+    }
+}
+
+GrantWindow::~GrantWindow() { destroy(); }
+
+void
+GrantWindow::moveFrom(GrantWindow &other) noexcept
+{
+    sys_ = other.sys_;
+    wid_ = other.wid_;
+    owner_ = other.owner_;
+    hot_ = other.hot_;
+    peers_ = other.peers_;
+    staged_ = other.staged_;
+    other.sys_ = nullptr;
+    other.wid_ = core::kInvalidWindow;
+    other.staged_ = nullptr;
+}
+
+void
+GrantWindow::stage(const void *ptr, std::size_t n)
+{
+    sys_->windowAdd(wid_, ptr, n);
+}
+
+void
+GrantWindow::unstage(const void *ptr)
+{
+    sys_->windowRemove(wid_, ptr);
+}
+
+void
+GrantWindow::open(const PeerSet &peers)
+{
+    for (core::Cid peer : peers)
+        sys_->windowOpen(wid_, peer);
+}
+
+void
+GrantWindow::closeAll()
+{
+    sys_->windowCloseAll(wid_);
+}
+
+void
+GrantWindow::restage(const void *ptr, std::size_t n)
+{
+    if (staged_ == ptr)
+        return;
+    if (staged_)
+        sys_->windowRemove(wid_, staged_);
+    sys_->windowAdd(wid_, ptr, n);
+    staged_ = ptr;
+}
+
+void
+GrantWindow::destroy() noexcept
+{
+    if (!sys_)
+        return;
+    core::System &sys = *sys_;
+    const core::Cid owner = owner_;
+    const core::Wid wid = wid_;
+    sys_ = nullptr;
+    wid_ = core::kInvalidWindow;
+    staged_ = nullptr;
+    try {
+        // Only the owner may destroy its window; re-enter it when the
+        // destructor runs in another cubicle's context (or none).
+        if (sys.currentCubicle() == owner)
+            sys.windowDestroy(wid);
+        else
+            sys.runAs(owner, [&] { sys.windowDestroy(wid); });
+    } catch (const core::WindowError &) {
+        // Torn down outside any valid context; the monitor reclaims
+        // window slots when the system goes away.
+    }
+}
+
+// --- Grant ------------------------------------------------------------
+
+Grant::Grant(core::System &sys, GrantWindow &win, const PeerSet &peers,
+             const void *buf, std::size_t n, hw::Access reclaim_access)
+    : sys_(&sys), win_(&win), n_(n), reclaim_(reclaim_access)
+{
+    // Host-private buffers (outside the simulated machine) need no
+    // window: they are unsimulated thread-private memory, consistent
+    // with System::touch's policy.
+    if (!sys.monitor().space().contains(buf))
+        return;
+    if (win.hot()) {
+        // Pooled hot window: ACL already open, dedicated key already
+        // in every peer's PKRU; just swap the staged range if the
+        // buffer moved. Nothing to undo per call.
+        win.restage(buf, n);
+        return;
+    }
+    win.stage(buf, n);
+    win.open(peers);
+    buf_ = buf; // armed: destructor must undo
+}
+
+void
+Grant::release() noexcept
+{
+    if (!buf_)
+        return;
+    const void *buf = buf_;
+    buf_ = nullptr;
+    try {
+        win_->unstage(buf);
+        win_->closeAll();
+        // Model the caller's next direct access to its buffer:
+        // trap-and-map lazily retags the pages back to the owner.
+        sys_->touch(buf, n_, reclaim_);
+    } catch (...) {
+        // Reclaim must not throw out of a destructor; a failed undo
+        // surfaces later as an isolation fault on the real access.
+    }
+}
+
+void
+Grant::moveFrom(Grant &other) noexcept
+{
+    sys_ = other.sys_;
+    win_ = other.win_;
+    buf_ = other.buf_;
+    n_ = other.n_;
+    reclaim_ = other.reclaim_;
+    other.buf_ = nullptr;
+}
+
+// --- XferArena --------------------------------------------------------
+
+XferArena::XferArena(core::System &sys, std::size_t pages,
+                     const PeerSet &peers, bool hot)
+    : sys_(&sys)
+{
+    const core::Cid self = sys.currentCubicle();
+    range_ = sys.monitor().allocPagesFor(self, pages,
+                                         mem::PageType::kHeap);
+    if (!range_.valid())
+        throw core::OutOfMemory("XferArena staging pages");
+    win_ = GrantWindow(sys, peers, hot);
+    win_.stage(range_.ptr, range_.sizeBytes());
+    if (!hot)
+        win_.open(peers);
+}
+
+XferArena::~XferArena() { reset(); }
+
+void
+XferArena::reset() noexcept
+{
+    if (!sys_)
+        return;
+    win_.destroy();
+    if (range_.valid()) {
+        try {
+            sys_->monitor().freePages(range_);
+        } catch (...) {
+            // Teardown after the allocator is gone; pages die with it.
+        }
+    }
+    range_ = {};
+    sys_ = nullptr;
+    bump_ = 0;
+}
+
+void
+XferArena::moveFrom(XferArena &other) noexcept
+{
+    sys_ = other.sys_;
+    range_ = other.range_;
+    win_ = std::move(other.win_);
+    bump_ = other.bump_;
+    other.sys_ = nullptr;
+    other.range_ = {};
+    other.bump_ = 0;
+}
+
+char *
+XferArena::at(std::size_t off) const
+{
+    if (off >= size())
+        throw core::WindowError("XferArena: offset " +
+                                std::to_string(off) +
+                                " outside the arena");
+    return base() + off;
+}
+
+void *
+XferArena::alloc(std::size_t bytes, std::size_t align)
+{
+    const std::size_t off = (bump_ + align - 1) & ~(align - 1);
+    if (off + bytes > size())
+        throw core::OutOfMemory("XferArena slot");
+    bump_ = off + bytes;
+    return base() + off;
+}
+
+void
+XferArena::touchForWrite(std::size_t off, std::size_t n)
+{
+    sys_->touch(at(off), n, hw::Access::kWrite);
+}
+
+} // namespace cubicleos::libos

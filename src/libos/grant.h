@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The grant layer: shared window-management glue for every port.
+ *
+ * Every porting layer used to hand-roll its own add/open…remove/close
+ * sequences over the raw System::window* API. This header extracts
+ * that plumbing into four reusable types, so the window discipline of
+ * the paper — Fig. 2's open→call→close pattern, the nested-call rule
+ * (§5.6: the caller opens the window for every cubicle the call will
+ * traverse), page-aligned staging (§5.3) and hot windows (§8) — is
+ * implemented exactly once:
+ *
+ *  - PeerSet      — the set of cubicles a call traverses (ACL set).
+ *  - GrantWindow  — an owned window descriptor. Remembers the owner
+ *                   cubicle at construction so it can be destroyed
+ *                   from any context, and carries the hot-window
+ *                   staging state for pooled reuse across calls.
+ *  - Grant        — RAII bracket of one cross-call: stages the buffer,
+ *                   opens the ACL, and on destruction (including via
+ *                   exceptions thrown by the callee) removes the range,
+ *                   closes the ACL and reclaims the pages with one
+ *                   modelled touch.
+ *  - XferArena    — page-aligned staging pages behind a persistent
+ *                   multi-peer window, for paths and small
+ *                   out-structures that must never share a page with
+ *                   unrelated caller data.
+ *
+ * Raw windowAdd/windowOpen/windowCloseAll calls outside grant.cc are
+ * forbidden in src/libos and src/apps (enforced by the
+ * grant_wiring_lint ctest); ports go through these types.
+ */
+
+#ifndef CUBICLEOS_LIBOS_GRANT_H_
+#define CUBICLEOS_LIBOS_GRANT_H_
+
+#include <array>
+#include <cstddef>
+
+#include "core/system.h"
+
+namespace cubicleos::libos {
+
+/**
+ * The set of peer cubicles one grant opens a window for.
+ *
+ * Encodes the nested-call rule (§5.6): a call that traverses VFSCORE
+ * and then RAMFS needs a window open for both, because the monitor
+ * checks the ACL of whichever cubicle actually faults on the buffer.
+ */
+class PeerSet {
+  public:
+    static constexpr std::size_t kMaxPeers = 4;
+
+    PeerSet() = default;
+    PeerSet(std::initializer_list<core::Cid> cids)
+    {
+        for (core::Cid cid : cids)
+            add(cid);
+    }
+
+    void add(core::Cid cid)
+    {
+        for (std::size_t i = 0; i < n_; ++i)
+            if (cids_[i] == cid)
+                return; // idempotent, even at capacity
+        if (n_ >= kMaxPeers)
+            throw core::WindowError("PeerSet: more than " +
+                                    std::to_string(kMaxPeers) +
+                                    " peers in one grant");
+        cids_[n_++] = cid;
+    }
+
+    bool contains(core::Cid cid) const
+    {
+        for (std::size_t i = 0; i < n_; ++i)
+            if (cids_[i] == cid)
+                return true;
+        return false;
+    }
+
+    std::size_t size() const { return n_; }
+    const core::Cid *begin() const { return cids_.data(); }
+    const core::Cid *end() const { return cids_.data() + n_; }
+
+  private:
+    std::array<core::Cid, kMaxPeers> cids_{};
+    std::size_t n_ = 0;
+};
+
+/**
+ * An owned window descriptor with construction-time owner capture.
+ *
+ * The monitor's ownership rule says only the owning cubicle may manage
+ * or destroy a window, so the owner Cid is recorded when the window is
+ * created (while executing inside that cubicle) and destruction
+ * re-enters it with runAs if needed — never by digging the owner out
+ * of page metadata at teardown time.
+ *
+ * A GrantWindow may be hot (paper §8): it gets a dedicated MPK key,
+ * its ACL stays open across calls, and per-call work reduces to
+ * re-staging the buffer range when it changes (restage()). This is the
+ * grant layer's window pooling: one hot window is reused for every
+ * call on the same edge instead of a fresh add/open/close cycle.
+ */
+class GrantWindow {
+  public:
+    GrantWindow() = default;
+
+    /**
+     * Creates a window owned by the current cubicle. When @p hot, the
+     * window is promoted to a hot window and the ACL for @p peers is
+     * opened immediately and kept open; otherwise @p peers is only
+     * remembered as the default ACL set for open().
+     */
+    GrantWindow(core::System &sys, const PeerSet &peers = {},
+                bool hot = false);
+    ~GrantWindow();
+
+    GrantWindow(const GrantWindow &) = delete;
+    GrantWindow &operator=(const GrantWindow &) = delete;
+    GrantWindow(GrantWindow &&other) noexcept { moveFrom(other); }
+    GrantWindow &operator=(GrantWindow &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    bool valid() const { return sys_ != nullptr; }
+    bool hot() const { return hot_; }
+    core::Wid id() const { return wid_; }
+    core::Cid owner() const { return owner_; }
+    const PeerSet &peers() const { return peers_; }
+
+    /** Adds [ptr, ptr+n) to the window (owner-context only). */
+    void stage(const void *ptr, std::size_t n);
+    /** Removes the range starting at @p ptr. */
+    void unstage(const void *ptr);
+    /** Opens the ACL for every cubicle in @p peers. */
+    void open(const PeerSet &peers);
+    /** Closes the ACL for everyone (lazy revocation: no retag, §5.6). */
+    void closeAll();
+
+    /**
+     * Hot-window re-staging: keeps exactly one staged range and swaps
+     * it only when the buffer changes, so steady-state calls on the
+     * same buffer cost nothing. Requires hot().
+     */
+    void restage(const void *ptr, std::size_t n);
+    /** The currently staged hot range, or nullptr. */
+    const void *staged() const { return staged_; }
+
+    /**
+     * Destroys the window, re-entering the owner cubicle when invoked
+     * from another context. Idempotent; swallows WindowError during
+     * teardown from outside any cubicle.
+     */
+    void destroy() noexcept;
+
+  private:
+    void moveFrom(GrantWindow &other) noexcept;
+
+    core::System *sys_ = nullptr;
+    core::Wid wid_ = core::kInvalidWindow;
+    core::Cid owner_ = core::kNoCubicle;
+    bool hot_ = false;
+    PeerSet peers_;
+    const void *staged_ = nullptr;
+};
+
+/**
+ * RAII bracket of one buffer grant around a cross-cubicle call.
+ *
+ * Construction stages the caller's buffer in @p win and opens it for
+ * @p peers; destruction — on every path out of the call, including an
+ * exception thrown by the callee — removes the range, closes the ACL,
+ * and models the caller's next direct access with one touch (the
+ * trap-and-map reclaim at the heart of the Fig. 6 overhead).
+ *
+ * Host-private buffers (outside the simulated machine) are skipped
+ * entirely, consistent with System::touch's policy. On a hot window
+ * the grant degenerates to restage(): the ACL is already open and the
+ * owner reclaims lazily only when it really touches the pages again.
+ */
+class Grant {
+  public:
+    Grant() = default;
+    Grant(core::System &sys, GrantWindow &win, const PeerSet &peers,
+          const void *buf, std::size_t n, hw::Access reclaim_access);
+    ~Grant() { release(); }
+
+    Grant(const Grant &) = delete;
+    Grant &operator=(const Grant &) = delete;
+    Grant(Grant &&other) noexcept { moveFrom(other); }
+    Grant &operator=(Grant &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    /** True while a range is staged and open on a non-hot window. */
+    bool active() const { return buf_ != nullptr; }
+
+    /** Early release (idempotent; the destructor calls this). */
+    void release() noexcept;
+
+  private:
+    void moveFrom(Grant &other) noexcept;
+
+    core::System *sys_ = nullptr;
+    GrantWindow *win_ = nullptr;
+    const void *buf_ = nullptr;
+    std::size_t n_ = 0;
+    hw::Access reclaim_ = hw::Access::kRead;
+};
+
+/**
+ * Page-aligned staging pages behind a persistent multi-peer window.
+ *
+ * Implements the §5.3 alignment discipline: data shared through a
+ * window must not share its pages with unrelated caller state, so
+ * paths and small out-structures are copied into dedicated pages that
+ * stay windowed for the whole peer set of the call chain. The arena
+ * owns its pages (allocated in the constructing cubicle) and frees
+ * them — and destroys the window — on destruction.
+ */
+class XferArena {
+  public:
+    XferArena() = default;
+    XferArena(core::System &sys, std::size_t pages, const PeerSet &peers,
+              bool hot = false);
+    ~XferArena();
+
+    XferArena(const XferArena &) = delete;
+    XferArena &operator=(const XferArena &) = delete;
+    XferArena(XferArena &&other) noexcept { moveFrom(other); }
+    XferArena &operator=(XferArena &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    bool valid() const { return range_.valid(); }
+    char *base() const { return reinterpret_cast<char *>(range_.ptr); }
+    std::size_t size() const { return range_.sizeBytes(); }
+    core::Cid owner() const { return win_.owner(); }
+    const GrantWindow &window() const { return win_; }
+
+    /** Staging slot at byte offset @p off (bounds-checked). */
+    char *at(std::size_t off) const;
+
+    /**
+     * Bump-allocates @p bytes aligned to @p align within the arena.
+     * Slots persist until rewind(); the arena does not free per-slot.
+     */
+    void *alloc(std::size_t bytes, std::size_t align = 8);
+    /** Drops every slot handed out by alloc(). */
+    void rewind() { bump_ = 0; }
+
+    /** Touches [base+off, base+off+n) for write before staging data. */
+    void touchForWrite(std::size_t off, std::size_t n);
+
+  private:
+    void moveFrom(XferArena &other) noexcept;
+    void reset() noexcept;
+
+    core::System *sys_ = nullptr;
+    mem::PageRange range_{};
+    GrantWindow win_;
+    std::size_t bump_ = 0;
+};
+
+} // namespace cubicleos::libos
+
+#endif // CUBICLEOS_LIBOS_GRANT_H_

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "libos/grant.h"
+
 namespace cubicleos::libos {
 
 void
@@ -23,11 +25,16 @@ LwipComponent::init()
     rxBuf_ = reinterpret_cast<uint8_t *>(rx.ptr);
     txBuf_ = reinterpret_cast<uint8_t *>(tx.ptr);
 
-    const core::Cid netdev = sys()->cidOf("netdev");
-    const core::Wid wid = sys()->windowInit();
-    sys()->windowAdd(wid, rxBuf_, hw::kPageSize);
-    sys()->windowAdd(wid, txBuf_, hw::kPageSize);
-    sys()->windowOpen(wid, netdev);
+    const PeerSet netdevPeers{sys()->cidOf("netdev")};
+    netdevWin_ = GrantWindow(*sys(), netdevPeers);
+    netdevWin_.stage(rxBuf_, hw::kPageSize);
+    netdevWin_.stage(txBuf_, hw::kPageSize);
+    netdevWin_.open(netdevPeers);
+
+    // Feed the stack's payload-copy accounting into the system-wide
+    // data-copy counters the sendfile experiment compares.
+    stack_.setCopyHook(
+        [this](std::size_t bytes) { sys()->stats().countDataCopy(bytes); });
 }
 
 int64_t
@@ -56,6 +63,16 @@ LwipComponent::doPoll(uint64_t now_ns)
         netdevTx_(txBuf_, len);
         ++processed;
     });
+
+    // Mirror the stack's zero-copy segment counters into the
+    // system-wide stats (the stack itself is System-agnostic).
+    const TcpStats &ts = stack_.stats();
+    if (ts.zcSegsOut > zcSegsSeen_) {
+        sys()->stats().countZeroCopySend(ts.zcBytesOut - zcBytesSeen_,
+                                         ts.zcSegsOut - zcSegsSeen_);
+        zcSegsSeen_ = ts.zcSegsOut;
+        zcBytesSeen_ = ts.zcBytesOut;
+    }
     return processed;
 }
 
@@ -87,6 +104,19 @@ LwipComponent::registerExports(core::Exporter &exp)
                 sys()->touch(buf, n, hw::Access::kWrite);
             return stack_.recv(fd, buf, n);
         });
+    exp.fn<int64_t(int, const void *, std::size_t)>(
+        "lwip_sendz", [this](int fd, const void *span, std::size_t n) {
+            // The span lives in backend-owned pages granted to this
+            // cubicle by the borrow that produced it; the touch models
+            // our first read through that grant. No bytes are copied —
+            // the queue keeps only the reference.
+            if (n > 0)
+                sys()->touch(span, n, hw::Access::kRead);
+            return stack_.sendZero(fd, span, n);
+        });
+    exp.fn<int64_t(int)>("lwip_zc_done", [this](int fd) {
+        return stack_.zeroCopyDone(fd);
+    });
     exp.fn<int(int)>("lwip_close",
                      [this](int fd) { return stack_.close(fd); });
     exp.fn<int(int)>("lwip_established", [this](int fd) {

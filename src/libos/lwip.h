@@ -12,6 +12,7 @@
 #define CUBICLEOS_LIBOS_LWIP_H_
 
 #include "core/system.h"
+#include "libos/grant.h"
 #include "libos/netdev.h"
 #include "libos/tcpip.h"
 
@@ -43,8 +44,11 @@ class LwipComponent : public core::Component {
     TcpIpStack stack_{tcpCfg_};
     core::CrossFn<int(const uint8_t *, std::size_t)> netdevTx_;
     core::CrossFn<int64_t(uint8_t *, std::size_t)> netdevRx_;
-    uint8_t *rxBuf_ = nullptr; ///< windowed for NETDEV
-    uint8_t *txBuf_ = nullptr; ///< windowed for NETDEV
+    uint8_t *rxBuf_ = nullptr;  ///< windowed for NETDEV
+    uint8_t *txBuf_ = nullptr;  ///< windowed for NETDEV
+    GrantWindow netdevWin_;     ///< persistent grant over both buffers
+    uint64_t zcSegsSeen_ = 0;   ///< stack zc counters already mirrored
+    uint64_t zcBytesSeen_ = 0;
 };
 
 } // namespace cubicleos::libos

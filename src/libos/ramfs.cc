@@ -160,6 +160,8 @@ RamfsComponent::doRemove(const char *path)
         return kErrNoEnt;
     if ((node->mode & kModeDir) && !node->children.empty())
         return kErrNotEmpty;
+    if (node->pins > 0)
+        return kErrBusy; // borrowed spans still reference the blocks
     dropBlocks(*node, 0);
     node->live = false;
     nodeAt(parent)->children.erase(leaf);
@@ -216,6 +218,7 @@ RamfsComponent::doRead(NodeId id, uint64_t off, void *buf, std::size_t n)
         const std::size_t chunk = std::min(n - done, kBlockSize - bo);
         if (blk < node->blocks.size() && node->blocks[blk]) {
             libc_.memcpy(out + done, node->blocks[blk] + bo, chunk);
+            sys()->stats().countDataCopy(chunk); // block → caller buffer
         } else {
             libc_.memset(out + done, 0, chunk); // hole reads as zeros
         }
@@ -251,6 +254,7 @@ RamfsComponent::doWrite(NodeId id, uint64_t off, const void *buf,
         const std::size_t bo = (off + done) % kBlockSize;
         const std::size_t chunk = std::min(n - done, kBlockSize - bo);
         libc_.memcpy(node->blocks[blk] + bo, in + done, chunk);
+        sys()->stats().countDataCopy(chunk); // caller buffer → block
         done += chunk;
     }
     node->size = std::max(node->size, end);
@@ -265,6 +269,8 @@ RamfsComponent::doTruncate(NodeId id, uint64_t size)
         return kErrNoEnt;
     if (node->mode & kModeDir)
         return kErrIsDir;
+    if (size < node->size && node->pins > 0)
+        return kErrBusy; // shrinking could free borrowed blocks
     if (size < node->size) {
         dropBlocks(*node,
                    static_cast<std::size_t>(
@@ -322,6 +328,93 @@ RamfsComponent::doReaddir(const char *path, uint64_t idx, VfsDirent *out)
     return kOk;
 }
 
+int
+RamfsComponent::doBorrow(NodeId id, uint64_t off, core::Cid peer,
+                         VfsSpan *out)
+{
+    Node *node = nodeAt(id);
+    if (!node)
+        return kErrNoEnt;
+    if (node->mode & kModeDir)
+        return kErrIsDir;
+    if (!out)
+        return kErrInval;
+
+    sys()->touch(out, sizeof(*out), hw::Access::kWrite);
+    if (off >= node->size) {
+        *out = VfsSpan{}; // len 0 signals EOF
+        return kOk;
+    }
+
+    const std::size_t blk = off / kBlockSize;
+    const std::size_t bo = off % kBlockSize;
+    while (node->blocks.size() <= blk) {
+        std::byte *fresh = allocBlock();
+        if (!fresh)
+            return kErrNoSpc;
+        node->blocks.push_back(fresh);
+    }
+    std::byte *block = node->blocks[blk];
+    if (!block) {
+        // A hole cannot be lent by reference: materialise the block
+        // with the zeros it reads as (metadata work, not a payload
+        // copy — doRead would have memset the same zeros per request).
+        block = allocBlock();
+        if (!block)
+            return kErrNoSpc;
+        std::memset(block, 0, kBlockSize);
+        node->blocks[blk] = block;
+    }
+
+    // One persistent RAMFS-owned window per borrowing peer; its ACL
+    // opens once and stays open (lazy revocation, §5.6) while staged
+    // block ranges come and go with the borrows.
+    auto wit = peerWins_.find(peer);
+    if (wit == peerWins_.end()) {
+        const PeerSet peers{peer};
+        GrantWindow win(*sys(), peers);
+        win.open(peers);
+        wit = peerWins_.emplace(peer, std::move(win)).first;
+    }
+    uint32_t &refs = stagedRefs_[{peer, block}];
+    if (refs == 0)
+        wit->second.stage(block, kBlockSize);
+    ++refs;
+
+    const uint64_t token = nextToken_++;
+    borrows_[token] = Borrow{id, peer, block};
+    ++node->pins;
+
+    VfsSpan span;
+    span.ptr = block + bo;
+    span.len = std::min<uint64_t>(kBlockSize - bo, node->size - off);
+    span.token = token;
+    *out = span;
+    return kOk;
+}
+
+int
+RamfsComponent::doRelease(NodeId id, uint64_t token)
+{
+    auto it = borrows_.find(token);
+    if (it == borrows_.end() || it->second.node != id)
+        return kErrInval;
+    const Borrow b = it->second;
+    borrows_.erase(it);
+
+    auto rit = stagedRefs_.find({b.peer, b.block});
+    if (rit != stagedRefs_.end() && --rit->second == 0) {
+        stagedRefs_.erase(rit);
+        auto wit = peerWins_.find(b.peer);
+        if (wit != peerWins_.end())
+            wit->second.unstage(b.block);
+    }
+    Node *node = nodeAt(id);
+    if (node && node->pins > 0)
+        --node->pins;
+    return kOk;
+}
+
 void
 RamfsComponent::registerExports(core::Exporter &exp)
 {
@@ -356,6 +449,15 @@ RamfsComponent::registerExports(core::Exporter &exp)
             return doReaddir(p, idx, out);
         });
     exp.fn<int(NodeId)>("ramfs_sync", [](NodeId) { return kOk; });
+    exp.fn<int(NodeId, uint64_t, core::Cid, VfsSpan *)>(
+        "ramfs_borrow",
+        [this](NodeId id, uint64_t off, core::Cid peer, VfsSpan *out) {
+            return doBorrow(id, off, peer, out);
+        });
+    exp.fn<int(NodeId, uint64_t)>(
+        "ramfs_release", [this](NodeId id, uint64_t token) {
+            return doRelease(id, token);
+        });
 }
 
 } // namespace cubicleos::libos

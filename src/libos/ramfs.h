@@ -17,9 +17,11 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system.h"
+#include "libos/grant.h"
 #include "libos/libc.h"
 #include "libos/vfs_types.h"
 
@@ -49,8 +51,16 @@ class RamfsComponent : public core::Component {
         uint32_t mode = 0;
         bool live = false;
         uint64_t size = 0;
+        uint32_t pins = 0; ///< outstanding borrowed spans
         std::map<std::string, NodeId> children; ///< for directories
         std::vector<std::byte *> blocks;        ///< for files
+    };
+
+    /** One outstanding zero-copy span borrow. */
+    struct Borrow {
+        NodeId node = kNoNode;
+        core::Cid peer = core::kNoCubicle;
+        std::byte *block = nullptr;
     };
 
     NodeId doLookup(const char *path);
@@ -63,6 +73,8 @@ class RamfsComponent : public core::Component {
     int doTruncate(NodeId node, uint64_t size);
     int doGetattr(NodeId node, VfsStat *st);
     int doReaddir(const char *path, uint64_t idx, VfsDirent *out);
+    int doBorrow(NodeId node, uint64_t off, core::Cid peer, VfsSpan *out);
+    int doRelease(NodeId node, uint64_t token);
 
     /** Copies a caller path (checked access) into a local string. */
     bool readPath(const char *path, std::string *out);
@@ -81,6 +93,14 @@ class RamfsComponent : public core::Component {
     core::CrossFn<void *(core::Cid, std::size_t)> allocPages_;
     core::CrossFn<void(void *, std::size_t)> freePages_;
     std::size_t blocksHeld_ = 0;
+
+    // Zero-copy borrow state: one persistent RAMFS-owned window per
+    // borrowing peer, block staging refcounted per (peer, block) so
+    // overlapping borrows of the same block share one staged range.
+    std::map<core::Cid, GrantWindow> peerWins_;
+    std::map<std::pair<core::Cid, std::byte *>, uint32_t> stagedRefs_;
+    std::map<uint64_t, Borrow> borrows_;
+    uint64_t nextToken_ = 1;
 };
 
 } // namespace cubicleos::libos

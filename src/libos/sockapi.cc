@@ -5,6 +5,8 @@ namespace cubicleos::libos {
 CubicleSockApi::CubicleSockApi(core::System &sys)
     : sys_(sys),
       lwipCid_(sys.cidOf("lwip")),
+      lwipPeer_{lwipCid_},
+      window_(sys, lwipPeer_),
       socket_(sys.resolve<int()>("lwip", "lwip_socket")),
       bind_(sys.resolve<int(int, uint16_t)>("lwip", "lwip_bind")),
       listen_(sys.resolve<int(int, int)>("lwip", "lwip_listen")),
@@ -18,42 +20,37 @@ CubicleSockApi::CubicleSockApi(core::System &sys)
       close_(sys.resolve<int(int)>("lwip", "lwip_close")),
       established_(sys.resolve<int(int)>("lwip", "lwip_established")),
       sendDrained_(sys.resolve<int(int)>("lwip", "lwip_send_drained")),
-      poll_(sys.resolve<int64_t(uint64_t)>("lwip", "lwip_poll"))
+      poll_(sys.resolve<int64_t(uint64_t)>("lwip", "lwip_poll")),
+      sendz_(sys.resolve<int64_t(int, const void *, std::size_t)>(
+          "lwip", "lwip_sendz")),
+      zcDone_(sys.resolve<int64_t(int)>("lwip", "lwip_zc_done"))
 {
-    window_ = sys_.windowInit();
-}
-
-CubicleSockApi::~CubicleSockApi()
-{
-    try {
-        sys_.windowDestroy(window_);
-    } catch (const core::WindowError &) {
-        // Destroyed from outside the owning cubicle during teardown.
-    }
 }
 
 int64_t
 CubicleSockApi::send(int fd, const void *buf, std::size_t n)
 {
-    sys_.windowAdd(window_, buf, n);
-    sys_.windowOpen(window_, lwipCid_);
-    const int64_t rc = send_(fd, buf, n);
-    sys_.windowRemove(window_, buf);
-    sys_.windowCloseAll(window_);
-    sys_.touch(buf, n, hw::Access::kRead); // reclaim (next app access)
-    return rc;
+    // The Grant un-stages, closes and reclaims on every exit path —
+    // including an exception thrown by the resolved callee (the old
+    // inline add/open…remove/closeAll sequence leaked an open window
+    // whenever the callee threw).
+    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead);
+    return send_(fd, buf, n);
 }
 
 int64_t
 CubicleSockApi::recv(int fd, void *buf, std::size_t n)
 {
-    sys_.windowAdd(window_, buf, n);
-    sys_.windowOpen(window_, lwipCid_);
-    const int64_t rc = recv_(fd, buf, n);
-    sys_.windowRemove(window_, buf);
-    sys_.windowCloseAll(window_);
-    sys_.touch(buf, n, hw::Access::kRead);
-    return rc;
+    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead);
+    return recv_(fd, buf, n);
+}
+
+int64_t
+CubicleSockApi::sendZero(int fd, const void *span, std::size_t n)
+{
+    // No window work: the span is backend memory already granted to
+    // LWIP by the borrow that produced it.
+    return sendz_(fd, span, n);
 }
 
 } // namespace cubicleos::libos

@@ -3,15 +3,23 @@
  * CubicleSockApi: application-side socket glue with window management.
  *
  * The socket-API half of the NGINX porting effort (paper: 390 SLOC):
- * brackets every lwip_send/lwip_recv with window grants over the
- * application's buffers and reclaims them afterwards, mirroring
- * CubicleFileApi for the file path.
+ * brackets every lwip_send/lwip_recv with grant-layer window grants
+ * over the application's buffers and reclaims them afterwards,
+ * mirroring CubicleFileApi for the file path. The RAII Grant makes the
+ * bracket exception-safe: a throwing callee can no longer leak an open
+ * window.
+ *
+ * sendZero/zeroCopyDone expose the zero-copy sendfile path: the spans
+ * passed to sendZero are backend-owned blocks already granted to the
+ * LWIP cubicle (via vfs_borrow), so no window management happens here
+ * — the pointer crosses by value and LWIP reads the block in place.
  */
 
 #ifndef CUBICLEOS_LIBOS_SOCKAPI_H_
 #define CUBICLEOS_LIBOS_SOCKAPI_H_
 
 #include "core/system.h"
+#include "libos/grant.h"
 #include "libos/tcpip.h"
 
 namespace cubicleos::libos {
@@ -21,7 +29,7 @@ class CubicleSockApi {
   public:
     /** Must be constructed while executing inside the app cubicle. */
     explicit CubicleSockApi(core::System &sys);
-    ~CubicleSockApi();
+    ~CubicleSockApi() = default;
 
     int socket() { return socket_(); }
     int bind(int fd, uint16_t port) { return bind_(fd, port); }
@@ -38,10 +46,25 @@ class CubicleSockApi {
     bool sendDrained(int fd) { return sendDrained_(fd) != 0; }
     int64_t poll(uint64_t now_ns) { return poll_(now_ns); }
 
+    /**
+     * Queues a borrowed span for zero-copy transmission (all or
+     * nothing): returns @p n once queued, kNetAgain when the send
+     * buffer cannot take the whole span yet. The span must stay
+     * granted to the LWIP cubicle until zeroCopyDone reports it.
+     */
+    int64_t sendZero(int fd, const void *span, std::size_t n);
+    /**
+     * Number of zero-copy spans fully acknowledged since the last
+     * call, in FIFO queue order — the caller releases that many of its
+     * oldest outstanding borrows.
+     */
+    int64_t zeroCopyDone(int fd) { return zcDone_(fd); }
+
   private:
     core::System &sys_;
     core::Cid lwipCid_;
-    core::Wid window_ = core::kInvalidWindow;
+    PeerSet lwipPeer_;
+    GrantWindow window_;
 
     core::CrossFn<int()> socket_;
     core::CrossFn<int(int, uint16_t)> bind_;
@@ -54,6 +77,8 @@ class CubicleSockApi {
     core::CrossFn<int(int)> established_;
     core::CrossFn<int(int)> sendDrained_;
     core::CrossFn<int64_t(uint64_t)> poll_;
+    core::CrossFn<int64_t(int, const void *, std::size_t)> sendz_;
+    core::CrossFn<int64_t(int)> zcDone_;
 };
 
 } // namespace cubicleos::libos

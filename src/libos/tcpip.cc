@@ -1,7 +1,9 @@
 #include "libos/tcpip.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <utility>
 
 namespace cubicleos::libos {
 
@@ -93,6 +95,23 @@ seqLt(uint32_t a, uint32_t b)
 
 // --- connection state ---------------------------------------------------
 
+/**
+ * One send-queue element: either bytes the stack owns (copied from the
+ * caller at send() time) or a reference to an external zero-copy span
+ * whose storage the caller keeps alive — and granted — until the last
+ * byte is acknowledged (retransmissions re-read it in place).
+ */
+struct SendChunk {
+    std::vector<uint8_t> owned; ///< empty for zero-copy chunks
+    const uint8_t *ext = nullptr;
+    std::size_t len = 0;    ///< logical chunk length
+    std::size_t popped = 0; ///< acknowledged bytes consumed from front
+
+    bool zc() const { return ext != nullptr; }
+    const uint8_t *bytes() const { return zc() ? ext : owned.data(); }
+    std::size_t remaining() const { return len - popped; }
+};
+
 struct TcpIpStack::Conn {
     enum State {
         kClosed,
@@ -116,10 +135,12 @@ struct TcpIpStack::Conn {
     uint32_t remoteIp = 0;
     uint16_t remotePort = 0;
 
-    // Send side: sndQ holds [sndUna, sndUna + sndQ.size()).
+    // Send side: the chunk queue holds [sndUna, sndUna + sndQBytes).
     uint32_t sndUna = 0;
     uint32_t sndNxt = 0;
-    std::deque<uint8_t> sndQ;
+    std::deque<SendChunk> sndQ;
+    std::size_t sndQBytes = 0; ///< total remaining bytes across chunks
+    uint64_t zcCompleted = 0;  ///< fully-acked spans not yet reported
     bool synOut = false; ///< SYN/SYN-ACK emitted (awaiting ack)
     bool finQueued = false;
     bool finSent = false;
@@ -150,7 +171,22 @@ struct TcpIpStack::Conn {
         return fl;
     }
 
-    std::size_t unsent() const { return sndQ.size() - dataInflight(); }
+    std::size_t unsent() const { return sndQBytes - dataInflight(); }
+
+    /**
+     * Locates the byte at logical offset @p off into the un-popped
+     * queue contents. @return the chunk and the index within its
+     * bytes() (popped bytes included), or {nullptr, 0} past the end.
+     */
+    std::pair<const SendChunk *, std::size_t> chunkAt(std::size_t off) const
+    {
+        for (const SendChunk &ck : sndQ) {
+            if (off < ck.remaining())
+                return {&ck, ck.popped + off};
+            off -= ck.remaining();
+        }
+        return {nullptr, 0};
+    }
 };
 
 struct TcpIpStack::Impl {
@@ -277,13 +313,64 @@ TcpIpStack::send(int fd, const void *buf, std::size_t n)
     if (c->finQueued)
         return kNetNotConn;
     const std::size_t room =
-        cfg_.sndBuf > c->sndQ.size() ? cfg_.sndBuf - c->sndQ.size() : 0;
+        cfg_.sndBuf > c->sndQBytes ? cfg_.sndBuf - c->sndQBytes : 0;
     const std::size_t take = std::min(n, room);
     if (take == 0)
         return kNetAgain;
     const auto *bytes = static_cast<const uint8_t *>(buf);
-    c->sndQ.insert(c->sndQ.end(), bytes, bytes + take);
+    SendChunk ck;
+    ck.owned.assign(bytes, bytes + take);
+    ck.len = take;
+    c->sndQ.push_back(std::move(ck));
+    c->sndQBytes += take;
+    countCopy(take); // app buffer → send queue
     return static_cast<int64_t>(take);
+}
+
+int64_t
+TcpIpStack::sendZero(int fd, const void *span, std::size_t n)
+{
+    Conn *c = conn(fd);
+    if (!c)
+        return kNetBadFd;
+    if (c->state != Conn::kEstablished && c->state != Conn::kCloseWait)
+        return kNetNotConn;
+    if (c->finQueued)
+        return kNetNotConn;
+    if (n == 0)
+        return 0;
+    // All-or-nothing: a partially queued span would leave the caller
+    // unable to tell which suffix to resubmit without copying.
+    const std::size_t room =
+        cfg_.sndBuf > c->sndQBytes ? cfg_.sndBuf - c->sndQBytes : 0;
+    if (room < n)
+        return kNetAgain;
+    SendChunk ck;
+    ck.ext = static_cast<const uint8_t *>(span);
+    ck.len = n;
+    c->sndQ.push_back(std::move(ck));
+    c->sndQBytes += n;
+    return static_cast<int64_t>(n);
+}
+
+int64_t
+TcpIpStack::zeroCopyDone(int fd)
+{
+    Conn *c = conn(fd);
+    if (!c)
+        return kNetBadFd;
+    const int64_t done = static_cast<int64_t>(c->zcCompleted);
+    c->zcCompleted = 0;
+    return done;
+}
+
+void
+TcpIpStack::countCopy(std::size_t bytes)
+{
+    ++stats_.payloadCopies;
+    stats_.payloadCopyBytes += bytes;
+    if (copyHook_)
+        copyHook_(bytes);
 }
 
 int64_t
@@ -353,7 +440,7 @@ bool
 TcpIpStack::sendDrained(int fd) const
 {
     const Conn *c = conn(fd);
-    return c && c->sndQ.empty();
+    return c && c->sndQBytes == 0;
 }
 
 // --- segment emission -----------------------------------------------
@@ -451,16 +538,45 @@ TcpIpStack::pollOutput(
         // Data segments, limited by the peer's advertised window.
         while (!c.finSent && c.unsent() > 0 && c.inflight() < c.peerWnd) {
             const std::size_t off = c.dataInflight();
-            const std::size_t len =
+            std::size_t len =
                 std::min({static_cast<std::size_t>(cfg_.mss),
                           c.unsent(),
                           static_cast<std::size_t>(c.peerWnd) -
                               c.inflight()});
-            // deque is not contiguous: stage the payload.
-            std::vector<uint8_t> payload(len);
-            for (std::size_t i = 0; i < len; ++i)
-                payload[i] = c.sndQ[off + i];
-            emit(c.sndNxt, kAck | kPsh, payload.data(), len);
+            const auto [ck, idx] = c.chunkAt(off);
+            assert(ck != nullptr);
+            if (ck->zc()) {
+                // Zero-copy chunk: build the segment straight from the
+                // borrowed span (the scatter-gather DMA analogue — the
+                // header-assembly memcpy inside buildSegment is what a
+                // NIC gather descriptor would do, not a payload copy).
+                // Truncate at the chunk boundary so a span never
+                // shares a segment with foreign bytes.
+                len = std::min(len, ck->len - idx);
+                emit(c.sndNxt, kAck | kPsh, ck->bytes() + idx, len);
+                ++stats_.zcSegsOut;
+                stats_.zcBytesOut += len;
+            } else {
+                // Gather across consecutive owned chunks into one
+                // staging buffer, preserving the seed's MSS-sized
+                // segmentation; stop at a zero-copy chunk boundary.
+                std::vector<uint8_t> payload;
+                payload.reserve(len);
+                std::size_t gather_off = off;
+                while (payload.size() < len) {
+                    const auto [gck, gidx] = c.chunkAt(gather_off);
+                    if (!gck || gck->zc())
+                        break;
+                    const std::size_t take = std::min(
+                        len - payload.size(), gck->len - gidx);
+                    payload.insert(payload.end(), gck->bytes() + gidx,
+                                   gck->bytes() + gidx + take);
+                    gather_off += take;
+                }
+                len = payload.size();
+                countCopy(len); // send queue → segment staging
+                emit(c.sndNxt, kAck | kPsh, payload.data(), len);
+            }
             c.sndNxt += static_cast<uint32_t>(len);
         }
 
@@ -595,9 +711,21 @@ TcpIpStack::input(const uint8_t *pkt, std::size_t len)
             uint32_t data_advance = advance;
             if (c->finSent && !seqLt(ack, c->finSeq + 1))
                 data_advance = advance - 1;
-            for (uint32_t i = 0; i < data_advance && !c->sndQ.empty();
-                 ++i) {
-                c->sndQ.pop_front();
+            std::size_t to_pop = data_advance;
+            while (to_pop > 0 && !c->sndQ.empty()) {
+                SendChunk &ck = c->sndQ.front();
+                const std::size_t take =
+                    std::min(to_pop, ck.remaining());
+                ck.popped += take;
+                c->sndQBytes -= take;
+                to_pop -= take;
+                if (ck.remaining() == 0) {
+                    // A fully-acked span completes, in FIFO order —
+                    // the borrower may now release it.
+                    if (ck.zc())
+                        ++c->zcCompleted;
+                    c->sndQ.pop_front();
+                }
             }
             c->sndUna = ack;
             // Our FIN acknowledged?

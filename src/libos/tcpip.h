@@ -54,6 +54,12 @@ struct TcpStats {
     uint64_t bytesOut = 0;
     uint64_t retransmits = 0;
     uint64_t checksumDrops = 0;
+    /** Payload copies on the send path (app buf → queue, queue → seg). */
+    uint64_t payloadCopies = 0;
+    uint64_t payloadCopyBytes = 0;
+    /** Segments whose payload was taken straight from a borrowed span. */
+    uint64_t zcSegsOut = 0;
+    uint64_t zcBytesOut = 0;
 };
 
 /**
@@ -76,6 +82,24 @@ class TcpIpStack {
     int connect(int fd, uint32_t dst_ip, uint16_t dst_port);
     /** @return bytes queued (may be < n), or a NetErr. */
     int64_t send(int fd, const void *buf, std::size_t n);
+    /**
+     * Queues an external span for zero-copy transmission: the bytes
+     * are not copied into the send queue — segments are built straight
+     * from @p span (the scatter-gather DMA analogue). All-or-nothing:
+     * @return n once the whole span is queued, kNetAgain when the send
+     * buffer cannot take it yet, or another NetErr.
+     *
+     * The caller must keep @p span valid (and, across cubicles,
+     * granted) until zeroCopyDone() accounts for it: retransmissions
+     * re-read the span until every byte is acknowledged.
+     */
+    int64_t sendZero(int fd, const void *span, std::size_t n);
+    /**
+     * Number of zero-copy spans fully acknowledged since the last
+     * call (consumed on read). Spans complete in FIFO submission
+     * order, so the caller can release its oldest outstanding borrows.
+     */
+    int64_t zeroCopyDone(int fd);
     /** @return bytes read, 0 on orderly close, or kNetAgain. */
     int64_t recv(int fd, void *buf, std::size_t n);
     int close(int fd);
@@ -96,15 +120,28 @@ class TcpIpStack {
     const TcpStats &stats() const { return stats_; }
     const TcpConfig &config() const { return cfg_; }
 
+    /**
+     * Installs a hook invoked with the byte count of every payload
+     * copy the stack performs (LWIP wires it to the system-wide
+     * data-copy counters; the stand-alone bench client leaves it
+     * unset).
+     */
+    void setCopyHook(std::function<void(std::size_t)> hook)
+    {
+        copyHook_ = std::move(hook);
+    }
+
   private:
     struct Conn;
     struct Impl;
 
     Conn *conn(int fd) const;
+    void countCopy(std::size_t bytes);
 
     std::unique_ptr<Impl> impl_;
     TcpConfig cfg_;
     TcpStats stats_;
+    std::function<void(std::size_t)> copyHook_;
 };
 
 } // namespace cubicleos::libos

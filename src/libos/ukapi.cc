@@ -10,6 +10,8 @@ CubicleFileApi::CubicleFileApi(core::System &sys,
     : sys_(sys),
       vfsCid_(sys.cidOf("vfscore")),
       backendCid_(sys.cidOf(backend_name)),
+      peers_{vfsCid_, backendCid_},
+      hotWindows_(hot_windows),
       open_(sys.resolve<int(const char *, int)>("vfscore", "vfs_open")),
       close_(sys.resolve<int(int)>("vfscore", "vfs_close")),
       read_(sys.resolve<int64_t(int, void *, std::size_t)>("vfscore",
@@ -32,103 +34,32 @@ CubicleFileApi::CubicleFileApi(core::System &sys,
           "vfscore", "vfs_readdir")),
       ftruncate_(
           sys.resolve<int(int, uint64_t)>("vfscore", "vfs_ftruncate")),
-      fsync_(sys.resolve<int(int)>("vfscore", "vfs_fsync"))
+      fsync_(sys.resolve<int(int)>("vfscore", "vfs_fsync")),
+      borrow_(sys.resolve<int(int, uint64_t, core::Cid, VfsSpan *)>(
+          "vfscore", "vfs_borrow")),
+      release_(sys.resolve<int(int, uint64_t)>("vfscore", "vfs_release"))
 {
-    hotWindows_ = hot_windows;
-    const core::Cid self = sys_.currentCubicle();
-    auto range = sys_.monitor().allocPagesFor(self, 1,
-                                              mem::PageType::kHeap);
-    if (!range.valid())
-        throw core::OutOfMemory("CubicleFileApi transfer page");
-    xferPage_ = reinterpret_cast<char *>(range.ptr);
+    // Persistent arena window over the transfer page, open for the
+    // whole file stack; one window per peer set keeps the descriptor
+    // arrays short (paper: <10 windows per cubicle). The arena owns
+    // the page and frees it on destruction.
+    xfer_ = XferArena(sys_, 1, peers_, hotWindows_);
 
-    // Persistent window over the transfer page, open for the whole
-    // file stack; one window per peer set keeps the descriptor arrays
-    // short (paper: <10 windows per cubicle).
-    xferWindow_ = sys_.windowInit();
-    if (hotWindows_)
-        sys_.windowSetHot(xferWindow_);
-    sys_.windowAdd(xferWindow_, xferPage_, hw::kPageSize);
-    sys_.windowOpen(xferWindow_, vfsCid_);
-    sys_.windowOpen(xferWindow_, backendCid_);
-
-    // Per-I/O window, managed by BufferGrant around each call. In
-    // hot-window mode it gets a dedicated MPK key (paper §8) and its
-    // ACL stays open; per-call work reduces to re-staging the range
+    // Per-I/O window, managed by a Grant around each call. In
+    // hot-window mode it gets a dedicated MPK key (paper §8), its ACL
+    // stays open, and per-call work reduces to re-staging the range
     // when the buffer changes.
-    ioWindow_ = sys_.windowInit();
-    if (hotWindows_) {
-        sys_.windowSetHot(ioWindow_);
-        sys_.windowOpen(ioWindow_, vfsCid_);
-        sys_.windowOpen(ioWindow_, backendCid_);
-    }
-}
-
-CubicleFileApi::~CubicleFileApi()
-{
-    // Windows belong to the app cubicle; destroying them outside it
-    // would violate the ownership rule, so re-enter if needed.
-    sys_.runAs(sys_.monitor().pageMeta()
-                   .at(sys_.monitor().space().pageIndexOf(xferPage_))
-                   .owner,
-               [&] {
-                   sys_.windowDestroy(xferWindow_);
-                   sys_.windowDestroy(ioWindow_);
-               });
-}
-
-CubicleFileApi::BufferGrant::BufferGrant(CubicleFileApi &api,
-                                         const void *buf, std::size_t n,
-                                         hw::Access reclaim_access)
-    : api_(api), buf_(buf), n_(n), reclaim_(reclaim_access)
-{
-    // Host-private buffers (outside the simulated machine) need no
-    // window: they are unsimulated thread-private memory, consistent
-    // with System::touch's policy.
-    if (!api_.sys_.monitor().space().contains(buf_)) {
-        buf_ = nullptr;
-        return;
-    }
-    if (api_.hotWindows_) {
-        // Hot-window mode: the window's dedicated key stays in every
-        // party's PKRU; only re-stage the range when the buffer
-        // changes (windowAdd eagerly tags the pages with the key).
-        if (api_.hotBuf_ == buf_)
-            return;
-        if (api_.hotBuf_)
-            api_.sys_.windowRemove(api_.ioWindow_, api_.hotBuf_);
-        api_.sys_.windowAdd(api_.ioWindow_, buf_, n_);
-        api_.hotBuf_ = buf_;
-        return;
-    }
-    api_.sys_.windowAdd(api_.ioWindow_, buf_, n_);
-    api_.sys_.windowOpen(api_.ioWindow_, api_.vfsCid_);
-    api_.sys_.windowOpen(api_.ioWindow_, api_.backendCid_);
-}
-
-CubicleFileApi::BufferGrant::~BufferGrant()
-{
-    if (!buf_)
-        return; // host-private buffer; nothing was granted
-    if (api_.hotWindows_) {
-        // The window stays open and the pages keep the callee's tag;
-        // the owner reclaims lazily only when it really touches them.
-        return;
-    }
-    api_.sys_.windowRemove(api_.ioWindow_, buf_);
-    api_.sys_.windowCloseAll(api_.ioWindow_);
-    // Model the caller's next direct access to its buffer: trap-and-map
-    // lazily retags the page back to the owner.
-    api_.sys_.touch(buf_, n_, reclaim_);
+    ioWin_ = GrantWindow(sys_, peers_, hotWindows_);
 }
 
 const char *
 CubicleFileApi::stagePath(const char *path)
 {
-    sys_.touch(xferPage_, kMaxPath, hw::Access::kWrite);
-    std::strncpy(xferPage_, path, kMaxPath - 1);
-    xferPage_[kMaxPath - 1] = '\0';
-    return xferPage_;
+    xfer_.touchForWrite(0, kMaxPath);
+    char *staged = xfer_.base();
+    std::strncpy(staged, path, kMaxPath - 1);
+    staged[kMaxPath - 1] = '\0';
+    return staged;
 }
 
 int
@@ -146,21 +77,21 @@ CubicleFileApi::close(int fd)
 int64_t
 CubicleFileApi::read(int fd, void *buf, std::size_t n)
 {
-    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
     return read_(fd, buf, n);
 }
 
 int64_t
 CubicleFileApi::write(int fd, const void *buf, std::size_t n)
 {
-    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
     return write_(fd, buf, n);
 }
 
 int64_t
 CubicleFileApi::pread(int fd, void *buf, std::size_t n, uint64_t off)
 {
-    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
     return pread_(fd, buf, n, off);
 }
 
@@ -168,7 +99,7 @@ int64_t
 CubicleFileApi::pwrite(int fd, const void *buf, std::size_t n,
                        uint64_t off)
 {
-    BufferGrant grant(*this, buf, n, hw::Access::kRead);
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
     return pwrite_(fd, buf, n, off);
 }
 
@@ -183,7 +114,7 @@ CubicleFileApi::stat(const char *path, VfsStat *st)
 {
     // Stage both the path and the out-struct on the transfer page.
     const char *p = stagePath(path);
-    auto *out = reinterpret_cast<VfsStat *>(xferPage_ + kMaxPath);
+    auto *out = reinterpret_cast<VfsStat *>(xfer_.at(kMaxPath));
     const int rc = stat_(p, out);
     sys_.touch(out, sizeof(*out), hw::Access::kRead);
     *st = *out;
@@ -193,8 +124,8 @@ CubicleFileApi::stat(const char *path, VfsStat *st)
 int
 CubicleFileApi::fstat(int fd, VfsStat *st)
 {
-    sys_.touch(xferPage_, hw::kPageSize, hw::Access::kWrite);
-    auto *out = reinterpret_cast<VfsStat *>(xferPage_ + kMaxPath);
+    xfer_.touchForWrite(0, hw::kPageSize);
+    auto *out = reinterpret_cast<VfsStat *>(xfer_.at(kMaxPath));
     const int rc = fstat_(fd, out);
     sys_.touch(out, sizeof(*out), hw::Access::kRead);
     *st = *out;
@@ -229,11 +160,33 @@ int
 CubicleFileApi::readdir(const char *path, uint64_t idx, VfsDirent *out)
 {
     const char *p = stagePath(path);
-    auto *staged = reinterpret_cast<VfsDirent *>(xferPage_ + kMaxPath);
+    auto *staged = reinterpret_cast<VfsDirent *>(xfer_.at(kMaxPath));
     const int rc = readdir_(p, idx, staged);
     sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
     *out = *staged;
     return rc;
+}
+
+int
+CubicleFileApi::borrow(int fd, uint64_t off, core::Cid peer,
+                       VfsSpan *out)
+{
+    // The out-struct is staged past the path slot so a concurrent
+    // stagePath cannot clobber it; the arena window already covers it
+    // for VFSCORE and the backend.
+    auto *staged = reinterpret_cast<VfsSpan *>(xfer_.at(kMaxPath));
+    sys_.touch(staged, sizeof(*staged), hw::Access::kWrite);
+    *staged = VfsSpan{};
+    const int rc = borrow_(fd, off, peer, staged);
+    sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
+    *out = *staged;
+    return rc;
+}
+
+int
+CubicleFileApi::release(int fd, uint64_t token)
+{
+    return release_(fd, token);
 }
 
 int
@@ -249,11 +202,14 @@ mountRoot(core::System &sys, const std::string &backend)
     std::strncpy(staged, backend.c_str(), kMaxPath - 1);
     staged[kMaxPath - 1] = '\0';
 
-    const core::Wid wid = sys.windowInit();
-    sys.windowAdd(wid, staged, kMaxPath);
-    sys.windowOpen(wid, vfs);
-    const int rc = vfs_mount(staged);
-    sys.windowDestroy(wid);
+    const PeerSet peers{vfs};
+    GrantWindow win(sys, peers);
+    int rc;
+    {
+        Grant grant(sys, win, peers, staged, kMaxPath,
+                    hw::Access::kRead);
+        rc = vfs_mount(staged);
+    }
     return rc;
 }
 

@@ -4,14 +4,15 @@
  *
  * This class is the analogue of the paper's per-application porting
  * effort (SQLite: 620 SLOC, NGINX: 390 SLOC): every VFS call is
- * bracketed by window management so the callee cubicles can access the
- * caller's buffers, following Fig. 2's open→call→close pattern and the
- * nested-call rule (the caller opens the window for both VFSCORE and
- * the backend, §5.6).
+ * bracketed by grant-layer window management so the callee cubicles
+ * can access the caller's buffers, following Fig. 2's open→call→close
+ * pattern and the nested-call rule (the caller opens the window for
+ * both VFSCORE and the backend, §5.6).
  *
- * Paths and small out-structures are copied into a dedicated,
- * page-aligned transfer page so unrelated caller data never shares a
- * windowed page (the alignment discipline of §5.3).
+ * Paths and small out-structures are staged in an XferArena — a
+ * dedicated, page-aligned transfer page windowed for the whole file
+ * stack — so unrelated caller data never shares a windowed page (the
+ * alignment discipline of §5.3).
  *
  * After each call the buffer is touched once, modelling the caller's
  * next direct access: on hardware that access would trap and lazily
@@ -24,6 +25,7 @@
 
 #include "core/system.h"
 #include "libos/fileapi.h"
+#include "libos/grant.h"
 
 namespace cubicleos::libos {
 
@@ -32,7 +34,7 @@ class CubicleFileApi : public FileApi {
   public:
     /**
      * Binds to @p sys's VFS; must be constructed while executing inside
-     * the application cubicle (allocates the transfer page there).
+     * the application cubicle (allocates the transfer arena there).
      *
      * @param backend_name the mounted backend whose cubicle also needs
      *        window access (nested-call rule), e.g. "ramfs".
@@ -46,7 +48,7 @@ class CubicleFileApi : public FileApi {
      */
     CubicleFileApi(core::System &sys, const std::string &backend_name,
                    bool hot_windows = false);
-    ~CubicleFileApi() override;
+    ~CubicleFileApi() override = default;
 
     int open(const char *path, int flags) override;
     int close(int fd) override;
@@ -64,32 +66,28 @@ class CubicleFileApi : public FileApi {
     int fsync(int fd) override;
     int readdir(const char *path, uint64_t idx, VfsDirent *out) override;
 
+    /**
+     * Borrows a grant-protected span of the file's backing blocks at
+     * @p off (the zero-copy sendfile primitive): the backend pins the
+     * block and opens a window over it for cubicle @p peer. The span
+     * stays valid until release(fd, out->token). Returns 0 (span in
+     * @p out, len 0 at EOF) or a negative VfsErr.
+     */
+    int borrow(int fd, uint64_t off, core::Cid peer, VfsSpan *out);
+    /** Returns a borrowed span; the backend revokes and unpins. */
+    int release(int fd, uint64_t token);
+
   private:
-    /** RAII: adds a buffer range to the I/O window and opens the ACL. */
-    class BufferGrant {
-      public:
-        BufferGrant(CubicleFileApi &api, const void *buf, std::size_t n,
-                    hw::Access reclaim_access);
-        ~BufferGrant();
-
-      private:
-        CubicleFileApi &api_;
-        const void *buf_;
-        std::size_t n_;
-        hw::Access reclaim_;
-    };
-
-    /** Copies a path into the transfer page, returns the in-page copy. */
+    /** Copies a path into the transfer arena, returns the staged copy. */
     const char *stagePath(const char *path);
 
     core::System &sys_;
     core::Cid vfsCid_;
     core::Cid backendCid_;
-    core::Wid ioWindow_ = core::kInvalidWindow;
-    core::Wid xferWindow_ = core::kInvalidWindow;
+    PeerSet peers_;    ///< {VFSCORE, backend}: the nested-call ACL set
     bool hotWindows_ = false;
-    const void *hotBuf_ = nullptr; ///< range currently in the window
-    char *xferPage_ = nullptr; ///< windowed page for paths/out-structs
+    XferArena xfer_;   ///< staging page for paths and out-structs
+    GrantWindow ioWin_; ///< per-I/O buffer window (hot-pooled if asked)
 
     core::CrossFn<int(const char *, int)> open_;
     core::CrossFn<int(int)> close_;
@@ -106,6 +104,8 @@ class CubicleFileApi : public FileApi {
     core::CrossFn<int(const char *, uint64_t, VfsDirent *)> readdir_;
     core::CrossFn<int(int, uint64_t)> ftruncate_;
     core::CrossFn<int(int)> fsync_;
+    core::CrossFn<int(int, uint64_t, core::Cid, VfsSpan *)> borrow_;
+    core::CrossFn<int(int, uint64_t)> release_;
 };
 
 /**

@@ -10,6 +10,7 @@
 #ifndef CUBICLEOS_LIBOS_VFS_TYPES_H_
 #define CUBICLEOS_LIBOS_VFS_TYPES_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace cubicleos::libos {
@@ -20,6 +21,7 @@ enum VfsErr : int {
     kErrNoEnt = -2,    ///< no such file or directory
     kErrIo = -5,       ///< I/O error
     kErrBadF = -9,     ///< bad file descriptor
+    kErrBusy = -16,    ///< resource busy (e.g. borrowed blocks)
     kErrNoMem = -12,   ///< out of memory
     kErrExist = -17,   ///< file exists
     kErrNotDir = -20,  ///< not a directory
@@ -77,6 +79,22 @@ struct VfsStat {
 struct VfsDirent {
     char name[60];
     uint32_t type; ///< VfsMode of the entry
+};
+
+/**
+ * A borrowed, grant-protected span of a file's backing blocks
+ * (the zero-copy sendfile unit).
+ *
+ * Returned by vfs_borrow: the backend pins the block, adds it to a
+ * window it owns, and opens that window for the peer cubicle named by
+ * the caller. The span stays readable by the peer until vfs_release
+ * is called with @p token. Spans never cross a block boundary, so a
+ * large file is served as a sequence of borrows.
+ */
+struct VfsSpan {
+    const std::byte *ptr = nullptr; ///< first borrowed byte
+    uint64_t len = 0;               ///< span length (≤ one block)
+    uint64_t token = 0;             ///< handle for vfs_release
 };
 
 /** Maximum path length accepted by the VFS. */

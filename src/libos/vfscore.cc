@@ -63,6 +63,18 @@ VfsComponent::doMount(const char *fsname)
     } catch (const core::LinkError &) {
         return kErrNoSys;
     }
+    // Borrow/release is an optional backend capability: a backend
+    // without it still mounts, and vfs_borrow reports kErrNoSys.
+    try {
+        backend_.borrow =
+            s.resolve<int(NodeId, uint64_t, core::Cid, VfsSpan *)>(
+                fs, fs + "_borrow");
+        backend_.release =
+            s.resolve<int(NodeId, uint64_t)>(fs, fs + "_release");
+        backend_.canBorrow = true;
+    } catch (const core::LinkError &) {
+        backend_.canBorrow = false;
+    }
     backend_.fsname = fs;
     backend_.mounted = true;
     return kOk;
@@ -258,6 +270,34 @@ VfsComponent::doFsync(int fd)
     return backend_.sync(f->node);
 }
 
+int
+VfsComponent::doBorrow(int fd, uint64_t off, core::Cid peer,
+                       VfsSpan *out)
+{
+    FileDesc *f = fdAt(fd);
+    if (!f)
+        return kErrBadF;
+    if (!backend_.canBorrow)
+        return kErrNoSys;
+    if (!out)
+        return kErrInval;
+    // Validate the out-struct like any other caller pointer before the
+    // backend writes through it (Fig. 2 discipline).
+    sys()->touch(out, sizeof(*out), hw::Access::kWrite);
+    return backend_.borrow(f->node, off, peer, out);
+}
+
+int
+VfsComponent::doRelease(int fd, uint64_t token)
+{
+    FileDesc *f = fdAt(fd);
+    if (!f)
+        return kErrBadF;
+    if (!backend_.canBorrow)
+        return kErrNoSys;
+    return backend_.release(f->node, token);
+}
+
 void
 VfsComponent::registerExports(core::Exporter &exp)
 {
@@ -307,6 +347,15 @@ VfsComponent::registerExports(core::Exporter &exp)
         "vfs_ftruncate",
         [this](int fd, uint64_t size) { return doFtruncate(fd, size); });
     exp.fn<int(int)>("vfs_fsync", [this](int fd) { return doFsync(fd); });
+    exp.fn<int(int, uint64_t, core::Cid, VfsSpan *)>(
+        "vfs_borrow",
+        [this](int fd, uint64_t off, core::Cid peer, VfsSpan *out) {
+            return doBorrow(fd, off, peer, out);
+        });
+    exp.fn<int(int, uint64_t)>(
+        "vfs_release", [this](int fd, uint64_t token) {
+            return doRelease(fd, token);
+        });
 }
 
 } // namespace cubicleos::libos

@@ -55,8 +55,12 @@ class VfsComponent : public core::Component {
         core::CrossFn<int(NodeId, VfsStat *)> getattr;
         core::CrossFn<int(const char *, uint64_t, VfsDirent *)> readdir;
         core::CrossFn<int(NodeId)> sync;
+        /** Zero-copy span borrow/release (optional backend capability). */
+        core::CrossFn<int(NodeId, uint64_t, core::Cid, VfsSpan *)> borrow;
+        core::CrossFn<int(NodeId, uint64_t)> release;
         std::string fsname;
         bool mounted = false;
+        bool canBorrow = false;
     };
 
     /** Open file description. */
@@ -83,6 +87,8 @@ class VfsComponent : public core::Component {
     int doReaddir(const char *path, uint64_t idx, VfsDirent *out);
     int doFtruncate(int fd, uint64_t size);
     int doFsync(int fd);
+    int doBorrow(int fd, uint64_t off, core::Cid peer, VfsSpan *out);
+    int doRelease(int fd, uint64_t token);
 
     FileDesc *fdAt(int fd);
     /** Validates and bounds a caller-supplied path (checked access). */

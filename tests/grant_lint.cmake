@@ -1,0 +1,39 @@
+# Source-level wiring lint: every port goes through the grant layer.
+#
+# Raw System::window* management calls are forbidden in src/libos and
+# src/apps outside grant.cc — that file is the single place the window
+# discipline (stage/open/close/reclaim, hot re-staging) is implemented.
+#
+# Usage: cmake -DSRC_DIR=<repo>/src -P grant_lint.cmake
+
+if(NOT DEFINED SRC_DIR)
+    message(FATAL_ERROR "grant_lint: pass -DSRC_DIR=<repo>/src")
+endif()
+
+file(GLOB_RECURSE lint_files
+    "${SRC_DIR}/libos/*.h" "${SRC_DIR}/libos/*.cc"
+    "${SRC_DIR}/apps/*.h" "${SRC_DIR}/apps/*.cc")
+
+set(violations "")
+foreach(f IN LISTS lint_files)
+    get_filename_component(fname "${f}" NAME)
+    if(fname STREQUAL "grant.cc")
+        continue()
+    endif()
+    file(STRINGS "${f}" lines)
+    set(lineno 0)
+    foreach(line IN LISTS lines)
+        math(EXPR lineno "${lineno} + 1")
+        if(line MATCHES
+           "window(Init|Add|Remove|Open|Close|CloseAll|Destroy|SetHot)[ \t]*\\(")
+            string(APPEND violations "${f}:${lineno}: ${line}\n")
+        endif()
+    endforeach()
+endforeach()
+
+if(violations)
+    message(FATAL_ERROR
+        "raw System::window* call sites outside grant.cc — port them "
+        "onto the grant layer (libos/grant.h):\n${violations}")
+endif()
+message(STATUS "grant_lint: src/libos and src/apps are clean")
