@@ -13,11 +13,11 @@
 #define CUBICLEOS_CORE_CUBICLE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/ids.h"
+#include "core/locking.h"
 #include "core/window.h"
 #include "hw/mpk.h"
 #include "mem/arena.h"
@@ -53,22 +53,32 @@ struct Cubicle {
     /** Global data pages. */
     mem::PageRange globalRange;
 
+    /**
+     * Guards stackUsed (StackFrame save/alloc/restore). LockRank
+     * kCubicle; the loader rebinds the order key to the cubicle id at
+     * publication (setOrderKey), so lockdep enforces the cid-order
+     * rule below.
+     */
+    mutable Mutex stackMu{LockRank::kCubicle, "cubicle.stack"};
     /** Per-cubicle stack pages with a bump offset (see StackFrame). */
     mem::PageRange stackRange;
-    std::size_t stackUsed = 0;
-    /** Guards stackUsed (StackFrame save/alloc/restore). */
-    mutable std::mutex stackMu;
+    std::size_t stackUsed GUARDED_BY(stackMu) = 0;
 
-    /** Fine-grained heap backed by pages tagged with this cubicle's key. */
-    std::unique_ptr<mem::HeapAllocator> heap;
     /**
      * Guards the heap sub-allocator's free lists. Chunk-source
-     * callbacks run under it and may cross-call (e.g. into ALLOC), so
-     * heapMu of different cubicles can nest — safely, because heap
-     * page-source routing is acyclic (a heap source never routes back
-     * into a cubicle whose allocation is in flight).
+     * callbacks run under it and may cross-call (e.g. into ALLOC); a
+     * callback that heap-allocates in another cubicle would nest two
+     * heapMu, so per-cubicle locks must be chained in increasing cid
+     * order — machine-checked by lockdep via the same-rank order key
+     * (in-tree chunk sources only ever take the leaf pageMutex_).
      */
-    mutable std::mutex heapMu;
+    mutable Mutex heapMu{LockRank::kCubicle, "cubicle.heap"};
+    /**
+     * Fine-grained heap backed by pages tagged with this cubicle's
+     * key. The pointer itself is written once by the loader before
+     * publication; the allocator behind it is only used under heapMu.
+     */
+    std::unique_ptr<mem::HeapAllocator> heap PT_GUARDED_BY(heapMu);
 
     /** The per-cubicle window descriptor arrays. */
     WindowTable windows;

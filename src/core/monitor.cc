@@ -39,7 +39,7 @@ Monitor::Monitor(const SystemConfig &cfg, Stats *stats)
 Cid
 Monitor::loadComponent(const ComponentSpec &spec)
 {
-    std::lock_guard<std::mutex> lock(loaderMutex_);
+    MutexLock lock(loaderMutex_);
 
     if (cubicles_.size() >= static_cast<std::size_t>(kMaxCubicles))
         throw LoaderError("too many cubicles for ACL bitmask width");
@@ -90,6 +90,10 @@ Monitor::loadComponent(const ComponentSpec &spec)
     cub->id = static_cast<Cid>(cubicles_.size());
     cub->name = spec.name;
     cub->kind = spec.kind;
+    // Per-cubicle locks order by cid (lockdep same-rank key): legal to
+    // rebind here because the cubicle is not published yet.
+    cub->stackMu.setOrderKey(cub->id);
+    cub->heapMu.setOrderKey(cub->id);
 
     if (spec.kind == CubicleKind::kIsolated) {
         cub->pkey = mpk_.allocKey(cfg_.virtualizeTags);
@@ -108,7 +112,7 @@ Monitor::loadComponent(const ComponentSpec &spec)
     // (rule 1, §5.4: cubicles cannot change execute permissions later).
     const std::size_t code_pages = hw::pagesFor(image.size());
     {
-        std::lock_guard<std::mutex> pages(pageMutex_);
+        MutexLock pages(pageMutex_);
         cub->codeRange = pageAlloc_.allocPages(code_pages, cid,
                                                mem::PageType::kCode,
                                                hw::kPermWrite, pkey);
@@ -121,7 +125,7 @@ Monitor::loadComponent(const ComponentSpec &spec)
 
     // Global data pages.
     if (spec.globalPages > 0) {
-        std::lock_guard<std::mutex> pages(pageMutex_);
+        MutexLock pages(pageMutex_);
         cub->globalRange = pageAlloc_.allocPages(
             spec.globalPages, cid, mem::PageType::kGlobal,
             hw::kPermRead | hw::kPermWrite, pkey);
@@ -133,7 +137,7 @@ Monitor::loadComponent(const ComponentSpec &spec)
     const std::size_t stack_pages =
         spec.stackPages ? spec.stackPages : cfg_.stackPages;
     {
-        std::lock_guard<std::mutex> pages(pageMutex_);
+        MutexLock pages(pageMutex_);
         cub->stackRange = pageAlloc_.allocPages(
             stack_pages, cid, mem::PageType::kStack,
             hw::kPermRead | hw::kPermWrite, pkey);
@@ -151,13 +155,13 @@ Monitor::loadComponent(const ComponentSpec &spec)
         [this, cid](std::size_t pages) {
             const auto key =
                 static_cast<uint8_t>(cubicles_[cid]->pkey);
-            std::lock_guard<std::mutex> l(pageMutex_);
+            MutexLock l(pageMutex_);
             return pageAlloc_.allocPages(
                 pages, cid, mem::PageType::kHeap,
                 hw::kPermRead | hw::kPermWrite, key);
         },
         [this](const mem::PageRange &r) {
-            std::lock_guard<std::mutex> l(pageMutex_);
+            MutexLock l(pageMutex_);
             pageAlloc_.freePages(r);
         },
         chunk_pages);
@@ -183,8 +187,8 @@ Monitor::snapshotWiring() const
 {
     // Loader lock freezes the cubicle table, shared window lock
     // freezes ACLs — acquired in hierarchy order.
-    std::lock_guard<std::mutex> loader(loaderMutex_);
-    std::shared_lock<std::shared_mutex> windows(windowMutex_);
+    MutexLock loader(loaderMutex_);
+    ReaderLock windows(windowMutex_);
     verifier::WiringSnapshot snap;
     snap.sharedKey = sharedKey_;
     snap.cubicles.reserve(cubicles_.size());
@@ -255,7 +259,7 @@ Monitor::windowChecked(Cid caller, Wid wid, const char *op)
 Wid
 Monitor::windowInit(Cid caller)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     // Reuse a dead slot if available.
     for (Wid wid = 0; wid < windows_.size(); ++wid) {
@@ -271,7 +275,7 @@ Monitor::windowInit(Cid caller)
 void
 Monitor::windowAdd(Cid caller, Wid wid, const void *ptr, std::size_t size)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_add");
 
@@ -301,7 +305,7 @@ Monitor::windowAdd(Cid caller, Wid wid, const void *ptr, std::size_t size)
 void
 Monitor::windowRemove(Cid caller, Wid wid, const void *ptr)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_remove");
     if (!cubicles_[caller]->windows.remove(wid, ptr))
@@ -313,7 +317,7 @@ Monitor::windowRemove(Cid caller, Wid wid, const void *ptr)
 void
 Monitor::windowOpen(Cid caller, Wid wid, Cid peer)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_open");
     w.acl |= aclBit(peer);
@@ -325,7 +329,7 @@ Monitor::windowOpen(Cid caller, Wid wid, Cid peer)
 void
 Monitor::windowClose(Cid caller, Wid wid, Cid peer)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_close");
     // Lazy revocation: the ACL bit is cleared but pages keep their
@@ -340,7 +344,7 @@ Monitor::windowClose(Cid caller, Wid wid, Cid peer)
 void
 Monitor::windowCloseAll(Cid caller, Wid wid)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_close_all");
     if (w.hotKey >= 0) {
@@ -356,7 +360,7 @@ Monitor::windowCloseAll(Cid caller, Wid wid)
 void
 Monitor::windowDestroy(Cid caller, Wid wid)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_destroy");
     if (w.hotKey >= 0) {
@@ -386,7 +390,7 @@ Monitor::windowDestroy(Cid caller, Wid wid)
 void
 Monitor::windowSetHot(Cid caller, Wid wid)
 {
-    std::unique_lock<std::shared_mutex> lock(windowMutex_);
+    WriterLock lock(windowMutex_);
     stats_->countWindowOp();
     Window &w = windowChecked(caller, wid, "window_set_hot");
     if (w.hotKey >= 0)
@@ -408,7 +412,7 @@ Monitor::windowSetHot(Cid caller, Wid wid)
 AclMask
 Monitor::windowAcl(Wid wid) const
 {
-    std::shared_lock<std::shared_mutex> lock(windowMutex_);
+    ReaderLock lock(windowMutex_);
     if (wid >= windows_.size() || !windows_[wid].live)
         throw WindowError("windowAcl: invalid window id");
     return windows_[wid].acl;
@@ -465,7 +469,7 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
     // ❹ the O(1) ACL bitmask check — both reads, under the shared
     // window lock so faults in different cubicles proceed in parallel
     // and only window mutations exclude them.
-    std::shared_lock<std::shared_mutex> lock(windowMutex_);
+    ReaderLock lock(windowMutex_);
     const Cubicle &owner = *cubicles_[page_owner];
     const Wid wid = owner.windows.findWindowFor(pm.type, fault.addr);
     if (wid == kInvalidWindow)
@@ -493,14 +497,14 @@ Monitor::allocPagesFor(Cid cid, std::size_t n, mem::PageType type,
 {
     assert(cid < cubicleCount());
     const auto key = static_cast<uint8_t>(cubicles_[cid]->pkey);
-    std::lock_guard<std::mutex> lock(pageMutex_);
+    MutexLock lock(pageMutex_);
     return pageAlloc_.allocPages(n, cid, type, perms, key);
 }
 
 void
 Monitor::freePages(const mem::PageRange &range)
 {
-    std::lock_guard<std::mutex> lock(pageMutex_);
+    MutexLock lock(pageMutex_);
     pageAlloc_.freePages(range);
 }
 
@@ -508,7 +512,7 @@ std::byte *
 Monitor::stackAlloc(Cid cid, std::size_t size, std::size_t align)
 {
     Cubicle &cub = cubicle(cid);
-    std::lock_guard<std::mutex> lock(cub.stackMu);
+    MutexLock lock(cub.stackMu);
     std::size_t off = (cub.stackUsed + align - 1) & ~(align - 1);
     if (off + size > cub.stackRange.sizeBytes())
         throw OutOfMemory("stack arena of '" + cub.name + "'");
@@ -520,7 +524,7 @@ std::size_t
 Monitor::stackOffset(Cid cid) const
 {
     const Cubicle &cub = cubicle(cid);
-    std::lock_guard<std::mutex> lock(cub.stackMu);
+    MutexLock lock(cub.stackMu);
     return cub.stackUsed;
 }
 
@@ -528,8 +532,19 @@ void
 Monitor::stackRestore(Cid cid, std::size_t saved)
 {
     Cubicle &cub = cubicle(cid);
-    std::lock_guard<std::mutex> lock(cub.stackMu);
+    MutexLock lock(cub.stackMu);
     cub.stackUsed = saved;
+}
+
+void
+Monitor::debugAcquirePageThenWindowForTest() const
+{
+    // Deliberate inversion: pageMutex_ (rank page, the leaf) is taken
+    // first, then windowMutex_ (rank window). With CUBICLE_LOCKDEP
+    // this aborts inside ReaderLock before touching the shared_mutex;
+    // without it the scopes simply nest and release.
+    MutexLock pages(pageMutex_);
+    ReaderLock windows(windowMutex_);
 }
 
 } // namespace cubicleos::core

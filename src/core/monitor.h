@@ -24,7 +24,12 @@
  * The monitor used to serialise every entry point — loads, window ops,
  * faults, stack bumps, heap chunks — on one mutex, so concurrent
  * cubicles queued behind each other's faults. State is now guarded by
- * scope, acquired strictly in this order (never the reverse):
+ * scope, acquired strictly in this order (never the reverse). The
+ * order is machine-checked: every lock is a core/locking.h wrapper
+ * carrying the level's LockRank (validated at runtime by the debug
+ * lockdep checker), and the fields each lock protects are GUARDED_BY
+ * it (validated at compile time by clang's thread-safety analysis —
+ * `tidy-tsa` preset):
  *
  *   1. loaderMutex_      — cubicle/report table growth (loadComponent)
  *   2. windowMutex_      — windows_, per-cubicle WindowTables, ACLs,
@@ -60,14 +65,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "core/component.h"
 #include "core/cubicle.h"
 #include "core/errors.h"
+#include "core/locking.h"
 #include "core/stats.h"
 #include "core/verifier/lint.h"
 #include "core/verifier/report.h"
@@ -262,13 +266,22 @@ class Monitor {
     /** Free pages remaining in the monitor's pool. */
     std::size_t freePageCount() const
     {
-        std::lock_guard<std::mutex> lock(pageMutex_);
+        MutexLock lock(pageMutex_);
         return pageAlloc_.freePageCount();
     }
 
+    /**
+     * Test-only: acquires pageMutex_ then windowMutex_ — a deliberate
+     * hierarchy inversion. Exists solely so the lockdep regression
+     * suite can prove the checker rejects it (death test); never call
+     * it from product code.
+     */
+    void debugAcquirePageThenWindowForTest() const;
+
   private:
-    Window &windowChecked(Cid caller, Wid wid, const char *op);
-    void bumpEpoch()
+    Window &windowChecked(Cid caller, Wid wid, const char *op)
+        REQUIRES(windowMutex_);
+    void bumpEpoch() REQUIRES(windowMutex_)
     {
         windowEpoch_.fetch_add(1, std::memory_order_seq_cst);
     }
@@ -279,26 +292,31 @@ class Monitor {
     hw::AddressSpace space_;
     hw::Mpk mpk_;
     mem::PageMetaMap meta_;
-    mem::PageAllocator pageAlloc_;
+    mem::PageAllocator pageAlloc_ GUARDED_BY(pageMutex_);
     int sharedKey_;
 
     // Locks, in acquisition order (see the file-header hierarchy).
     // Declared before the cubicle table: cubicle heap destructors
     // return chunks through callbacks that lock pageMutex_, so it must
     // outlive them.
-    mutable std::mutex loaderMutex_;
-    mutable std::shared_mutex windowMutex_;
-    mutable std::mutex pageMutex_;
+    mutable Mutex loaderMutex_{LockRank::kLoader, "monitor.loader"};
+    mutable SharedMutex windowMutex_
+        ACQUIRED_AFTER(loaderMutex_){LockRank::kWindow, "monitor.window"};
+    mutable Mutex pageMutex_
+        ACQUIRED_AFTER(windowMutex_){LockRank::kPage, "monitor.page"};
 
     /**
      * Append-only, pre-reserved to kMaxCubicles so readers index it
      * without locking: elements never move, and cubicleCount_'s
-     * release/acquire pair publishes each new entry.
+     * release/acquire pair publishes each new entry. Deliberately NOT
+     * GUARDED_BY(loaderMutex_): the fault/cross-call paths read it
+     * lock-free through the publication protocol, which thread-safety
+     * analysis cannot express (growth is serialised by loaderMutex_).
      */
     std::vector<std::unique_ptr<Cubicle>> cubicles_;
     std::atomic<std::size_t> cubicleCount_{0};
 
-    std::vector<Window> windows_;
+    std::vector<Window> windows_ GUARDED_BY(windowMutex_);
     std::atomic<uint64_t> windowEpoch_{0};
 
     /** Load-time verifier reports, parallel to cubicles_ (same

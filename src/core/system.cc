@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cassert>
-#include <mutex>
 
 namespace cubicleos::core {
 
@@ -85,7 +84,7 @@ System::~System()
          ++cid) {
         Cubicle &cub = monitor_.cubicle(cid);
         if (cub.heap) {
-            std::lock_guard<std::mutex> lock(cub.heapMu);
+            MutexLock lock(cub.heapMu);
             cub.heap->setSource(
                 [](std::size_t) { return mem::PageRange{}; }, nullptr);
         }
@@ -369,7 +368,7 @@ System::heapAlloc(std::size_t size)
         // Per-cubicle heap lock: threads in different cubicles allocate
         // in parallel; a chunk-source cross-call from here may nest
         // another cubicle's heapMu (acyclic routing, see cubicle.h).
-        std::lock_guard<std::mutex> lock(cub.heapMu);
+        MutexLock lock(cub.heapMu);
         p = cub.heap->alloc(size);
     }
     if (!p)
@@ -386,7 +385,7 @@ System::heapAllocZeroed(std::size_t size)
     Cubicle &cub = monitor_.cubicle(cid);
     void *p;
     {
-        std::lock_guard<std::mutex> lock(cub.heapMu);
+        MutexLock lock(cub.heapMu);
         p = cub.heap->allocZeroed(size);
     }
     if (!p)
@@ -401,7 +400,7 @@ System::heapFree(void *ptr)
     if (cid == kNoCubicle)
         throw LoaderError("heapFree outside any cubicle");
     Cubicle &cub = monitor_.cubicle(cid);
-    std::lock_guard<std::mutex> lock(cub.heapMu);
+    MutexLock lock(cub.heapMu);
     cub.heap->free(ptr);
 }
 
@@ -410,7 +409,7 @@ System::setHeapSource(Cid cid, mem::HeapAllocator::PageSource source,
                       mem::HeapAllocator::PageReturn ret)
 {
     Cubicle &cub = monitor_.cubicle(cid);
-    std::lock_guard<std::mutex> lock(cub.heapMu);
+    MutexLock lock(cub.heapMu);
     cub.heap->setSource(std::move(source), std::move(ret));
 }
 

@@ -1,7 +1,5 @@
 #include "core/verifier/cache.h"
 
-#include <mutex>
-
 #include "core/verifier/cfg.h"
 
 namespace cubicleos::core::verifier {
@@ -41,7 +39,7 @@ VerifyCache::verify(std::span<const uint8_t> image,
 {
     const uint64_t key = hashImage(image, entryPoints);
     {
-        std::shared_lock lock(mu_);
+        ReaderLock lock(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             if (hit)
@@ -53,7 +51,7 @@ VerifyCache::verify(std::span<const uint8_t> image,
         *hit = false;
     VerifierReport report = verifyImageFrom(image, entryPoints);
     {
-        std::unique_lock lock(mu_);
+        WriterLock lock(mu_);
         if (entries_.size() >= kMaxEntries)
             entries_.clear();
         entries_.emplace(key, report);
@@ -64,14 +62,14 @@ VerifyCache::verify(std::span<const uint8_t> image,
 void
 VerifyCache::clear()
 {
-    std::unique_lock lock(mu_);
+    WriterLock lock(mu_);
     entries_.clear();
 }
 
 std::size_t
 VerifyCache::size() const
 {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     return entries_.size();
 }
 

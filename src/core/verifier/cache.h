@@ -22,10 +22,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 
+#include "core/locking.h"
 #include "core/verifier/report.h"
 
 namespace cubicleos::core::verifier {
@@ -69,8 +69,10 @@ class VerifyCache {
      *  without LRU bookkeeping on the (rare) insert path. */
     static constexpr std::size_t kMaxEntries = 256;
 
-    mutable std::shared_mutex mu_;
-    std::unordered_map<uint64_t, VerifierReport> entries_;
+    // Rank kVerifyCache: taken while the loader holds loaderMutex_
+    // (rank kLoader) and before any lower level.
+    mutable SharedMutex mu_{LockRank::kVerifyCache, "verifier.cache"};
+    std::unordered_map<uint64_t, VerifierReport> entries_ GUARDED_BY(mu_);
 };
 
 } // namespace cubicleos::core::verifier

@@ -258,7 +258,47 @@ decodeAt(std::span<const uint8_t> image, std::size_t pos)
     std::size_t opcodeLen = 1;
     const uint8_t op = image[i];
 
-    if (op == 0x0F) { // two-byte map
+    if (op == 0xC5 || op == 0xC4) {
+        // VEX prefix — always VEX in 64-bit mode (the LES/LDS forms
+        // these opcodes had in 32-bit mode are invalid). The 2-byte
+        // form (c5 RvvvvLpp) implies escape map 1 (0F); the 3-byte
+        // form (c4 RXBmmmmm WvvvvLpp) selects the map explicitly, and
+        // the map determines the length: map 2 (0F 38) never carries
+        // an immediate, map 3 (0F 3A) always carries imm8. EVEX (62)
+        // remains undecodable.
+        const std::size_t vexBytes = (op == 0xC5) ? 2 : 3;
+        if (i + vexBytes >= n) // prefix bytes plus the opcode byte
+            return std::nullopt;
+        uint8_t map = 1;
+        if (op == 0xC4) {
+            map = image[i + 1] & 0x1F; // mmmmm escape-map selector
+            if (map < 1 || map > 3)
+                return std::nullopt; // reserved map
+        }
+        const uint8_t vop = image[i + vexBytes];
+        opcodeLen = vexBytes + 1;
+        if (map == 1) {
+            // Reuse the 0F-map table, restricted to its plain
+            // sequential ModRM entries: the branch/system/forbidden
+            // rows have no VEX forms, so a VEX encoding of one is
+            // undecodable rather than trusted with a guessed length.
+            spec = specTwoByte(vop);
+            if (!spec.valid || !spec.hasModRm || spec.branch ||
+                spec.forbidden || spec.flow != FlowKind::kSequential)
+                return std::nullopt;
+        } else {
+            spec.valid = true;
+            spec.hasModRm = true;
+            if (map == 3)
+                spec.imm = 1;
+            spec.mnemonic = "avx";
+        }
+        // VEX.pp replaces the legacy 66/F2/F3 prefixes and VEX.W
+        // replaces REX.W for operand sizing; neither resizes any
+        // immediate in the subset above (imm8 only).
+        opsize16 = false;
+        rexW = false;
+    } else if (op == 0x0F) { // two-byte map
         if (i + 1 >= n)
             return std::nullopt;
         const uint8_t op2 = image[i + 1];

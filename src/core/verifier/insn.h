@@ -8,8 +8,12 @@
  * group-2 shifts/rotates, the string ops (with rep prefixes), and the
  * two-byte 0F map entries real code leans on — SSE moves and packed
  * arithmetic, movzx/movsx, cmov/setcc, plus the isolation-relevant
- * entries (syscall, sysenter, the 0F 01 and 0F AE groups). Anything
- * outside the subset — VEX/EVEX encodings included — is *undecodable*:
+ * entries (syscall, sysenter, the 0F 01 and 0F AE groups). AVX code is
+ * covered through the VEX prefixes: the 2-byte (c5) form implies the
+ * 0F map, the 3-byte (c4) form selects 0F/0F38/0F3A via its escape-map
+ * field, and the map fixes the immediate size (0F38 none, 0F3A imm8),
+ * so instruction length follows without per-opcode tables. Anything
+ * outside the subset — EVEX (62) encodings included — is *undecodable*:
  * the caller must treat such bytes conservatively (reject-on-reach),
  * never optimistically.
  *

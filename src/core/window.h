@@ -103,6 +103,11 @@ struct Window {
  *
  * Thread-safety: none here — the monitor wraps mutation in its
  * exclusive window lock and lookups in the shared one (monitor.h).
+ * The guard relation is not expressible as a GUARDED_BY annotation
+ * because the protecting lock (Monitor::windowMutex_, rank kWindow in
+ * core/locking.h) lives in a different object than the table it
+ * guards; the static analysis instead checks the monitor's accesses to
+ * windows_, and lockdep checks the acquisition order at runtime.
  */
 class WindowTable {
   public:

@@ -26,8 +26,18 @@
  *                   unrelated caller data.
  *
  * Raw windowAdd/windowOpen/windowCloseAll calls outside grant.cc are
- * forbidden in src/libos and src/apps (enforced by the
+ * forbidden in src/libos, src/apps and bench (enforced by the
  * grant_wiring_lint ctest); ports go through these types.
+ *
+ * Thread-safety: the grant layer deliberately holds NO locks of its
+ * own (the locking_wrapper_lint ctest keeps it that way). A
+ * GrantWindow/Grant/XferArena instance belongs to one call edge and is
+ * externally synchronised by its owner — concurrent edges use distinct
+ * instances (one per worker, as in bench_mt_faults). All shared state
+ * a grant touches lives behind the monitor's annotated lock hierarchy
+ * (core/locking.h): every method here bottoms out in System::window*
+ * calls that take windowMutex_ at rank kWindow, so grant code may be
+ * called while holding nothing or locks ranked strictly below kWindow.
  */
 
 #ifndef CUBICLEOS_LIBOS_GRANT_H_

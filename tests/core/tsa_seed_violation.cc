@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deliberately broken TU for the thread-safety-analysis gate
+ * (tests/tsa_lint.cmake). NOT compiled into any target.
+ *
+ * Each function below violates one annotation from core/locking.h in a
+ * way clang's -Wthread-safety must reject. The tsa lint compiles this
+ * file expecting FAILURE: if it ever compiles cleanly under
+ * -Werror=thread-safety, the annotation macros have gone no-op under
+ * clang (or the flags were dropped) and the whole static layer is
+ * silently off.
+ */
+
+#include "core/locking.h"
+
+namespace cubicleos::core {
+
+struct Guarded {
+    Mutex mu{LockRank::kWindow, "seed.mu"};
+    int counter GUARDED_BY(mu) = 0;
+
+    void requiresHeld() REQUIRES(mu) { ++counter; }
+};
+
+// Violation 1: writing a GUARDED_BY field with no lock held.
+int
+writeWithoutLock(Guarded &g)
+{
+    g.counter = 42; // -Wthread-safety: writing without holding g.mu
+    return g.counter;
+}
+
+// Violation 2: calling a REQUIRES function without the capability.
+void
+callWithoutLock(Guarded &g)
+{
+    g.requiresHeld(); // -Wthread-safety: requires g.mu
+}
+
+// Violation 3: releasing a lock that was never acquired in scope.
+void
+unbalancedRelease(Guarded &g)
+{
+    g.mu.unlock(); // -Wthread-safety: releasing un-held mutex
+}
+
+} // namespace cubicleos::core

@@ -314,6 +314,68 @@ TEST(InsnDecode, SseShuffleAndShiftImmediates)
         expectRoundTrip(c);
 }
 
+TEST(InsnDecode, VexTwoBytePrefix)
+{
+    const RoundTrip cases[] = {
+        // vaddps xmm0, xmm0, xmm1 (c5 f8 58 c1)
+        {bytes({0xC5, 0xF8, 0x58, 0xC1}), 4, 4, "ssearith"},
+        // vmovaps xmm1, xmm2 (c5 f8 28 ca)
+        {bytes({0xC5, 0xF8, 0x28, 0xCA}), 4, 4, "ssemov"},
+        // vmovdqa ymm0, [rip+d32] (c5 fd 6f 05 d32): disp is payload
+        {bytes({0xC5, 0xFD, 0x6F, 0x05, 1, 2, 3, 4}), 8, 4, "sse"},
+        // vpxor xmm0, xmm1, [rax] (c5 f1 ef 00)
+        {bytes({0xC5, 0xF1, 0xEF, 0x00}), 4, 4, "pxor"},
+        // vpshufd xmm0, xmm0, 0x1e (c5 f9 70 c0 1e): imm8 payload
+        {bytes({0xC5, 0xF9, 0x70, 0xC0, 0x1E}), 5, 4, "pshuf"},
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, VexThreeBytePrefix)
+{
+    const RoundTrip cases[] = {
+        // Map 1 through the 3-byte form: vaddps ymm0, ymm0, ymm1
+        // (c4 c1 7c 58 c1 encodes VEX.B for xmm9-class operands).
+        {bytes({0xC4, 0xC1, 0x7C, 0x58, 0xC1}), 5, 5, "ssearith"},
+        // Map 2 (0F 38), no immediate: vbroadcastss xmm0, [rip+d32]
+        {bytes({0xC4, 0xE2, 0x79, 0x18, 0x05, 1, 2, 3, 4}), 9, 5, "avx"},
+        // Map 2 register form: vpermd ymm0, ymm1, ymm2
+        {bytes({0xC4, 0xE2, 0x75, 0x36, 0xC2}), 5, 5, "avx"},
+        // Map 3 (0F 3A), imm8: vpblendw xmm0, xmm1, xmm2, 0x33
+        {bytes({0xC4, 0xE3, 0x75, 0x0E, 0xC2, 0x33}), 6, 5, "avx"},
+        // Map 3 with memory operand + SIB: vpalignr with disp8
+        // (payload starts after VEX + opcode + ModRM + SIB = 6).
+        {bytes({0xC4, 0xE3, 0x71, 0x0F, 0x44, 0x24, 0x10, 0x07}),
+         8, 6, "avx"},
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, VexEdgeCasesAreUndecodable)
+{
+    // Reserved escape maps (mmmmm = 0, 4) in the 3-byte form.
+    EXPECT_FALSE(decodeAt(bytes({0xC4, 0xE0, 0x79, 0x18, 0x05}), 0)
+                     .has_value());
+    EXPECT_FALSE(decodeAt(bytes({0xC4, 0xE4, 0x79, 0x18, 0x05}), 0)
+                     .has_value());
+    // Truncated VEX prefixes.
+    EXPECT_FALSE(decodeAt(bytes({0xC5}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0xC5, 0xF8}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0xC4, 0xE2, 0x79}), 0).has_value());
+    // VEX of a map-1 row with no VEX form (jcc, bswap, syscall):
+    // undecodable, never a guessed length.
+    EXPECT_FALSE(decodeAt(bytes({0xC5, 0xF8, 0x84, 0, 0, 0, 0}), 0)
+                     .has_value());
+    EXPECT_FALSE(decodeAt(bytes({0xC5, 0xF8, 0xC8}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0xC5, 0xF8, 0x05}), 0).has_value());
+    // EVEX (62 P0 P1 P2 op modrm) stays fully opaque.
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF1, 0x7C, 0x48, 0x58, 0xC1}), 0)
+                     .has_value());
+}
+
+
 TEST(InsnDecode, FlowKinds)
 {
     struct FlowCase {

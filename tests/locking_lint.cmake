@@ -1,0 +1,49 @@
+# Source-level locking lint: every lock in src/core and src/libos goes
+# through the annotated wrappers in core/locking.h.
+#
+# Raw std::mutex / std::shared_mutex declarations (and the raw guard
+# templates) bypass both halves of the machine-checked hierarchy: the
+# clang thread-safety annotations (tidy-tsa preset) and the debug
+# lockdep rank checks. locking.h itself is the single whitelisted file
+# — it is where the wrappers wrap the standard types.
+#
+# Usage: cmake -DSRC_DIR=<repo>/src -P locking_lint.cmake
+
+if(NOT DEFINED SRC_DIR)
+    message(FATAL_ERROR "locking_lint: pass -DSRC_DIR=<repo>/src")
+endif()
+
+file(GLOB_RECURSE lint_files
+    "${SRC_DIR}/core/*.h" "${SRC_DIR}/core/*.cc"
+    "${SRC_DIR}/libos/*.h" "${SRC_DIR}/libos/*.cc")
+
+set(violations "")
+foreach(f IN LISTS lint_files)
+    get_filename_component(fname "${f}" NAME)
+    if(fname STREQUAL "locking.h" OR fname STREQUAL "locking.cc")
+        continue()
+    endif()
+    file(STRINGS "${f}" lines)
+    set(lineno 0)
+    foreach(line IN LISTS lines)
+        math(EXPR lineno "${lineno} + 1")
+        # Skip pure comment lines; the hierarchy documentation is
+        # allowed to *talk* about std::mutex.
+        if(line MATCHES "^[ \t]*(//|\\*)")
+            continue()
+        endif()
+        if(line MATCHES "std::(mutex|shared_mutex|recursive_mutex)[^a-zA-Z_]"
+           OR line MATCHES "std::(lock_guard|unique_lock|shared_lock|scoped_lock)")
+            string(APPEND violations "${f}:${lineno}: ${line}\n")
+        endif()
+    endforeach()
+endforeach()
+
+if(violations)
+    message(FATAL_ERROR
+        "raw standard mutex/guard use outside core/locking.h — declare "
+        "locks as locking::Mutex/SharedMutex with a LockRank and take "
+        "them through MutexLock/WriterLock/ReaderLock so the static "
+        "annotations and lockdep both see them:\n${violations}")
+endif()
+message(STATUS "locking_lint: src/core and src/libos use annotated wrappers")

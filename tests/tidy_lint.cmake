@@ -1,0 +1,47 @@
+# clang-tidy gate over src/core (ROADMAP carried item).
+#
+# Runs clang-tidy with the repo's .clang-tidy config against the
+# compile database of an existing build tree. The container image used
+# by CI does not ship clang-tidy, so absence of the tool is a SKIP
+# (paired with SKIP_REGULAR_EXPRESSION in tests/CMakeLists.txt), not a
+# failure — the check runs wherever the tool exists.
+#
+# Usage: cmake -DSRC_DIR=<repo>/src -DBUILD_DIR=<build> -P tidy_lint.cmake
+
+if(NOT DEFINED SRC_DIR OR NOT DEFINED BUILD_DIR)
+    message(FATAL_ERROR
+        "tidy_lint: pass -DSRC_DIR=<repo>/src -DBUILD_DIR=<build>")
+endif()
+
+find_program(CLANG_TIDY NAMES clang-tidy clang-tidy-18 clang-tidy-17
+    clang-tidy-16 clang-tidy-15 clang-tidy-14)
+if(NOT CLANG_TIDY)
+    message(STATUS "tidy_lint: [SKIP] clang-tidy not installed")
+    return()
+endif()
+if(NOT EXISTS "${BUILD_DIR}/compile_commands.json")
+    message(STATUS
+        "tidy_lint: [SKIP] no compile_commands.json in ${BUILD_DIR}")
+    return()
+endif()
+
+file(GLOB_RECURSE tidy_sources "${SRC_DIR}/core/*.cc")
+
+set(failed 0)
+foreach(src IN LISTS tidy_sources)
+    execute_process(
+        COMMAND "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet
+                --warnings-as-errors=* "${src}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(SEND_ERROR "tidy_lint: ${src}\n${out}${err}")
+        set(failed 1)
+    endif()
+endforeach()
+
+if(failed)
+    message(FATAL_ERROR "tidy_lint: clang-tidy findings in src/core")
+endif()
+message(STATUS "tidy_lint: src/core is clang-tidy clean")

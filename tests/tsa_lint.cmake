@@ -1,0 +1,66 @@
+# Static lock-hierarchy gate: clang thread-safety analysis as a ctest.
+#
+# Two directions, both required when clang is available:
+#   1. every src/core + src/libos TU compiles cleanly under
+#      -Wthread-safety -Werror=thread-safety (the annotated wrappers
+#      and GUARDED_BY fields hold up), and
+#   2. the deliberately seeded violation TU
+#      (tests/core/tsa_seed_violation.cc) FAILS to compile — proving
+#      the analysis is actually on and the macros are not no-ops.
+#
+# The container image used by CI ships only gcc; without clang this is
+# a SKIP (paired with SKIP_REGULAR_EXPRESSION), not a failure. The
+# tidy-tsa CMake preset gives the same guarantee as a full build.
+#
+# Usage: cmake -DSRC_DIR=<repo>/src -DTEST_DIR=<repo>/tests -P tsa_lint.cmake
+
+if(NOT DEFINED SRC_DIR OR NOT DEFINED TEST_DIR)
+    message(FATAL_ERROR
+        "tsa_lint: pass -DSRC_DIR=<repo>/src -DTEST_DIR=<repo>/tests")
+endif()
+
+find_program(CLANGXX NAMES clang++ clang++-18 clang++-17 clang++-16
+    clang++-15 clang++-14)
+if(NOT CLANGXX)
+    message(STATUS "tsa_lint: [SKIP] clang++ not installed")
+    return()
+endif()
+
+set(tsa_flags -std=c++20 -fsyntax-only "-I${SRC_DIR}"
+    -Wthread-safety -Werror=thread-safety)
+
+file(GLOB_RECURSE tsa_sources
+    "${SRC_DIR}/core/*.cc" "${SRC_DIR}/libos/*.cc")
+
+set(failed 0)
+foreach(src IN LISTS tsa_sources)
+    execute_process(
+        COMMAND "${CLANGXX}" ${tsa_flags} "${src}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(SEND_ERROR "tsa_lint: ${src}:\n${err}")
+        set(failed 1)
+    endif()
+endforeach()
+if(failed)
+    message(FATAL_ERROR
+        "tsa_lint: thread-safety violations in annotated sources")
+endif()
+
+# The seeded violation must NOT compile.
+execute_process(
+    COMMAND "${CLANGXX}" ${tsa_flags}
+            "${TEST_DIR}/core/tsa_seed_violation.cc"
+    RESULT_VARIABLE seed_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(seed_rc EQUAL 0)
+    message(FATAL_ERROR
+        "tsa_lint: tsa_seed_violation.cc compiled cleanly — the "
+        "thread-safety analysis is not actually catching violations "
+        "(annotation macros no-op under clang, or flags dropped)")
+endif()
+
+message(STATUS
+    "tsa_lint: sources clean, seeded violation rejected")
