@@ -73,10 +73,23 @@ std::vector<ForbiddenInsn> scanCodeImageAll(std::span<const uint8_t> image);
  * in this reproduction are native C++, so their "binary image" — the
  * thing the loader scans and maps execute-only — is synthesised. The
  * image is a well-formed x86-64 instruction stream (fully decodable by
- * the verifier's linear sweep) that never emits a 0F or CD byte, so no
- * forbidden pattern can arise even across instruction boundaries.
+ * the verifier's linear sweep): 0F appears only before a benign
+ * two-byte opcode and CD is never emitted, so no forbidden pattern can
+ * arise even across instruction boundaries. The stream also carries
+ * the indirect-dispatch idioms pass 3 resolves — bounded-switch
+ * jump tables and rip-relative lea/call pairs, plus the occasional
+ * naked indirect call that stays CFI-trusted — so loaded images
+ * exercise the interprocedural auditor end to end.
+ *
+ * When @p entries is non-null it receives the function entry offsets
+ * the generator knows by construction: offset 0 plus the offset after
+ * every emitted ret. Feeding them to the reachability walk as entry
+ * points makes the whole stream reachable, the way a real component's
+ * export table covers its text section.
  */
-std::vector<uint8_t> makeBenignImage(std::size_t size, uint64_t seed);
+std::vector<uint8_t>
+makeBenignImage(std::size_t size, uint64_t seed,
+                std::vector<std::size_t> *entries = nullptr);
 
 } // namespace cubicleos::core
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/ids.h"
+#include "core/verifier/report.h"
 
 namespace cubicleos::core {
 
@@ -54,6 +55,15 @@ struct ComponentSpec {
      * the image end fails the load.
      */
     std::vector<std::size_t> entryPoints;
+
+    /**
+     * Builder-declared indirect-call target tables (the address-taken
+     * set a CFI-instrumented build publishes): each table is @c count
+     * 4-byte little-endian image offsets at @c offset. The verifier's
+     * pass 3 resolves every indirect call site against their union and
+     * treats the table bytes as data. Empty means no declared targets.
+     */
+    std::vector<verifier::EntryTable> indirectTables;
 
     /**
      * If non-empty, load this component into the cubicle of the named

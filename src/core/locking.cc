@@ -231,5 +231,32 @@ heldCount()
     return static_cast<std::size_t>(tls.depth);
 }
 
+bool
+isHeld(const void *lock)
+{
+    const ThreadState &st = tls;
+    for (int i = 0; i < st.depth; ++i) {
+        if (st.held[i].lock == lock)
+            return true;
+    }
+    return false;
+}
+
+void
+assertHeld(const void *lock, const char *what)
+{
+    if (isHeld(lock))
+        return;
+    std::fprintf(stderr,
+                 "lockdep: FATAL: %s accessed without its guard "
+                 "(%p not held by this thread)\n",
+                 what, lock);
+    std::fprintf(stderr, "lockdep: unguarded access attempted at:\n");
+    void *now[kMaxFrames];
+    printBacktrace(now, captureBacktrace(now, kMaxFrames));
+    std::fflush(stderr);
+    std::abort();
+}
+
 } // namespace lockdep
 } // namespace cubicleos::core

@@ -152,6 +152,19 @@ void onRelease(const void *lock);
 /** Locks the calling thread currently holds (tests). */
 std::size_t heldCount();
 
+/** True when the calling thread holds @p lock (in either mode). */
+bool isHeld(const void *lock);
+
+/**
+ * Aborts with a report unless the calling thread holds @p lock. The
+ * runtime counterpart of REQUIRES() for the two guard relations the
+ * static analysis cannot express (DESIGN.md §11): state published
+ * lock-free behind a serialising lock (Monitor::cubicles_), and data
+ * guarded by a lock living in a different object (WindowTable).
+ * Call sites gate on lockdep::kEnabled so release builds pay nothing.
+ */
+void assertHeld(const void *lock, const char *what);
+
 } // namespace lockdep
 
 // ----------------------------------------------------------------------

@@ -65,9 +65,21 @@ Monitor::loadComponent(const ComponentSpec &spec)
                 std::to_string(image.size()) + "-byte image");
         }
     }
+    for (const verifier::EntryTable &t : spec.indirectTables) {
+        if (t.offset >= image.size() ||
+            t.count > (image.size() - t.offset) / 4) {
+            throw VerifierError(
+                "component '" + spec.name +
+                "' declares an indirect-target table at offset " +
+                std::to_string(t.offset) + " (" + std::to_string(t.count) +
+                " entries) outside its " + std::to_string(image.size()) +
+                "-byte image");
+        }
+    }
     bool cacheHit = false;
     verifier::VerifierReport report =
         verifier::VerifyCache::instance().verify(image, spec.entryPoints,
+                                                 spec.indirectTables,
                                                  &cacheHit);
     if (cacheHit)
         stats_->countVerifyCacheHit();
@@ -91,9 +103,12 @@ Monitor::loadComponent(const ComponentSpec &spec)
     cub->name = spec.name;
     cub->kind = spec.kind;
     // Per-cubicle locks order by cid (lockdep same-rank key): legal to
-    // rebind here because the cubicle is not published yet.
+    // rebind here because the cubicle is not published yet. The window
+    // table is guarded by windowMutex_ (a cross-object relation TSA
+    // cannot annotate); binding it here makes lockdep enforce it.
     cub->stackMu.setOrderKey(cub->id);
     cub->heapMu.setOrderKey(cub->id);
+    cub->windows.bindGuard(&windowMutex_);
 
     if (spec.kind == CubicleKind::kIsolated) {
         cub->pkey = mpk_.allocKey(cfg_.virtualizeTags);
@@ -168,7 +183,14 @@ Monitor::loadComponent(const ComponentSpec &spec)
 
     // Publish: the release store pairs with cubicleCount()'s acquire
     // load, making the fully constructed cubicle (and its parallel
-    // report) visible to lock-free readers.
+    // report) visible to lock-free readers. The tables are deliberately
+    // not GUARDED_BY(loaderMutex_) — readers go through the publication
+    // protocol — so the "growth only under the loader lock" half is
+    // enforced at runtime instead.
+    if constexpr (lockdep::kEnabled) {
+        lockdep::assertHeld(&loaderMutex_,
+                            "Monitor cubicle-table publication");
+    }
     cubicles_.push_back(std::move(cub));
     loadReports_.push_back(std::move(report));
     cubicleCount_.store(cubicles_.size(), std::memory_order_release);
@@ -202,7 +224,8 @@ Monitor::snapshotWiring() const
             continue;
         snap.windows.push_back(verifier::WindowWiring{
             wid, w.owner, w.acl, w.rangeCount, w.hotKey,
-            w.rangesEverAdded});
+            w.rangesEverAdded, windowUsage_[wid].usedRead.load(),
+            windowUsage_[wid].usedWrite.load()});
     }
     return snap;
 }
@@ -265,10 +288,12 @@ Monitor::windowInit(Cid caller)
     for (Wid wid = 0; wid < windows_.size(); ++wid) {
         if (!windows_[wid].live) {
             windows_[wid] = Window{caller, 0, true, 0};
+            windowUsage_[wid] = WindowUsage{};
             return wid;
         }
     }
     windows_.push_back(Window{caller, 0, true, 0});
+    windowUsage_.emplace_back();
     return static_cast<Wid>(windows_.size() - 1);
 }
 
@@ -479,6 +504,15 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
     if (!w.live || (w.acl & aclBit(accessor)) == 0)
         return false;
 
+    // Record the exercised grant for the least-privilege audit: this
+    // is the one point where a peer demonstrably used its ACL bit.
+    // Relaxed fetch-or under the shared lock — the audit only reads
+    // the masks after quiescing through snapshotWiring's locks.
+    if (fault.reason == hw::FaultReason::kPkuWrite)
+        windowUsage_[wid].usedWrite.fetchOr(aclBit(accessor));
+    else
+        windowUsage_[wid].usedRead.fetchOr(aclBit(accessor));
+
     // ❺ grant: retag the page to the accessor's cubicle. The tag store
     // is atomic, so the commit needs no exclusive lock; a concurrent
     // close cannot interleave (it takes the lock exclusively).
@@ -545,6 +579,16 @@ Monitor::debugAcquirePageThenWindowForTest() const
     // without it the scopes simply nest and release.
     MutexLock pages(pageMutex_);
     ReaderLock windows(windowMutex_);
+}
+
+void
+Monitor::debugWindowLookupUnlockedForTest(Cid cid) const
+{
+    // Deliberate cross-object guard bypass: the loader bound this
+    // table to windowMutex_, which this thread does not hold. With
+    // lockdep the table's checkGuard aborts before touching any state.
+    cubicles_[cid]->windows.findWindowFor(mem::PageType::kGlobal,
+                                          nullptr);
 }
 
 } // namespace cubicleos::core

@@ -79,11 +79,22 @@
 #include "hw/cycles.h"
 #include "hw/mpk.h"
 #include "hw/page_table.h"
+#include "hw/relaxed_atomic.h"
 #include "mem/arena.h"
 #include "mem/page_meta.h"
 #include "mem/suballoc.h"
 
 namespace cubicleos::core {
+
+/**
+ * How the least-privilege audit (verifier::auditWiring) is applied at
+ * strict-verify boot. kOff keeps the historical behaviour: only the
+ * syntactic linter gates boot. kReport runs the dataflow rules and
+ * records their findings in Stats but never refuses. kStrict turns
+ * warning-or-worse dataflow findings into boot refusals — asserting
+ * that init itself exercises every grant the deployment declares.
+ */
+enum class AuditLevel : uint8_t { kOff, kReport, kStrict };
 
 /** System-wide configuration knobs. */
 struct SystemConfig {
@@ -101,12 +112,16 @@ struct SystemConfig {
     std::size_t heapChunkPages = 16;
     /**
      * Strict verification: after boot wires every component, run the
-     * isolation linter (verifier pass 3) over the wiring snapshot and
-     * refuse to boot on any warning-or-worse finding. Off by default:
-     * deliberately loose deployments (ablation baselines, lint demos)
-     * must stay bootable.
+     * isolation linter over the wiring snapshot and refuse to boot on
+     * any warning-or-worse finding. Off by default: deliberately loose
+     * deployments (ablation baselines, lint demos) must stay bootable.
      */
     bool strictVerify = false;
+    /**
+     * Least-privilege audit level applied when @c strictVerify gates
+     * boot (no effect otherwise). See AuditLevel.
+     */
+    AuditLevel auditLevel = AuditLevel::kOff;
 };
 
 /**
@@ -140,17 +155,18 @@ class Monitor {
     /**
      * Loads a component into a fresh cubicle.
      *
-     * Runs the reachability verifier over the code image (linear-sweep
-     * classification refined by a branch-graph walk from the spec's
-     * entry points; see core/verifier/cfg.h) through the process-wide
+     * Runs the interprocedural verifier over the code image (linear
+     * sweep, direct-branch walk, then jump-table/entry-table indirect
+     * resolution; see core/verifier/ipcfg.h) through the process-wide
      * image-hash cache (core/verifier/cache.h), allocates an MPK key
      * (isolated cubicles), maps code pages execute-only, and sets up
      * globals, the stack arena and the heap sub-allocator.
      *
      * @throws VerifierError when a forbidden sequence is reachable
-     *         from an entry point (or conservatively, when the walk
-     *         hits undecodable reachable bytes and the linear sweep
-     *         rejects), or when an entry point lies outside the image;
+     *         from an entry point, when unresolved indirect jump flow
+     *         (or an undecodable reachable byte) leaves forbidden
+     *         bytes possibly live, when an entry point or declared
+     *         indirect-target table lies outside the image;
      *         LoaderError on key or table exhaustion.
      */
     Cid loadComponent(const ComponentSpec &spec);
@@ -278,6 +294,14 @@ class Monitor {
      */
     void debugAcquirePageThenWindowForTest() const;
 
+    /**
+     * Test-only: performs a window-table lookup without holding
+     * windowMutex_ — the cross-object guard violation that
+     * WindowTable::bindGuard exists to catch. With CUBICLE_LOCKDEP
+     * this aborts; never call it from product code.
+     */
+    void debugWindowLookupUnlockedForTest(Cid cid) const;
+
   private:
     Window &windowChecked(Cid caller, Wid wid, const char *op)
         REQUIRES(windowMutex_);
@@ -318,6 +342,21 @@ class Monitor {
 
     std::vector<Window> windows_ GUARDED_BY(windowMutex_);
     std::atomic<uint64_t> windowEpoch_{0};
+
+    /**
+     * Per-window dataflow history for the least-privilege audit
+     * (verifier::auditWiring): which peers actually faulted a read or
+     * a write through the window. Parallel to windows_; slots are
+     * reset when windowInit recycles a descriptor. The members are
+     * relaxed atomics so the fault path can record usage under the
+     * shared window lock; hot windows never fault and therefore stay
+     * blank (the audit's documented blind spot).
+     */
+    struct WindowUsage {
+        hw::RelaxedAtomic<AclMask> usedRead;
+        hw::RelaxedAtomic<AclMask> usedWrite;
+    };
+    std::vector<WindowUsage> windowUsage_ GUARDED_BY(windowMutex_);
 
     /** Load-time verifier reports, parallel to cubicles_ (same
      *  pre-reserved append-only publication scheme). */

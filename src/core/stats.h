@@ -90,6 +90,12 @@ class Stats {
         lintRuns_.fetchAdd(1);
         lintFindings_.fetchAdd(findings);
     }
+    /** Records one least-privilege audit run yielding @p findings. */
+    void countAuditRun(uint64_t findings)
+    {
+        auditRuns_.fetchAdd(1);
+        auditFindings_.fetchAdd(findings);
+    }
     /** Load served from the verifier's image-hash cache. */
     void countVerifyCacheHit() { verifyCacheHits_.fetchAdd(1); }
     /** Load that ran the sweep + CFG walk for real. */
@@ -125,6 +131,8 @@ class Stats {
     uint64_t verifierReported() const { return verifierReported_; }
     uint64_t lintRuns() const { return lintRuns_; }
     uint64_t lintFindings() const { return lintFindings_; }
+    uint64_t auditRuns() const { return auditRuns_; }
+    uint64_t auditFindings() const { return auditFindings_; }
     uint64_t verifyCacheHits() const { return verifyCacheHits_; }
     uint64_t verifyCacheMisses() const { return verifyCacheMisses_; }
     uint64_t dataCopies() const { return dataCopies_; }
@@ -182,6 +190,8 @@ class Stats {
         verifierReported_ = 0;
         lintRuns_ = 0;
         lintFindings_ = 0;
+        auditRuns_ = 0;
+        auditFindings_ = 0;
         verifyCacheHits_ = 0;
         verifyCacheMisses_ = 0;
         dataCopies_ = 0;
@@ -222,6 +232,8 @@ class Stats {
     Counter verifierReported_;
     Counter lintRuns_;
     Counter lintFindings_;
+    Counter auditRuns_;
+    Counter auditFindings_;
     Counter verifyCacheHits_;
     Counter verifyCacheMisses_;
     Counter dataCopies_;

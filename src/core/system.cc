@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "core/verifier/audit.h"
+
 namespace cubicleos::core {
 
 namespace {
@@ -181,9 +183,21 @@ System::boot()
     // Strict mode: init hooks have wired windows and heap sources, so
     // the snapshot now shows the deployment's real topology. Refuse to
     // hand it to the application if the linter finds anything at
-    // warning severity or above.
+    // warning severity or above. At AuditLevel::kStrict the dataflow
+    // least-privilege rules join the gate — that asserts init itself
+    // exercised every grant; kReport runs them for the counters only.
     if (config().strictVerify) {
-        const std::vector<verifier::LintFinding> findings = lintWiring();
+        std::vector<verifier::LintFinding> findings = lintWiring();
+        if (config().auditLevel != AuditLevel::kOff) {
+            std::vector<verifier::LintFinding> audit =
+                verifier::auditWiring(wiringSnapshot());
+            stats_.countAuditRun(audit.size());
+            if (config().auditLevel == AuditLevel::kStrict) {
+                findings.insert(findings.end(),
+                                std::make_move_iterator(audit.begin()),
+                                std::make_move_iterator(audit.end()));
+            }
+        }
         if (!verifier::lintClean(findings)) {
             std::string msg =
                 "strict verify: isolation lint failed at boot:";
@@ -246,6 +260,41 @@ System::lintWiring()
         verifier::lintWiring(wiringSnapshot());
     stats_.countLintRun(findings.size());
     return findings;
+}
+
+std::vector<verifier::LintFinding>
+System::auditIsolation()
+{
+    const verifier::WiringSnapshot snap = wiringSnapshot();
+    std::vector<verifier::LintFinding> findings =
+        verifier::lintWiring(snap);
+    stats_.countLintRun(findings.size());
+    std::vector<verifier::LintFinding> audit = verifier::auditWiring(snap);
+    stats_.countAuditRun(audit.size());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(audit.begin()),
+                    std::make_move_iterator(audit.end()));
+    return findings;
+}
+
+std::string
+System::auditJson()
+{
+    const verifier::WiringSnapshot snap = wiringSnapshot();
+    std::vector<verifier::LintFinding> findings =
+        verifier::lintWiring(snap);
+    std::vector<verifier::LintFinding> audit = verifier::auditWiring(snap);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(audit.begin()),
+                    std::make_move_iterator(audit.end()));
+    std::vector<verifier::ImageAuditView> images;
+    const std::size_t count = monitor_.cubicleCount();
+    images.reserve(count);
+    for (Cid cid = 0; cid < static_cast<Cid>(count); ++cid) {
+        images.push_back(verifier::ImageAuditView{
+            monitor_.cubicle(cid).name, &monitor_.verifierReport(cid)});
+    }
+    return verifier::auditReportJson(snap, images, findings);
 }
 
 const ExportSlot &

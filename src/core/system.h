@@ -338,6 +338,25 @@ class System {
      */
     std::vector<verifier::LintFinding> lintWiring();
 
+    /**
+     * Full isolation audit: the syntactic lint rules plus the dataflow
+     * least-privilege rules (verifier::auditWiring) over one wiring
+     * snapshot. Run it after traffic — the dataflow rules compare the
+     * declared ACLs against the accesses that actually happened, so a
+     * fresh boot makes every grant look over-broad. Findings never
+     * throw; callers decide policy.
+     */
+    std::vector<verifier::LintFinding> auditIsolation();
+
+    /**
+     * The combined machine-readable audit: per-image verifier pass-3
+     * records, the window usage matrix, and every lint + dataflow
+     * finding, rendered as deterministic JSON
+     * (verifier::auditReportJson). Safe to diff against a committed
+     * baseline.
+     */
+    std::string auditJson();
+
     hw::CycleClock &clock() { return monitor_.clock(); }
     IsolationMode mode() const { return mode_; }
     const SystemConfig &config() const { return monitor_.config(); }

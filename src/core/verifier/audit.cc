@@ -1,0 +1,321 @@
+#include "core/verifier/audit.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cubicleos::core::verifier {
+
+namespace {
+
+std::string
+cubicleNameIn(const WiringSnapshot &snapshot, Cid cid)
+{
+    for (const CubicleWiring &c : snapshot.cubicles) {
+        if (c.id == cid)
+            return c.name;
+    }
+    return "cubicle " + std::to_string(cid);
+}
+
+bool
+isSharedIn(const WiringSnapshot &snapshot, Cid cid)
+{
+    for (const CubicleWiring &c : snapshot.cubicles) {
+        if (c.id == cid)
+            return c.kind == CubicleKind::kShared;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<LintFinding>
+auditWiring(const WiringSnapshot &snapshot)
+{
+    std::vector<LintFinding> findings;
+    const std::size_t count = snapshot.cubicles.size();
+
+    for (const WindowWiring &w : snapshot.windows) {
+        // Hot windows are retagged eagerly and never fault, so the
+        // usage matrix is structurally blind to them (DESIGN.md §12).
+        if (w.hotKey >= 0)
+            continue;
+        if (w.acl == 0)
+            continue;
+
+        const AclMask used = w.usedRead | w.usedWrite;
+
+        // A window with memory behind it that no peer ever touched is
+        // one collapsed finding, not one over-broad finding per peer.
+        // (An empty window with an open ACL is the syntactic linter's
+        // stale-grant / no-ranges territory; skip it here.)
+        if (used == 0) {
+            if (w.rangeCount > 0) {
+                findings.push_back(LintFinding{
+                    LintRule::kWindowNeverUsed, LintSeverity::kWarning,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleNameIn(snapshot, w.owner) +
+                        "' has ranges and an open ACL but no peer ever "
+                        "accessed it; the grant is pure attack surface"});
+            }
+            continue;
+        }
+
+        for (int cid = 0; cid < kMaxCubicles; ++cid) {
+            const auto peer = static_cast<Cid>(cid);
+            const AclMask bit = aclBit(peer);
+            if ((w.acl & bit) == 0)
+                continue;
+            // Self, ghost and shared grants are already flagged by the
+            // syntactic linter; repeating them as dataflow findings
+            // would double-report one wiring mistake.
+            if (peer == w.owner || peer >= count ||
+                isSharedIn(snapshot, peer))
+                continue;
+            if ((used & bit) == 0) {
+                findings.push_back(LintFinding{
+                    LintRule::kAclOverBroad, LintSeverity::kWarning,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleNameIn(snapshot, w.owner) + "' grants '" +
+                        cubicleNameIn(snapshot, peer) +
+                        "', which never accessed it; the grant can be "
+                        "dropped"});
+            } else if ((w.usedWrite & bit) == 0) {
+                findings.push_back(LintFinding{
+                    LintRule::kWriteGrantReadOnly, LintSeverity::kInfo,
+                    w.owner, w.wid,
+                    "window " + std::to_string(w.wid) + " of '" +
+                        cubicleNameIn(snapshot, w.owner) + "' grants '" +
+                        cubicleNameIn(snapshot, peer) +
+                        "' read+write but the peer only ever read; a "
+                        "read-only window would suffice"});
+            }
+        }
+    }
+    return findings;
+}
+
+// ----------------------------------------------------------------------
+// JSON rendering. Hand-rolled on purpose: the output must be byte-for-
+// byte deterministic so tests can diff it against a committed baseline,
+// which rules out floats, addresses, timestamps and map iteration
+// order. Everything below emits integers, booleans and escaped strings
+// in a fixed key order.
+// ----------------------------------------------------------------------
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNum(std::string &out, std::size_t v)
+{
+    out += std::to_string(v);
+}
+
+void
+appendBool(std::string &out, bool v)
+{
+    out += v ? "true" : "false";
+}
+
+/** Renders an ACL mask as an ascending array of cubicle IDs. */
+void
+appendAcl(std::string &out, AclMask mask)
+{
+    out += '[';
+    bool first = true;
+    for (int cid = 0; cid < kMaxCubicles; ++cid) {
+        if ((mask & aclBit(static_cast<Cid>(cid))) == 0)
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        appendNum(out, static_cast<std::size_t>(cid));
+    }
+    out += ']';
+}
+
+void
+appendImage(std::string &out, const ImageAuditView &view)
+{
+    const VerifierReport &r = *view.report;
+    out += "{\"component\":";
+    appendEscaped(out, view.component);
+    out += ",\"bytes\":";
+    appendNum(out, r.imageBytes);
+    out += ",\"insns\":";
+    appendNum(out, r.insnCount);
+    out += ",\"undecodable\":";
+    appendNum(out, r.undecodableBytes);
+    out += ",\"findings\":{\"rejecting\":";
+    appendNum(out, r.rejectingCount());
+    out += ",\"reported\":";
+    appendNum(out, r.embeddedCount());
+    out += "},\"pass2\":{\"ran\":";
+    appendBool(out, r.cfg.ran);
+    out += ",\"reachableInsns\":";
+    appendNum(out, r.cfg.reachableInsns);
+    out += ",\"indirectCalls\":";
+    appendNum(out, r.cfg.indirectSites);
+    out += ",\"indirectJumps\":";
+    appendNum(out, r.cfg.indirectJumps);
+    out += "},\"pass3\":{\"ran\":";
+    appendBool(out, r.audit.ran);
+    out += ",\"functions\":";
+    appendNum(out, r.audit.functionCount);
+    out += ",\"resolvedSites\":";
+    appendNum(out, r.audit.resolvedSites);
+    out += ",\"unresolvedSites\":";
+    appendNum(out, r.audit.unresolvedSites);
+    out += ",\"tableBytes\":";
+    appendNum(out, r.audit.tableBytes);
+
+    // Resolved sites aggregate per resolution kind; unresolved sites
+    // are listed one by one — no silent opacity.
+    std::size_t byKind[3] = {0, 0, 0};
+    for (const IndirectSiteRecord &s : r.audit.indirectSites) {
+        if (!s.resolved)
+            continue;
+        const std::string how = s.how;
+        if (how == "jump-table")
+            byKind[0]++;
+        else if (how == "lea-call")
+            byKind[1]++;
+        else if (how == "entry-table")
+            byKind[2]++;
+    }
+    out += ",\"resolvedByKind\":{\"jump-table\":";
+    appendNum(out, byKind[0]);
+    out += ",\"lea-call\":";
+    appendNum(out, byKind[1]);
+    out += ",\"entry-table\":";
+    appendNum(out, byKind[2]);
+    out += "},\"unresolved\":[";
+    bool first = true;
+    for (const IndirectSiteRecord &s : r.audit.indirectSites) {
+        if (s.resolved)
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"offset\":";
+        appendNum(out, s.offset);
+        out += ",\"kind\":";
+        out += s.isJump ? "\"jump\"" : "\"call\"";
+        out += ",\"function\":";
+        appendNum(out, s.function);
+        out += '}';
+    }
+    out += "],\"witnesses\":[";
+    first = true;
+    for (const WitnessPath &w : r.audit.witnessPaths) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"finding\":";
+        appendNum(out, w.findingOffset);
+        out += ",\"steps\":[";
+        for (std::size_t i = 0; i < w.steps.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            appendNum(out, w.steps[i]);
+        }
+        out += "]}";
+    }
+    out += "]}}";
+}
+
+} // namespace
+
+std::string
+auditReportJson(const WiringSnapshot &snapshot,
+                std::span<const ImageAuditView> images,
+                std::span<const LintFinding> findings)
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\"schema\":\"cubicleos-audit-v1\",\"images\":[";
+    bool first = true;
+    for (const ImageAuditView &view : images) {
+        if (view.report == nullptr)
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        appendImage(out, view);
+    }
+
+    out += "],\"windows\":[";
+    first = true;
+    for (const WindowWiring &w : snapshot.windows) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"wid\":";
+        appendNum(out, static_cast<std::size_t>(w.wid));
+        out += ",\"owner\":";
+        appendNum(out, static_cast<std::size_t>(w.owner));
+        out += ",\"hot\":";
+        appendBool(out, w.hotKey >= 0);
+        out += ",\"ranges\":";
+        appendNum(out, w.rangeCount);
+        out += ",\"acl\":";
+        appendAcl(out, w.acl);
+        out += ",\"usedRead\":";
+        appendAcl(out, w.usedRead);
+        out += ",\"usedWrite\":";
+        appendAcl(out, w.usedWrite);
+        out += '}';
+    }
+
+    out += "],\"findings\":[";
+    first = true;
+    for (const LintFinding &f : findings) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"rule\":";
+        appendEscaped(out, lintRuleName(f.rule));
+        out += ",\"severity\":";
+        appendEscaped(out, lintSeverityName(f.severity));
+        out += ",\"cubicle\":";
+        appendNum(out, static_cast<std::size_t>(f.cubicle));
+        out += ",\"window\":";
+        appendNum(out, static_cast<std::size_t>(f.window));
+        out += ",\"message\":";
+        appendEscaped(out, f.message);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace cubicleos::core::verifier

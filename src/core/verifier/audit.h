@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deployment-wide isolation auditor: least-privilege dataflow rules
+ * over wiring history, plus the machine-readable combined report.
+ *
+ * The syntactic linter (lint.h) checks what the wiring *declares*;
+ * the auditor checks what the deployment actually *did*. The monitor
+ * records, per live window, which peers faulted a read or a write
+ * through it (WindowWiring::usedRead/usedWrite). Diffing that used
+ * communication matrix against the declared ACL masks yields the
+ * least-privilege findings:
+ *
+ *   - acl-over-broad (warning): a peer holds an ACL bit it never
+ *     exercised — the grant can be dropped;
+ *   - window-never-used (warning): a live window with ranges and a
+ *     non-empty ACL that no peer ever faulted through;
+ *   - write-grant-read-only (info): every access a peer made through
+ *     its grant was a read, so a read-only window would do (the
+ *     simulator's windows are read+write, per the paper; the finding
+ *     records where a narrower primitive would help).
+ *
+ * Usage is fault-observed, so two deliberate blind spots apply (both
+ * documented in DESIGN.md §12): hot windows are retagged eagerly and
+ * never fault, so they are skipped entirely; and the audit is only as
+ * good as the workload that ran before it — audit after traffic, not
+ * after boot, unless init itself is meant to exercise every grant
+ * (that is exactly what AuditLevel::kStrict asserts).
+ *
+ * auditReportJson renders the combined audit — per-image pass-3
+ * records plus wiring and findings — as deterministic JSON (stable
+ * key order, integers only, no addresses or timestamps) so tests can
+ * diff it against a committed baseline.
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_AUDIT_H_
+#define CUBICLEOS_CORE_VERIFIER_AUDIT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/verifier/lint.h"
+#include "core/verifier/report.h"
+
+namespace cubicleos::core::verifier {
+
+/**
+ * Runs the dataflow least-privilege rules over @p snapshot.
+ * Complements lintWiring (which stays purely syntactic); callers
+ * wanting the full rule set concatenate both (System::auditIsolation).
+ */
+std::vector<LintFinding> auditWiring(const WiringSnapshot &snapshot);
+
+/** One component image plus its load report, for the JSON render. */
+struct ImageAuditView {
+    std::string component;
+    const VerifierReport *report = nullptr;
+};
+
+/**
+ * Renders the combined audit as deterministic JSON. Unresolved
+ * indirect sites are listed individually (no silent opacity);
+ * resolved sites are aggregated per resolution kind.
+ */
+std::string auditReportJson(const WiringSnapshot &snapshot,
+                            std::span<const ImageAuditView> images,
+                            std::span<const LintFinding> findings);
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_AUDIT_H_

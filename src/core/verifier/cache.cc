@@ -1,6 +1,6 @@
 #include "core/verifier/cache.h"
 
-#include "core/verifier/cfg.h"
+#include "core/verifier/ipcfg.h"
 
 namespace cubicleos::core::verifier {
 
@@ -13,7 +13,8 @@ VerifyCache::instance()
 
 uint64_t
 VerifyCache::hashImage(std::span<const uint8_t> image,
-                       std::span<const std::size_t> entryPoints)
+                       std::span<const std::size_t> entryPoints,
+                       std::span<const EntryTable> tables)
 {
     constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
     constexpr uint64_t kPrime = 0x100000001b3ull;
@@ -30,14 +31,21 @@ VerifyCache::hashImage(std::span<const uint8_t> image,
         for (int i = 0; i < 8; ++i)
             mix(static_cast<uint8_t>(e >> (8 * i)));
     }
+    for (const EntryTable &t : tables) {
+        for (int i = 0; i < 8; ++i)
+            mix(static_cast<uint8_t>(t.offset >> (8 * i)));
+        for (int i = 0; i < 8; ++i)
+            mix(static_cast<uint8_t>(t.count >> (8 * i)));
+    }
     return h;
 }
 
 VerifierReport
 VerifyCache::verify(std::span<const uint8_t> image,
-                    std::span<const std::size_t> entryPoints, bool *hit)
+                    std::span<const std::size_t> entryPoints,
+                    std::span<const EntryTable> tables, bool *hit)
 {
-    const uint64_t key = hashImage(image, entryPoints);
+    const uint64_t key = hashImage(image, entryPoints, tables);
     {
         ReaderLock lock(mu_);
         auto it = entries_.find(key);
@@ -49,7 +57,7 @@ VerifyCache::verify(std::span<const uint8_t> image,
     }
     if (hit)
         *hit = false;
-    VerifierReport report = verifyImageFrom(image, entryPoints);
+    VerifierReport report = verifyImageInter(image, entryPoints, tables);
     {
         WriterLock lock(mu_);
         if (entries_.size() >= kMaxEntries)

@@ -38,13 +38,16 @@ class VerifyCache {
 
     /**
      * Verifies @p image from @p entryPoints, consulting the cache
-     * first. Semantically identical to verifier::verifyImageFrom.
+     * first. Semantically identical to verifier::verifyImageInter
+     * with the declared indirect-target @p tables (which feed the key:
+     * the same bytes under different tables verify apart).
      *
      * @param hit if non-null, set to true when the report came from
-     *        the cache without re-running the sweep + CFG walk.
+     *        the cache without re-running the sweep + CFG walks.
      */
     VerifierReport verify(std::span<const uint8_t> image,
                           std::span<const std::size_t> entryPoints,
+                          std::span<const EntryTable> tables = {},
                           bool *hit = nullptr);
 
     /** Drops every entry (tests; and the eviction policy when full). */
@@ -55,14 +58,16 @@ class VerifyCache {
 
     /**
      * Content hash: FNV-1a 64 over the image bytes, then the image
-     * size and each entry-point offset, so images differing only in
-     * their export set hash apart. (A 64-bit digest can collide in
+     * size, each entry-point offset and each declared table's
+     * (offset, count), so images differing only in their export set
+     * or target tables hash apart. (A 64-bit digest can collide in
      * principle; a collision would replay another image's verdict.
      * For the simulator's image population this is accepted — a
      * deployment-grade cache would key on a cryptographic digest.)
      */
     static uint64_t hashImage(std::span<const uint8_t> image,
-                              std::span<const std::size_t> entryPoints);
+                              std::span<const std::size_t> entryPoints,
+                              std::span<const EntryTable> tables = {});
 
   private:
     /** Eviction bound: clearing at the cap keeps the map O(1)-ish

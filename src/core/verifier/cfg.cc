@@ -126,6 +126,11 @@ verifyImageFrom(std::span<const uint8_t> image,
             cfg.indirectSites++;
             pushEdge(static_cast<int64_t>(end));
             break;
+          case FlowKind::kIndirectJump:
+            // Sink for this pass; pass 3 (ipcfg.cc) resolves the
+            // jump-table idiom and classifies the residue.
+            cfg.indirectJumps++;
+            break;
           case FlowKind::kTerminal:
             cfg.terminals++;
             break;

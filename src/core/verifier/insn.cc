@@ -264,8 +264,7 @@ decodeAt(std::span<const uint8_t> image, std::size_t pos)
         // form (c5 RvvvvLpp) implies escape map 1 (0F); the 3-byte
         // form (c4 RXBmmmmm WvvvvLpp) selects the map explicitly, and
         // the map determines the length: map 2 (0F 38) never carries
-        // an immediate, map 3 (0F 3A) always carries imm8. EVEX (62)
-        // remains undecodable.
+        // an immediate, map 3 (0F 3A) always carries imm8.
         const std::size_t vexBytes = (op == 0xC5) ? 2 : 3;
         if (i + vexBytes >= n) // prefix bytes plus the opcode byte
             return std::nullopt;
@@ -296,6 +295,44 @@ decodeAt(std::span<const uint8_t> image, std::size_t pos)
         // VEX.pp replaces the legacy 66/F2/F3 prefixes and VEX.W
         // replaces REX.W for operand sizing; neither resizes any
         // immediate in the subset above (imm8 only).
+        opsize16 = false;
+        rexW = false;
+    } else if (op == 0x62) {
+        // EVEX prefix — always EVEX in 64-bit mode (BOUND is invalid).
+        // Layout: 62 P0 P1 P2 opcode modrm... P0's low bits select the
+        // escape map exactly like VEX.mmmmm, so the VEX map rules give
+        // the length: map 1 reuses the 0F table restricted to plain
+        // sequential ModRM entries, map 2 (0F 38) carries no
+        // immediate, map 3 (0F 3A) carries imm8. disp8*N compression
+        // rescales a disp8's meaning but not its width, so ModRM
+        // sizing is unchanged. Encodings with reserved bits set are
+        // not EVEX instructions and stay undecodable.
+        if (i + 4 >= n) // 62 + P0 P1 P2 + at least the opcode byte
+            return std::nullopt;
+        const uint8_t p0 = image[i + 1];
+        const uint8_t p1 = image[i + 2];
+        const uint8_t map = p0 & 0x07; // mmm escape-map selector
+        if (map < 1 || map > 3)
+            return std::nullopt; // reserved / unsupported map (map5/6)
+        if ((p0 & 0x08) != 0)    // P0[3] must be 0
+            return std::nullopt;
+        if ((p1 & 0x04) == 0)    // P1[2] is a fixed 1 bit
+            return std::nullopt;
+        const uint8_t vop = image[i + 4];
+        opcodeLen = 5; // 62 P0 P1 P2 opcode
+        if (map == 1) {
+            spec = specTwoByte(vop);
+            if (!spec.valid || !spec.hasModRm || spec.branch ||
+                spec.forbidden || spec.flow != FlowKind::kSequential)
+                return std::nullopt;
+        } else {
+            spec.valid = true;
+            spec.hasModRm = true;
+            if (map == 3)
+                spec.imm = 1;
+        }
+        spec.mnemonic = "avx512";
+        // EVEX.pp/EVEX.W replace the legacy prefixes, as with VEX.
         opsize16 = false;
         rexW = false;
     } else if (op == 0x0F) { // two-byte map
@@ -366,7 +403,7 @@ decodeAt(std::span<const uint8_t> image, std::size_t pos)
                 spec.flow = FlowKind::kIndirectCall;
                 spec.mnemonic = "call";
             } else if (enc->reg == 4 || enc->reg == 5) {
-                spec.flow = FlowKind::kTerminal;
+                spec.flow = FlowKind::kIndirectJump;
                 spec.mnemonic = "jmp";
             }
         }

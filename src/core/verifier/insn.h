@@ -12,10 +12,13 @@
  * covered through the VEX prefixes: the 2-byte (c5) form implies the
  * 0F map, the 3-byte (c4) form selects 0F/0F38/0F3A via its escape-map
  * field, and the map fixes the immediate size (0F38 none, 0F3A imm8),
- * so instruction length follows without per-opcode tables. Anything
- * outside the subset — EVEX (62) encodings included — is *undecodable*:
- * the caller must treat such bytes conservatively (reject-on-reach),
- * never optimistically.
+ * so instruction length follows without per-opcode tables. AVX-512 is
+ * covered the same way through the 4-byte EVEX (62) prefix: its P0
+ * byte selects the escape map like VEX.mmmmm, so the VEX length rules
+ * apply unchanged (EVEX adds no immediates, and disp8*N compression
+ * rescales the displacement's meaning, not its width). Anything
+ * outside the subset is *undecodable*: the caller must treat such
+ * bytes conservatively (reject-on-reach), never optimistically.
  *
  * The decoder answers four questions per instruction:
  *   - how long is it (so a sweep or walk can find the next boundary)?
@@ -47,7 +50,8 @@ enum class FlowKind : uint8_t {
     kJump,         ///< unconditional direct jump: target only
     kCall,         ///< direct call: target + fall-through
     kIndirectCall, ///< call r/m: unknown target, falls through
-    kTerminal,     ///< ret / jmp r/m / hlt / ud2 / int3: no successor
+    kIndirectJump, ///< jmp r/m: unknown target, no fall-through
+    kTerminal,     ///< ret / hlt / ud2 / int3: no successor
 };
 
 /** One decoded instruction. */

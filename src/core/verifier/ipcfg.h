@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Pass 3 of the load-time verifier: interprocedural control flow.
+ *
+ * Pass 2 (cfg.h) walks direct branches only and treats every indirect
+ * jump as an opaque sink — sound for rejecting what it *can* see, but
+ * silent about what it cannot: a `jmp r/m` might land anywhere, so an
+ * image whose forbidden bytes sit in "unreachable" code is only safe
+ * if no indirect flow can reach them. Pass 3 closes that gap:
+ *
+ *  - it resolves the compiler's bounded-switch jump-table idiom
+ *    (cmp/ja guard, rip-relative lea of the table base, movsxd of a
+ *    scaled 32-bit entry, add, jmp reg) to the exact target set the
+ *    table encodes, and follows those edges;
+ *  - it resolves the rip-relative `lea reg, [rip+disp]` immediately
+ *    followed by `call reg` singleton to its one target;
+ *  - it takes builder-declared relocation-like entry tables
+ *    (ComponentSpec::indirectTables) as the universe of indirect
+ *    *call* targets, the way a CFI-instrumented build publishes its
+ *    address-taken set;
+ *  - residual indirect flow is classified per function and reported,
+ *    never silently ignored: if a reachable indirect *jump* stays
+ *    unresolved (or reachable bytes stay undecodable) while the image
+ *    contains forbidden byte sequences anywhere, the image rejects —
+ *    the sequences get class kIndirectReachable. Unresolved indirect
+ *    *calls* keep pass-2's fall-through treatment (calls are confined
+ *    to published entry slots by the cross-call trampoline), but are
+ *    counted and listed in the audit record.
+ *
+ * The walk also emits the per-image ImageAudit (report.h): the
+ * function partition, every indirect site with its resolution, the
+ * bytes identified as jump-table data (so decode coverage accounts
+ * them as data, not undecodable gaps), and a shortest witness path
+ * from an entry point for every rejecting finding.
+ */
+
+#ifndef CUBICLEOS_CORE_VERIFIER_IPCFG_H_
+#define CUBICLEOS_CORE_VERIFIER_IPCFG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/verifier/report.h"
+
+namespace cubicleos::core::verifier {
+
+/**
+ * One matched bounded-switch jump table (see matchJumpTable).
+ * Offsets are image-relative, like everything in the verifier.
+ */
+struct JumpTableMatch {
+    bool matched = false;
+    std::size_t idiomStart = 0; ///< offset of the cmp guard
+    std::size_t jmpOffset = 0;  ///< offset of the dispatching jmp reg
+    std::size_t idiomEnd = 0;   ///< offset just past the jmp
+    std::size_t tableBase = 0;  ///< offset of the entry table
+    std::size_t count = 0;      ///< entries (guard bound + 1)
+    /** Decoded dispatch targets: tableBase + entry value, in table
+     *  order (duplicates kept — the soundness property tests compare
+     *  against a brute-force interpreter over every index). */
+    std::vector<std::size_t> targets;
+};
+
+/**
+ * Matches the bounded-switch dispatch idiom starting at @p pos:
+ *
+ *   cmp rax, imm8/imm32        48 83 F8 ib | 48 3D id
+ *   ja  default                77 rel8     | 0F 87 rel32
+ *   lea reg, [rip+disp32]      48/4C 8D /r (mod=00, rm=101)
+ *   movsxd reg, [reg+reg*4]    48 63 /r (SIB, scale=4)
+ *   add reg, reg               48 01 /r (mod=3)
+ *   jmp reg                    FF /4 (mod=3)
+ *
+ * and decodes the table the lea addresses: (bound+1) little-endian
+ * 32-bit entries, each a target offset relative to the table base.
+ * Returns an unmatched result if any instruction deviates from the
+ * shape, the bound is implausibly large, or the table or any target
+ * falls outside the image.
+ */
+JumpTableMatch matchJumpTable(std::span<const uint8_t> image,
+                              std::size_t pos);
+
+/** One matched lea/call singleton (see matchLeaCall). */
+struct LeaCallMatch {
+    bool matched = false;
+    std::size_t callOffset = 0; ///< offset of the call reg
+    std::size_t idiomEnd = 0;   ///< offset just past the call
+    std::size_t target = 0;     ///< resolved callee offset
+};
+
+/**
+ * Matches `lea reg, [rip+disp32]` (48/4C 8D /r, mod=00, rm=101)
+ * immediately followed by `call reg` (FF /2, mod=3) on the same
+ * register, starting at @p pos. The resolved target is the lea's
+ * rip-relative destination (end of lea + disp32); out-of-image
+ * targets do not match.
+ */
+LeaCallMatch matchLeaCall(std::span<const uint8_t> image,
+                          std::size_t pos);
+
+/**
+ * Pass 3: verifies @p image interprocedurally from @p entryPoints.
+ *
+ * Runs passes 1+2 (verifyImageFrom) and then the interprocedural
+ * refinement described in the file header. @p tables is the builder's
+ * declared indirect-call target tables (may be empty). The returned
+ * report has audit.ran set; decodedBytes counts identified table
+ * bytes as covered data.
+ */
+VerifierReport verifyImageInter(std::span<const uint8_t> image,
+                                std::span<const std::size_t> entryPoints,
+                                std::span<const EntryTable> tables);
+
+} // namespace cubicleos::core::verifier
+
+#endif // CUBICLEOS_CORE_VERIFIER_IPCFG_H_

@@ -15,6 +15,9 @@ lintRuleName(LintRule rule)
       case LintRule::kPointerExportNoWindow: return "pointer-export-no-window";
       case LintRule::kOpenWindowNoRanges: return "open-window-no-ranges";
       case LintRule::kAclStaleGrant: return "acl-stale-grant";
+      case LintRule::kAclOverBroad: return "acl-over-broad";
+      case LintRule::kWindowNeverUsed: return "window-never-used";
+      case LintRule::kWriteGrantReadOnly: return "write-grant-read-only";
     }
     return "unknown";
 }

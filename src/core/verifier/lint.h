@@ -1,6 +1,8 @@
 /**
  * @file
- * Isolation linter (verifier pass 3): static checks over system wiring.
+ * Isolation linter: syntactic checks over system wiring. (The
+ * dataflow least-privilege rules that complement these live in
+ * audit.h; both emit LintFinding records.)
  *
  * The linter inspects a plain-data snapshot of a booted system — the
  * cubicle table, the live window descriptors with their ACL bitmasks,
@@ -44,6 +46,11 @@ enum class LintRule : uint8_t {
     kPointerExportNoWindow, ///< pointer export, no window grants callee
     kOpenWindowNoRanges,    ///< non-empty ACL over an empty window
     kAclStaleGrant,         ///< ACL outlived every range ever added
+    // Dataflow least-privilege rules (audit.h): diff the *used*
+    // communication matrix against the declared ACLs.
+    kAclOverBroad,          ///< ACL bit for a peer that never used it
+    kWindowNeverUsed,       ///< live window no peer ever faulted into
+    kWriteGrantReadOnly,    ///< write-capable grant, peer only read
 };
 
 enum class LintSeverity : uint8_t { kInfo, kWarning, kError };
@@ -81,6 +88,11 @@ struct WindowWiring {
     int hotKey = -1;
     /** Ranges added over the window's whole lifetime (survives removes). */
     uint32_t rangesEverAdded = 0;
+    /** Peers that actually faulted a read / write through the window
+     *  (dataflow history for the least-privilege audit; zero for hot
+     *  windows, which are retagged eagerly and never fault). */
+    AclMask usedRead = 0;
+    AclMask usedWrite = 0;
 };
 
 struct ExportWiring {

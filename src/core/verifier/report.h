@@ -29,12 +29,19 @@ namespace cubicleos::core::verifier {
  * but that no branch path from any exported entry point executes —
  * e.g. bytes after an unconditional ret, or a misaligned overlap in
  * dead code. Like kEmbedded it is report-only.
+ *
+ * kIndirectReachable is produced only by pass 3 (the interprocedural
+ * analysis, ipcfg.h): the function holding the finding is reachable
+ * from an entry point and contains an *unresolved* indirect jump, so
+ * the analysis cannot prove the forbidden bytes dead — the finding
+ * rejects even though no resolved path lands on it.
  */
 enum class FindingClass : uint8_t {
     kAligned,             ///< starts on an instruction boundary
     kMisalignedReachable, ///< overlaps structural bytes / undecoded region
     kEmbedded,            ///< wholly inside one instruction's payload
     kUnreachable,         ///< pass 2: no path from any entry point
+    kIndirectReachable,   ///< pass 3: unresolved indirect flow nearby
 };
 
 /** Human-readable class name. */
@@ -50,8 +57,22 @@ struct CodeFinding {
     bool rejecting() const
     {
         return cls == FindingClass::kAligned ||
-               cls == FindingClass::kMisalignedReachable;
+               cls == FindingClass::kMisalignedReachable ||
+               cls == FindingClass::kIndirectReachable;
     }
+};
+
+/**
+ * One relocation-like indirect-call target table supplied by the
+ * builder in @c ComponentSpec::indirectTables: @c count 4-byte
+ * little-endian image offsets starting at @c offset. Pass 3 treats
+ * the union of all table entries as the target set of every indirect
+ * *call* site (calls are CFI-confined to published entry slots), and
+ * treats the table bytes themselves as data, not code.
+ */
+struct EntryTable {
+    std::size_t offset = 0; ///< byte offset of the table in the image
+    std::size_t count = 0;  ///< number of 4-byte entries
 };
 
 /**
@@ -71,8 +92,61 @@ struct CfgSummary {
     std::size_t reachableBytes = 0;
     std::size_t directBranches = 0;  ///< jcc/jmp/call edges followed
     std::size_t indirectSites = 0;   ///< call r/m seen (fall-through kept)
-    std::size_t terminals = 0;       ///< ret/jmp r/m/hlt/ud2/int3 sinks
+    std::size_t indirectJumps = 0;   ///< jmp r/m seen (sink for pass 2)
+    std::size_t terminals = 0;       ///< ret/hlt/ud2/int3 sinks
     std::size_t externalTargets = 0; ///< direct edges leaving the image
+};
+
+/** How pass 3 resolved (or failed to resolve) one indirect site. */
+struct IndirectSiteRecord {
+    std::size_t offset = 0;   ///< offset of the jmp/call r/m instruction
+    bool isJump = false;      ///< jmp r/m (true) vs call r/m (false)
+    bool resolved = false;    ///< target set statically known
+    std::size_t function = 0; ///< entry offset of the containing function
+    std::size_t tableBase = 0; ///< jump table offset (jump-table sites)
+    std::vector<std::size_t> targets; ///< resolved target offsets, sorted
+    /** How the set was obtained: "jump-table", "lea-call",
+     *  "entry-table", or "" when unresolved. */
+    const char *how = "";
+};
+
+/** One per-function summary from the pass-3 call-graph walk. */
+struct FunctionAudit {
+    std::size_t entry = 0;        ///< function entry offset
+    bool reachable = false;       ///< reachable from an image entry point
+    std::size_t insnCount = 0;    ///< instructions assigned to it
+    std::size_t unresolvedSites = 0; ///< unresolved indirect sites inside
+};
+
+/** Shortest entry→forbidden-instruction path for one rejecting finding. */
+struct WitnessPath {
+    std::size_t findingOffset = 0;      ///< offset of the finding reached
+    std::vector<std::size_t> steps;     ///< insn offsets, entry first
+};
+
+/**
+ * Pass-3 (interprocedural) audit record for one image. Zeroed unless
+ * @c ran is set (verifyImageInter was used).
+ */
+struct ImageAudit {
+    bool ran = false;
+    std::size_t functionCount = 0;
+    std::size_t resolvedSites = 0;   ///< indirect sites with known targets
+    std::size_t unresolvedSites = 0; ///< residual opaque indirect sites
+    std::size_t tableBytes = 0;      ///< bytes identified as table data
+    std::vector<FunctionAudit> functions;      ///< sorted by entry
+    std::vector<IndirectSiteRecord> indirectSites; ///< sorted by offset
+    std::vector<WitnessPath> witnessPaths;     ///< per rejecting finding
+
+    /** Fraction of indirect sites left unresolved (0 when none seen). */
+    double unresolvedRate() const
+    {
+        const std::size_t total = resolvedSites + unresolvedSites;
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(unresolvedSites) /
+               static_cast<double>(total);
+    }
 };
 
 /** Result of verifying one component image. */
@@ -85,6 +159,7 @@ struct VerifierReport {
     std::size_t firstUndecodable = 0;
     std::vector<CodeFinding> findings;
     CfgSummary cfg;
+    ImageAudit audit; ///< pass-3 record (audit.ran false unless pass 3 ran)
 
     /** True when no finding forces a reject. */
     bool accepted() const

@@ -15,6 +15,7 @@ findingClassName(FindingClass cls)
       case FindingClass::kMisalignedReachable: return "misaligned-reachable";
       case FindingClass::kEmbedded: return "unreachable-embedded";
       case FindingClass::kUnreachable: return "unreachable-code";
+      case FindingClass::kIndirectReachable: return "indirect-reachable";
     }
     return "unknown";
 }

@@ -26,6 +26,7 @@
 
 #include "core/errors.h"
 #include "core/ids.h"
+#include "core/locking.h"
 #include "mem/page_meta.h"
 
 namespace cubicleos::core {
@@ -107,13 +108,25 @@ struct Window {
  * because the protecting lock (Monitor::windowMutex_, rank kWindow in
  * core/locking.h) lives in a different object than the table it
  * guards; the static analysis instead checks the monitor's accesses to
- * windows_, and lockdep checks the acquisition order at runtime.
+ * windows_. The gap is closed at runtime instead: the loader binds
+ * each table to the window lock (bindGuard), and with lockdep built
+ * in every table operation aborts unless the calling thread holds
+ * that lock in some mode. Unbound tables (unit tests using the class
+ * directly) skip the check.
  */
 class WindowTable {
   public:
+    /**
+     * Binds the table to the cross-object lock that guards it; every
+     * later operation asserts (under lockdep) that the calling thread
+     * holds it. Bind before publishing the table to other threads.
+     */
+    void bindGuard(const SharedMutex *guard) { guard_ = guard; }
+
     /** Adds a range (classified as @p type) belonging to window @p wid. */
     void add(mem::PageType type, const void *ptr, std::size_t size, Wid wid)
     {
+        checkGuard();
         TypeIndex &idx = indexOf(type);
         const WindowRange r{ptr, size, wid};
         idx.ranges.insert(
@@ -132,6 +145,7 @@ class WindowTable {
      */
     bool remove(Wid wid, const void *ptr)
     {
+        checkGuard();
         for (auto &idx : indexes_) {
             for (std::size_t i = 0; i < idx.ranges.size(); ++i) {
                 if (idx.ranges[i].wid == wid &&
@@ -148,6 +162,7 @@ class WindowTable {
     /** Removes every range belonging to window @p wid. */
     void removeAll(Wid wid)
     {
+        checkGuard();
         for (auto &idx : indexes_) {
             std::erase_if(idx.ranges, [wid](const WindowRange &r) {
                 return r.wid == wid;
@@ -164,6 +179,7 @@ class WindowTable {
      */
     Wid findWindowFor(mem::PageType type, const void *ptr) const
     {
+        checkGuard();
         const TypeIndex &idx = indexOf(type);
         const auto q = reinterpret_cast<uintptr_t>(ptr);
         auto it = std::upper_bound(
@@ -220,6 +236,14 @@ class WindowTable {
         }
     }
 
+    void checkGuard() const
+    {
+        if constexpr (lockdep::kEnabled) {
+            if (guard_ != nullptr)
+                lockdep::assertHeld(guard_, "WindowTable");
+        }
+    }
+
     TypeIndex &indexOf(mem::PageType type)
     {
         return indexes_[slotFor(type)];
@@ -230,6 +254,7 @@ class WindowTable {
     }
 
     std::array<TypeIndex, 3> indexes_;
+    const SharedMutex *guard_ = nullptr;
 };
 
 } // namespace cubicleos::core

@@ -50,6 +50,11 @@ class RelaxedAtomic {
         return value_.fetch_add(n, std::memory_order_relaxed);
     }
 
+    T fetchOr(T bits)
+    {
+        return value_.fetch_or(bits, std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<T> value_;
 };

@@ -48,6 +48,41 @@ TEST_F(LockdepTest, MonitorInversionHookAborts)
                  "rank inversion");
 }
 
+TEST_F(LockdepTest, UnguardedWindowTableLookupAborts)
+{
+    SystemConfig cfg;
+    cfg.numPages = 256;
+    System sys(cfg);
+    addToy(sys, "foo");
+    sys.boot();
+    // The loader bound the cubicle's WindowTable to windowMutex_; a
+    // lookup without holding it is the cross-object guard violation
+    // the static analysis cannot see (DESIGN.md §11).
+    EXPECT_DEATH(
+        sys.monitor().debugWindowLookupUnlockedForTest(sys.cidOf("foo")),
+        "WindowTable accessed without its guard");
+}
+
+TEST_F(LockdepTest, AssertHeldReportsBothModes)
+{
+    SharedMutex mu(LockRank::kWindow, "test.window");
+
+    EXPECT_FALSE(lockdep::isHeld(&mu));
+    mu.lockShared();
+    EXPECT_TRUE(lockdep::isHeld(&mu)); // shared hold satisfies the guard
+    lockdep::assertHeld(&mu, "test state"); // must not abort
+    mu.unlockShared();
+
+    mu.lock();
+    EXPECT_TRUE(lockdep::isHeld(&mu));
+    lockdep::assertHeld(&mu, "test state");
+    mu.unlock();
+    EXPECT_FALSE(lockdep::isHeld(&mu));
+
+    EXPECT_DEATH(lockdep::assertHeld(&mu, "test state"),
+                 "accessed without its guard");
+}
+
 TEST_F(LockdepTest, PerCubicleLocksOutOfCidOrderAbort)
 {
     SystemConfig cfg;

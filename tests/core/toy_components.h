@@ -31,6 +31,7 @@ class ToyComponent : public Component {
         s.kind = kind_;
         s.image = image_;
         s.entryPoints = entryPoints_;
+        s.indirectTables = indirectTables_;
         return s;
     }
 
@@ -59,6 +60,13 @@ class ToyComponent : public Component {
     }
 
     ToyComponent &
+    withIndirectTables(std::vector<verifier::EntryTable> tables)
+    {
+        indirectTables_ = std::move(tables);
+        return *this;
+    }
+
+    ToyComponent &
     onExports(std::function<void(Exporter &, ToyComponent &)> f)
     {
         exportsFn_ = std::move(f);
@@ -76,6 +84,7 @@ class ToyComponent : public Component {
     CubicleKind kind_;
     std::vector<uint8_t> image_;
     std::vector<std::size_t> entryPoints_;
+    std::vector<verifier::EntryTable> indirectTables_;
     std::function<void(Exporter &, ToyComponent &)> exportsFn_;
     std::function<void(ToyComponent &)> initFn_;
 };

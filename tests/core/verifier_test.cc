@@ -370,8 +370,59 @@ TEST(InsnDecode, VexEdgeCasesAreUndecodable)
                      .has_value());
     EXPECT_FALSE(decodeAt(bytes({0xC5, 0xF8, 0xC8}), 0).has_value());
     EXPECT_FALSE(decodeAt(bytes({0xC5, 0xF8, 0x05}), 0).has_value());
-    // EVEX (62 P0 P1 P2 op modrm) stays fully opaque.
-    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF1, 0x7C, 0x48, 0x58, 0xC1}), 0)
+}
+
+TEST(InsnDecode, EvexPrefix)
+{
+    const RoundTrip cases[] = {
+        // vaddps zmm0, zmm0, zmm1 (62 f1 7c 48 58 c1): map 1 row.
+        {bytes({0x62, 0xF1, 0x7C, 0x48, 0x58, 0xC1}), 6, 6, "avx512"},
+        // vmovaps zmm1, zmm2 through the same map-1 reuse.
+        {bytes({0x62, 0xF1, 0x7C, 0x48, 0x28, 0xCA}), 6, 6, "avx512"},
+        // vmovdqa64 zmm0, [rip+d32] (62 f1 fd 48 6f 05 d32): the
+        // disp32 is payload; disp8*N does not apply to disp32.
+        {bytes({0x62, 0xF1, 0xFD, 0x48, 0x6F, 0x05, 1, 2, 3, 4}),
+         10, 6, "avx512"},
+        // Map 2 (0F 38), no immediate: vpermd zmm0, zmm1, zmm2.
+        {bytes({0x62, 0xF2, 0x75, 0x48, 0x36, 0xC2}), 6, 6, "avx512"},
+        // Map 2 memory form with compressed disp8 (width still 1):
+        // vbroadcastss zmm0, [rax+0x40].
+        {bytes({0x62, 0xF2, 0x7D, 0x48, 0x18, 0x40, 0x10}),
+         7, 6, "avx512"},
+        // Map 3 (0F 3A), imm8: valignd zmm0, zmm1, zmm2, 3.
+        {bytes({0x62, 0xF3, 0x75, 0x48, 0x03, 0xC2, 0x03}),
+         7, 6, "avx512"},
+        // Map 3 with memory operand + SIB: payload after
+        // EVEX(4) + opcode + ModRM + SIB = 7, then disp8 + imm8.
+        {bytes({0x62, 0xF3, 0x75, 0x48, 0x0F, 0x44, 0x24, 0x10, 0x07}),
+         9, 7, "avx512"},
+    };
+    for (const RoundTrip &c : cases)
+        expectRoundTrip(c);
+}
+
+TEST(InsnDecode, EvexEdgeCasesAreUndecodable)
+{
+    // Truncated EVEX prefixes.
+    EXPECT_FALSE(decodeAt(bytes({0x62}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF1, 0x7C}), 0).has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF1, 0x7C, 0x48}), 0)
+                     .has_value());
+    // Reserved P0 bit 3 set, reserved map 0, unsupported map 5.
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF9, 0x7C, 0x48, 0x58, 0xC1}), 0)
+                     .has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF0, 0x7C, 0x48, 0x58, 0xC1}), 0)
+                     .has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF5, 0x7C, 0x48, 0x58, 0xC1}), 0)
+                     .has_value());
+    // P1's fixed bit 2 cleared: not a valid EVEX payload.
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF1, 0x78, 0x48, 0x58, 0xC1}), 0)
+                     .has_value());
+    // EVEX of a map-1 row with no vector form (jcc, syscall).
+    EXPECT_FALSE(
+        decodeAt(bytes({0x62, 0xF1, 0x7C, 0x48, 0x84, 0, 0, 0, 0}), 0)
+            .has_value());
+    EXPECT_FALSE(decodeAt(bytes({0x62, 0xF1, 0x7C, 0x48, 0x05}), 0)
                      .has_value());
 }
 
@@ -392,8 +443,8 @@ TEST(InsnDecode, FlowKinds)
         {bytes({0xE8, 1, 0, 0, 0}), FlowKind::kCall},
         {bytes({0xFF, 0xD0}), FlowKind::kIndirectCall},    // call rax
         {bytes({0xFF, 0x10}), FlowKind::kIndirectCall},    // call [rax]
-        {bytes({0xFF, 0xE0}), FlowKind::kTerminal},        // jmp rax
-        {bytes({0xFF, 0x20}), FlowKind::kTerminal},        // jmp [rax]
+        {bytes({0xFF, 0xE0}), FlowKind::kIndirectJump},    // jmp rax
+        {bytes({0xFF, 0x20}), FlowKind::kIndirectJump},    // jmp [rax]
         {bytes({0xFF, 0xC0}), FlowKind::kSequential},      // inc eax
         {bytes({0xC3}), FlowKind::kTerminal},              // ret
         {bytes({0xC2, 0x08, 0x00}), FlowKind::kTerminal},  // ret imm16
@@ -650,7 +701,8 @@ TEST(Cfg, IndirectJumpIsASink)
     auto image = bytes({0xFF, 0xE0, 0x0F, 0x05});
     VerifierReport r = verifyImageFrom(image, {});
     EXPECT_TRUE(r.accepted());
-    EXPECT_EQ(r.cfg.terminals, 1u);
+    EXPECT_EQ(r.cfg.indirectJumps, 1u);
+    EXPECT_EQ(r.cfg.terminals, 0u);
     ASSERT_EQ(r.findings.size(), 1u);
     EXPECT_EQ(r.findings[0].cls, FindingClass::kUnreachable);
 }
@@ -921,11 +973,11 @@ TEST(VerifyCache, EntryPointsArePartOfTheKey)
               verifier::VerifyCache::hashImage(image, e8));
 
     bool hit = true;
-    verifier::VerifyCache::instance().verify(image, e0, &hit);
+    verifier::VerifyCache::instance().verify(image, e0, {}, &hit);
     EXPECT_FALSE(hit);
-    verifier::VerifyCache::instance().verify(image, e8, &hit);
+    verifier::VerifyCache::instance().verify(image, e8, {}, &hit);
     EXPECT_FALSE(hit);
-    verifier::VerifyCache::instance().verify(image, e0, &hit);
+    verifier::VerifyCache::instance().verify(image, e0, {}, &hit);
     EXPECT_TRUE(hit);
     EXPECT_EQ(verifier::VerifyCache::instance().size(), 2u);
 }

@@ -1,13 +1,17 @@
-# Source-level locking lint: every lock in src/core and src/libos goes
-# through the annotated wrappers in core/locking.h.
+# Source-level locking lint: every lock in src/core, src/libos — and,
+# since the auditor PR, tests/ and bench/ — goes through the annotated
+# wrappers in core/locking.h.
 #
 # Raw std::mutex / std::shared_mutex declarations (and the raw guard
 # templates) bypass both halves of the machine-checked hierarchy: the
 # clang thread-safety annotations (tidy-tsa preset) and the debug
-# lockdep rank checks. locking.h itself is the single whitelisted file
-# — it is where the wrappers wrap the standard types.
+# lockdep rank checks. Two files are whitelisted: locking.h itself
+# (where the wrappers wrap the standard types) and
+# tests/core/tsa_seed_violation.cc (the deliberately broken TU the
+# tsa_lint gate compiles to prove the analysis is alive).
 #
-# Usage: cmake -DSRC_DIR=<repo>/src -P locking_lint.cmake
+# Usage: cmake -DSRC_DIR=<repo>/src [-DTESTS_DIR=<repo>/tests]
+#              [-DBENCH_DIR=<repo>/bench] -P locking_lint.cmake
 
 if(NOT DEFINED SRC_DIR)
     message(FATAL_ERROR "locking_lint: pass -DSRC_DIR=<repo>/src")
@@ -16,11 +20,20 @@ endif()
 file(GLOB_RECURSE lint_files
     "${SRC_DIR}/core/*.h" "${SRC_DIR}/core/*.cc"
     "${SRC_DIR}/libos/*.h" "${SRC_DIR}/libos/*.cc")
+if(DEFINED TESTS_DIR)
+    file(GLOB_RECURSE extra "${TESTS_DIR}/*.h" "${TESTS_DIR}/*.cc")
+    list(APPEND lint_files ${extra})
+endif()
+if(DEFINED BENCH_DIR)
+    file(GLOB_RECURSE extra "${BENCH_DIR}/*.h" "${BENCH_DIR}/*.cc")
+    list(APPEND lint_files ${extra})
+endif()
 
 set(violations "")
 foreach(f IN LISTS lint_files)
     get_filename_component(fname "${f}" NAME)
-    if(fname STREQUAL "locking.h" OR fname STREQUAL "locking.cc")
+    if(fname STREQUAL "locking.h" OR fname STREQUAL "locking.cc"
+       OR fname STREQUAL "tsa_seed_violation.cc")
         continue()
     endif()
     file(STRINGS "${f}" lines)
@@ -46,4 +59,6 @@ if(violations)
         "them through MutexLock/WriterLock/ReaderLock so the static "
         "annotations and lockdep both see them:\n${violations}")
 endif()
-message(STATUS "locking_lint: src/core and src/libos use annotated wrappers")
+message(STATUS
+    "locking_lint: scanned src/core, src/libos, tests/ and bench/ — "
+    "all locks use the annotated wrappers")
