@@ -89,11 +89,17 @@ main()
         1 << 10,  2 << 10,  8 << 10,   32 << 10,  64 << 10,
         128 << 10, 512 << 10, 1 << 20, 2 << 20,   8 << 20,
     };
-    const int reps = bench::intFromEnv("CUBICLE_BENCH_REPS", 2);
+    const int reps = bench::intFromEnv("CUBICLE_BENCH_REPS", 5);
 
     struct Point {
         double base = 1e18;
         double cubicle = 1e18;
+        // Isolation work of the min-latency CubicleOS request: every
+        // row carries its trap and copy counts, so a latency
+        // regression is attributable at a glance (traps x 3,500
+        // modelled cycles is the trap-and-map share of the gap).
+        double traps = 0;
+        double copies = 0;
     };
     std::vector<Point> points(sizes.size());
 
@@ -111,6 +117,9 @@ main()
             base.fetch(path);
             cubicle.fetch(path);
             const auto b = base.fetch(path);
+            auto &st = cubicle.sys().stats();
+            const uint64_t traps0 = st.traps();
+            const uint64_t copies0 = st.dataCopies();
             const auto c = cubicle.fetch(path);
             if (b.status != 200 || c.status != 200 ||
                 b.bodyBytes != sizes[i] || c.bodyBytes != sizes[i]) {
@@ -119,24 +128,29 @@ main()
                 return 1;
             }
             points[i].base = std::min(points[i].base, b.latencyMs());
-            points[i].cubicle =
-                std::min(points[i].cubicle, c.latencyMs());
+            if (c.latencyMs() < points[i].cubicle) {
+                points[i].cubicle = c.latencyMs();
+                points[i].traps = double(st.traps() - traps0);
+                points[i].copies = double(st.dataCopies() - copies0);
+            }
         }
     }
 
-    std::printf("%-12s %14s %14s %10s\n", "size", "unikraft(ms)",
-                "cubicleos(ms)", "overhead");
-    bench::rule('-', 56);
+    std::printf("%-12s %14s %14s %10s %10s %10s\n", "size",
+                "unikraft(ms)", "cubicleos(ms)", "overhead",
+                "traps/req", "copies/req");
+    bench::rule('-', 78);
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         const char *unit = sizes[i] >= (1 << 20) ? "MB" : "kB";
         const double disp = sizes[i] >= (1 << 20)
                                 ? sizes[i] / double(1 << 20)
                                 : sizes[i] / double(1 << 10);
-        std::printf("%7.0f %-4s %14.2f %14.2f %9.2fx\n", disp, unit,
-                    points[i].base, points[i].cubicle,
-                    points[i].cubicle / points[i].base);
+        std::printf("%7.0f %-4s %14.2f %14.2f %9.2fx %10.0f %10.0f\n",
+                    disp, unit, points[i].base, points[i].cubicle,
+                    points[i].cubicle / points[i].base,
+                    points[i].traps, points[i].copies);
     }
-    bench::rule('-', 56);
+    bench::rule('-', 78);
     std::printf("\nexpected shape: flat until the 64 kB socket-buffer "
                 "knee, then linear;\noverhead ~1.15x for small files "
                 "rising towards ~2x for large ones.\n");
@@ -188,9 +202,12 @@ main()
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         std::fprintf(json,
                      "    {\"size_bytes\": %zu, \"unikraft\": %.3f, "
-                     "\"cubicleos\": %.3f, \"overhead\": %.3f}%s\n",
+                     "\"cubicleos\": %.3f, \"overhead\": %.3f, "
+                     "\"traps_per_request\": %.0f, "
+                     "\"copies_per_request\": %.0f}%s\n",
                      sizes[i], points[i].base, points[i].cubicle,
                      points[i].cubicle / points[i].base,
+                     points[i].traps, points[i].copies,
                      i + 1 < sizes.size() ? "," : "");
     }
     std::fprintf(json,

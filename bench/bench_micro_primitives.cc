@@ -17,6 +17,7 @@
 #include "baselines/microkernel.h"
 #include "core/system.h"
 #include "libos/app.h"
+#include "libos/grant.h"
 #include "libos/stack.h"
 
 using namespace cubicleos;
@@ -116,17 +117,22 @@ BENCHMARK(BM_WrpkruModel);
 void
 BM_WindowOpenClose(benchmark::State &state)
 {
+    // Grant-layer ACL cycling over an already-staged range: each
+    // iteration is exactly one windowOpen + one windowClose in the
+    // monitor, reached through the GrantWindow wrappers every port
+    // uses (the raw System::window* API is grant.cc-private).
     CallRig rig(core::IsolationMode::kFull);
     rig.sys->runAs(rig.app, [&] {
         void *buf = rig.sys->heapAlloc(256);
-        const core::Wid wid = rig.sys->windowInit();
-        rig.sys->windowAdd(wid, buf, 256);
         const core::Cid srv = rig.sys->cidOf("srv");
+        const libos::PeerSet peers{srv};
+        libos::GrantWindow win(*rig.sys);
+        win.stage(buf, 256);
         for (auto _ : state) {
-            rig.sys->windowOpen(wid, srv);
-            rig.sys->windowClose(wid, srv);
+            win.open(peers);
+            win.closeAll();
         }
-        rig.sys->windowDestroy(wid);
+        win.destroy();
     });
 }
 BENCHMARK(BM_WindowOpenClose);
@@ -134,15 +140,17 @@ BENCHMARK(BM_WindowOpenClose);
 void
 BM_WindowAddRemove(benchmark::State &state)
 {
+    // Range staging churn via the grant layer: each iteration adds a
+    // range and removes it again, paying the removal's epoch bump.
     CallRig rig(core::IsolationMode::kFull);
     rig.sys->runAs(rig.app, [&] {
         void *buf = rig.sys->heapAlloc(256);
-        const core::Wid wid = rig.sys->windowInit();
+        libos::GrantWindow win(*rig.sys);
         for (auto _ : state) {
-            rig.sys->windowAdd(wid, buf, 256);
-            rig.sys->windowRemove(wid, buf);
+            win.stage(buf, 256);
+            win.unstage(buf);
         }
-        rig.sys->windowDestroy(wid);
+        win.destroy();
     });
 }
 BENCHMARK(BM_WindowAddRemove);
@@ -158,12 +166,13 @@ BM_TrapAndMap(benchmark::State &state)
     const core::Cid app = rig.app;
     const core::Cid srv = sys.cidOf("srv");
     char *buf = nullptr;
-    core::Wid wid = 0;
+    libos::GrantWindow win;
     sys.runAs(app, [&] {
         buf = static_cast<char *>(sys.heapAlloc(64));
-        wid = sys.windowInit();
-        sys.windowAdd(wid, buf, 64);
-        sys.windowOpen(wid, srv);
+        const libos::PeerSet peers{srv};
+        win = libos::GrantWindow(sys, peers);
+        win.stage(buf, 64);
+        win.open(peers);
     });
     const uint64_t cycles0 = sys.clock().read();
     for (auto _ : state) {

@@ -166,7 +166,6 @@ NginxComponent::progress(Conn &conn)
       }
       case Conn::kSendBody: {
         if (sendfile_) {
-            releaseCompleted(conn);
             if (!conn.spanPending) {
                 if (conn.fileOff >= conn.fileSize) {
                     // Keep fileFd open: outstanding spans are released
@@ -174,18 +173,32 @@ NginxComponent::progress(Conn &conn)
                     conn.state = Conn::kClosing;
                     break;
                 }
-                const int rc = fs_->borrow(conn.fileFd, conn.fileOff,
-                                           lwipCid_, &conn.span);
+                const int rc =
+                    fs_->borrow(conn.fileFd, conn.fileOff, lwipCid_,
+                                kSendSpan, &conn.span);
                 if (rc != 0 || conn.span.len == 0) {
                     conn.state = Conn::kClosing;
                     break;
                 }
                 conn.spanPending = true;
             }
+            // One batched trip into LWIP per round: completion reap
+            // and span queueing execute under a single
+            // trampoline/PKRU switch via the submission ring, with
+            // the reap ordered first so freshly-freed tokens can be
+            // released this round.
+            int64_t done = 0;
+            int64_t n = 0;
+            const bool reap = !conn.zcTokens.empty() && conn.fileFd >= 0;
+            if (reap)
+                sock_->submitZeroCopyDone(conn.fd, &done);
             // All-or-nothing queueing: on kNetAgain the same borrowed
             // span is retried next poll without re-borrowing.
-            const int64_t n = sock_->sendZero(conn.fd, conn.span.ptr,
-                                              conn.span.len);
+            sock_->submitSendZero(conn.fd, conn.span.ptr, conn.span.len,
+                                  &n);
+            sock_->flushRing();
+            if (reap)
+                releaseTokens(conn, done);
             if (n > 0) {
                 conn.fileOff += conn.span.len;
                 stats_.bytesSent += conn.span.len;
@@ -254,9 +267,14 @@ NginxComponent::releaseCompleted(Conn &conn)
 {
     if (conn.zcTokens.empty() || conn.fileFd < 0)
         return;
+    releaseTokens(conn, sock_->zeroCopyDone(conn.fd));
+}
+
+void
+NginxComponent::releaseTokens(Conn &conn, int64_t done)
+{
     // Spans complete in FIFO submission order, so the completion count
     // maps onto our oldest outstanding tokens.
-    int64_t done = sock_->zeroCopyDone(conn.fd);
     while (done > 0 && !conn.zcTokens.empty()) {
         fs_->release(conn.fileFd, conn.zcTokens.front());
         conn.zcTokens.pop_front();

@@ -37,11 +37,14 @@ class NginxComponent : public core::Component {
   public:
     /**
      * @param sendfile when set, file bodies are served through the
-     * zero-copy path: each 4 KiB span is borrowed from the backend
-     * (vfs_borrow), queued by reference into the network stack
-     * (sendZero) and released once acknowledged — no payload byte is
-     * copied between the RAMFS block and the TCP segment. When clear,
-     * bodies take the classic pread-into-buffer-then-send path.
+     * zero-copy path: spans of up to kSendSpan contiguous bytes are
+     * borrowed from the backend (vfs_borrow with readahead), queued by
+     * reference into the network stack (sendZero) and released once
+     * acknowledged — no payload byte is copied between the RAMFS
+     * blocks and the TCP segments. Completion reaping and span
+     * queueing for one round share a single batched trip into LWIP
+     * (the submission ring). When clear, bodies take the classic
+     * pread-into-buffer-then-send path.
      */
     explicit NginxComponent(uint16_t port = 80, bool sendfile = false)
         : port_(port), sendfile_(sendfile)
@@ -69,7 +72,19 @@ class NginxComponent : public core::Component {
     const HttpdStats &stats() const { return stats_; }
 
   private:
-    static constexpr std::size_t kIoChunk = 8192;
+    /**
+     * Copy-path staging chunk. 32 KiB (half the 64 KiB socket send
+     * buffer) amortises the per-chunk grant bracket — stage, open,
+     * cross-call, remove, reclaim — over 8 pages that the monitor
+     * retags in a single range-granular trap each way.
+     */
+    static constexpr std::size_t kIoChunk = 32768;
+    /**
+     * Zero-copy borrow cap: half of LWIP's 64 KiB send buffer, so an
+     * all-or-nothing sendZero of one span can always overlap the ACK
+     * wait of the previous one instead of stop-and-waiting.
+     */
+    static constexpr std::size_t kSendSpan = 32768;
 
     struct Conn {
         int fd = -1;
@@ -95,6 +110,8 @@ class NginxComponent : public core::Component {
     void handleRequest(Conn &conn);
     /** Releases every span the stack has fully acknowledged. */
     void releaseCompleted(Conn &conn);
+    /** Releases @p done oldest acknowledged spans (FIFO order). */
+    void releaseTokens(Conn &conn, int64_t done);
 
     uint16_t port_;
     bool sendfile_;

@@ -1,6 +1,9 @@
 #include "core/monitor.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "core/codescan.h"
@@ -434,6 +437,71 @@ Monitor::windowSetHot(Cid caller, Wid wid)
     }
 }
 
+std::size_t
+Monitor::windowPrestage(Cid caller, Wid wid, Cid peer,
+                        hw::Access expected)
+{
+    WriterLock lock(windowMutex_);
+    stats_->countWindowOp();
+    Window &w = windowChecked(caller, wid, "window_prestage");
+    if (peer >= cubicleCount())
+        throw WindowError("window_prestage: unknown peer cubicle");
+    if ((w.acl & aclBit(peer)) == 0) {
+        throw WindowError("window_prestage: peer " +
+                          std::to_string(peer) +
+                          " is not in the ACL of window " +
+                          std::to_string(wid));
+    }
+    if (w.hotKey >= 0)
+        return 0; // hot windows are already eagerly tagged
+
+    // The hint is a usage declaration: the audit would otherwise never
+    // see a fault from a peer whose first touch was prestaged away.
+    if (expected == hw::Access::kWrite)
+        windowUsage_[wid].usedWrite.fetchOr(aclBit(peer));
+    windowUsage_[wid].usedRead.fetchOr(aclBit(peer));
+
+    const auto peer_key = static_cast<uint8_t>(cubicles_[peer]->pkey);
+    const std::size_t chunk =
+        cfg_.retagChunkPages ? cfg_.retagChunkPages : 1;
+    std::size_t total = 0;
+    for (const WindowRange &r : cubicles_[caller]->windows.rangesOf(wid)) {
+        const auto *p = static_cast<const std::byte *>(r.ptr);
+        if (r.size == 0 || !space_.contains(p))
+            continue;
+        const std::byte *last_byte = p + r.size - 1;
+        const std::size_t first = space_.pageIndexOf(p);
+        const std::size_t last = space_.contains(last_byte)
+            ? space_.pageIndexOf(last_byte)
+            : space_.numPages() - 1;
+        // Owner intersection, exactly as in handleFault: windowAdd
+        // validates only the first page, so foreign pages inside a
+        // range are skipped, never granted. Pages already carrying the
+        // peer's tag are skipped too, so re-prestaging a window after
+        // each new staged range (the grant layer does this) only pays
+        // for the pages that actually changed hands.
+        std::size_t i = first;
+        while (i <= last) {
+            if (meta_.at(i).owner != caller ||
+                space_.entryAt(i).pkey == peer_key) {
+                ++i;
+                continue;
+            }
+            std::size_t run_end = i + 1;
+            while (run_end <= last && run_end - i < chunk &&
+                   meta_.at(run_end).owner == caller &&
+                   space_.entryAt(run_end).pkey != peer_key)
+                ++run_end;
+            space_.setKeyRange(i, run_end - i, peer_key);
+            total += run_end - i;
+            i = run_end;
+        }
+    }
+    if (total > 0)
+        stats_->countPrestage(total);
+    return total;
+}
+
 AclMask
 Monitor::windowAcl(Wid wid) const
 {
@@ -454,6 +522,24 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
     clock_.charge(hw::cost::kFaultTrap);
     stats_->countTrap();
 
+    // Opt-in fault trace for hot-path tuning: every trap is a modelled
+    // 3,500-cycle event, so when a workload traps more than expected
+    // this names the accessor, the page owner and the access at the
+    // fault site. Gated by env var; zero cost when unset.
+    static const bool trace =
+        std::getenv("CUBICLEOS_TRACE_FAULTS") != nullptr;
+    if (trace && space_.contains(fault.addr) &&
+        accessor < cubicleCount()) {
+        const std::size_t pg = space_.pageIndexOf(fault.addr);
+        const Cid own = meta_.at(pg).owner;
+        std::fprintf(
+            stderr, "[fault] %s %s page=%zu owner=%s pkey=%u\n",
+            cubicles_[accessor]->name.c_str(),
+            fault.reason == hw::FaultReason::kPkuWrite ? "W" : "R", pg,
+            own < cubicleCount() ? cubicles_[own]->name.c_str() : "?",
+            static_cast<unsigned>(fault.pkey));
+    }
+
     // Only MPK faults are resolvable; page-permission and not-present
     // faults are genuine errors.
     if (fault.reason != hw::FaultReason::kPkuRead &&
@@ -472,21 +558,28 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
 
     const auto accessor_key =
         static_cast<uint8_t>(cubicles_[accessor]->pkey);
+    const std::size_t chunk =
+        cfg_.retagChunkPages ? cfg_.retagChunkPages : 1;
 
     // The owner always has access to its own pages (implicit window 0):
     // a fault here means the page was lazily left tagged for a previous
-    // accessor; retag it back. Lock-free: the atomic tag store is the
-    // whole commit.
-    if (page_owner == accessor) {
-        space_.setKey(page, 1, accessor_key);
-        stats_->countRetag();
-        return true;
-    }
-
-    // "CubicleOS w/o ACLs": MPK enforced, windows open for any access.
-    if (mode == IsolationMode::kNoAcl) {
-        space_.setKey(page, 1, accessor_key);
-        stats_->countRetag();
+    // accessor; retag it back. Range-granular: the contiguous run of
+    // pages with the same owner and the same stale tag was granted
+    // away by the same lazy history, so one pkey_mprotect reclaims all
+    // of it (capped at retagChunkPages). Matching on the faulting tag
+    // keeps hot-window pages (dedicated key) out of the run. Lock-free:
+    // the atomic tag stores are the whole commit.
+    // "CubicleOS w/o ACLs" takes the same path: MPK enforced, windows
+    // open for any access.
+    if (page_owner == accessor || mode == IsolationMode::kNoAcl) {
+        const std::size_t limit =
+            std::min(space_.numPages(), page + chunk);
+        std::size_t end = page + 1;
+        while (end < limit && meta_.at(end).owner == page_owner &&
+               space_.entryAt(end).pkey == fault.pkey)
+            ++end;
+        space_.setKeyRange(page, end - page, accessor_key);
+        stats_->countRetag(end - page);
         return true;
     }
 
@@ -513,11 +606,35 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
     else
         windowUsage_[wid].usedRead.fetchOr(aclBit(accessor));
 
-    // ❺ grant: retag the page to the accessor's cubicle. The tag store
-    // is atomic, so the commit needs no exclusive lock; a concurrent
-    // close cannot interleave (it takes the lock exclusively).
-    space_.setKey(page, 1, accessor_key);
-    stats_->countRetag();
+    // ❺ grant: range-granular. The ACL covers the whole window, not
+    // one page, so one fault may retag the entire merged coverage of
+    // the matched window's ranges around the faulting address —
+    // intersected per page with the owner's pages (windowAdd validates
+    // only the first page of a range) and capped at retagChunkPages.
+    // The tag stores are atomic, so the commit needs no exclusive
+    // lock; a concurrent close cannot interleave (it takes the lock
+    // exclusively).
+    std::size_t lo = page;
+    std::size_t hi = page + 1; // retag [lo, hi)
+    const RangeSpan span =
+        owner.windows.coverageFor(pm.type, wid, fault.addr);
+    if (!span.empty()) {
+        const auto *span_last =
+            reinterpret_cast<const std::byte *>(span.end - 1);
+        const std::size_t first = space_.pageIndexOf(
+            reinterpret_cast<const std::byte *>(span.start));
+        const std::size_t last = space_.contains(span_last)
+            ? space_.pageIndexOf(span_last)
+            : space_.numPages() - 1;
+        while (hi <= last && hi - lo < chunk &&
+               meta_.at(hi).owner == page_owner)
+            ++hi;
+        while (lo > first && hi - lo < chunk &&
+               meta_.at(lo - 1).owner == page_owner)
+            --lo;
+    }
+    space_.setKeyRange(lo, hi - lo, accessor_key);
+    stats_->countRetag(hi - lo);
     return true;
 }
 

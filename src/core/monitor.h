@@ -122,6 +122,16 @@ struct SystemConfig {
      * boot (no effect otherwise). See AuditLevel.
      */
     AuditLevel auditLevel = AuditLevel::kOff;
+    /**
+     * Upper bound, in pages, on one range-granular retag (trap-and-map
+     * step ❺ and eager prestaging). One fault retags the whole
+     * window-range ∩ owner-pages intersection around the faulting
+     * address, but never more than this many pages per pkey_mprotect
+     * call, so a huge window cannot turn one trap into an unbounded
+     * tag sweep. Default 512 pages = 2 MiB (a huge-page analogue).
+     * Setting 1 restores the paper's per-page behaviour exactly.
+     */
+    std::size_t retagChunkPages = 512;
 };
 
 /**
@@ -223,6 +233,23 @@ class Monitor {
      * @throws WindowError if the hardware keys are exhausted.
      */
     void windowSetHot(Cid caller, Wid wid);
+
+    /**
+     * Prestaging hint (eager trap-and-map): retags @p wid's ranges to
+     * @p peer's key now, instead of lazily at @p peer's first-touch
+     * fault. @p peer must already be in the window's ACL — the hint
+     * never widens rights, it only moves the grant's step ❺ from
+     * fault time to open time, so a prestaged access is exactly as
+     * authorised as a faulted one. Per-page owner intersection and the
+     * retagChunkPages cap apply as in handleFault. The hint counts as
+     * exercised usage for the least-privilege audit: declaring
+     * expected access *is* the usage declaration (same contract as
+     * hot windows, which never fault either).
+     *
+     * @return the number of pages retagged.
+     */
+    std::size_t windowPrestage(Cid caller, Wid wid, Cid peer,
+                               hw::Access expected);
 
     /** Returns the ACL of a window (introspection for tests/tools). */
     AclMask windowAcl(Wid wid) const;

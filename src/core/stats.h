@@ -57,8 +57,35 @@ class Stats {
 
     /** Memory-protection traps taken (trap-and-map entries). */
     void countTrap() { traps_.fetchAdd(1); }
-    /** Pages retagged by the trap handler. */
-    void countRetag() { retags_.fetchAdd(1); }
+    /**
+     * One retag operation (one pkey_mprotect call) covering @p pages
+     * pages. The ratio retagPages()/retags() is the amortisation the
+     * range-granular fault handler buys: per-page retagging keeps it
+     * at 1, a 2 MiB chunk pushes it to 512.
+     */
+    void countRetag(uint64_t pages = 1)
+    {
+        retags_.fetchAdd(1);
+        retagPages_.fetchAdd(pages);
+    }
+    /**
+     * One eager (prestaged) retag: pages tagged for a peer at window
+     * open rather than lazily at first-touch fault time.
+     */
+    void countPrestage(uint64_t pages)
+    {
+        prestages_.fetchAdd(1);
+        prestagePages_.fetchAdd(pages);
+    }
+    /**
+     * One submission-ring flush executing @p calls queued cross-calls
+     * under a single trampoline/PKRU switch.
+     */
+    void countRingFlush(uint64_t calls)
+    {
+        ringFlushes_.fetchAdd(1);
+        ringCalls_.fetchAdd(calls);
+    }
     /** PKRU register writes. */
     void countWrpkru(uint64_t n = 1) { wrpkrus_.fetchAdd(n); }
     /** Window API operations (init/add/open/close/...). */
@@ -119,6 +146,11 @@ class Stats {
 
     uint64_t traps() const { return traps_; }
     uint64_t retags() const { return retags_; }
+    uint64_t retagPages() const { return retagPages_; }
+    uint64_t prestages() const { return prestages_; }
+    uint64_t prestagePages() const { return prestagePages_; }
+    uint64_t ringFlushes() const { return ringFlushes_; }
+    uint64_t ringCalls() const { return ringCalls_; }
     uint64_t wrpkrus() const { return wrpkrus_; }
     uint64_t windowOps() const { return windowOps_; }
     uint64_t violations() const { return violations_; }
@@ -178,6 +210,11 @@ class Stats {
             v = 0;
         traps_ = 0;
         retags_ = 0;
+        retagPages_ = 0;
+        prestages_ = 0;
+        prestagePages_ = 0;
+        ringFlushes_ = 0;
+        ringCalls_ = 0;
         wrpkrus_ = 0;
         windowOps_ = 0;
         violations_ = 0;
@@ -220,6 +257,11 @@ class Stats {
     std::vector<Counter> edgeMatrix_;
     Counter traps_;
     Counter retags_;
+    Counter retagPages_;
+    Counter prestages_;
+    Counter prestagePages_;
+    Counter ringFlushes_;
+    Counter ringCalls_;
     Counter wrpkrus_;
     Counter windowOps_;
     Counter violations_;

@@ -69,6 +69,18 @@ struct WindowRange {
     }
 };
 
+/**
+ * A half-open byte interval [start, end) of merged window ranges.
+ * Returned by WindowTable::coverageFor for range-granular retags.
+ */
+struct RangeSpan {
+    uintptr_t start = 0;
+    uintptr_t end = 0;
+
+    bool empty() const { return start == end; }
+    std::size_t size() const { return end - start; }
+};
+
 /** A window descriptor: owner, ACL, and liveness. */
 struct Window {
     Cid owner = kNoCubicle;
@@ -195,6 +207,75 @@ class WindowTable {
                 break; // nothing earlier can reach ptr
         }
         return kInvalidWindow;
+    }
+
+    /**
+     * Merged contiguous coverage of window @p wid around @p ptr: the
+     * range containing @p ptr extended over byte-adjacent neighbours
+     * belonging to the same window. This is what the range-granular
+     * fault handler retags in one pkey_mprotect instead of one page —
+     * a window staged as many small ranges (e.g. per-block FS grants
+     * laid out back-to-back) still coalesces into one retag.
+     *
+     * @return an empty span when no range of @p wid contains @p ptr.
+     */
+    RangeSpan coverageFor(mem::PageType type, Wid wid,
+                          const void *ptr) const
+    {
+        checkGuard();
+        const TypeIndex &idx = indexOf(type);
+        const auto q = reinterpret_cast<uintptr_t>(ptr);
+        auto it = std::upper_bound(
+            idx.ranges.begin(), idx.ranges.end(), q,
+            [](uintptr_t p, const WindowRange &w) {
+                return p < w.start();
+            });
+        std::ptrdiff_t hit = -1;
+        while (it != idx.ranges.begin()) {
+            --it;
+            if (it->wid == wid && it->contains(ptr)) {
+                hit = it - idx.ranges.begin();
+                break;
+            }
+            if (it->start() + idx.maxSize <= q)
+                break; // nothing earlier can reach ptr
+        }
+        if (hit < 0)
+            return RangeSpan{};
+        RangeSpan span{idx.ranges[static_cast<std::size_t>(hit)].start(),
+                       idx.ranges[static_cast<std::size_t>(hit)].start() +
+                           idx.ranges[static_cast<std::size_t>(hit)].size};
+        for (auto i = static_cast<std::size_t>(hit); i-- > 0;) {
+            const WindowRange &r = idx.ranges[i];
+            if (r.wid != wid || r.start() + r.size != span.start)
+                break;
+            span.start = r.start();
+        }
+        for (auto i = static_cast<std::size_t>(hit) + 1;
+             i < idx.ranges.size(); ++i) {
+            const WindowRange &r = idx.ranges[i];
+            if (r.wid != wid || r.start() != span.end)
+                break;
+            span.end = r.start() + r.size;
+        }
+        return span;
+    }
+
+    /**
+     * Every range currently registered for window @p wid, across all
+     * three type arrays. Cold-path helper for eager prestaging.
+     */
+    std::vector<WindowRange> rangesOf(Wid wid) const
+    {
+        checkGuard();
+        std::vector<WindowRange> out;
+        for (const auto &idx : indexes_) {
+            for (const WindowRange &r : idx.ranges) {
+                if (r.wid == wid)
+                    out.push_back(r);
+            }
+        }
+        return out;
     }
 
     /** Number of ranges currently registered for @p type. */

@@ -36,16 +36,18 @@ AddressSpace::unmap(std::size_t first, std::size_t n)
         entries_[i] = PageEntry{};
 }
 
-void
-AddressSpace::setKey(std::size_t first, std::size_t n, uint8_t pkey)
+std::size_t
+AddressSpace::setKeyRange(std::size_t first, std::size_t n, uint8_t pkey)
 {
     assert(first + n <= entries_.size());
     for (std::size_t i = first; i < first + n; ++i)
         entries_[i].pkey = pkey; // atomic store; concurrent checks see
                                  // either the old or the new tag
     retags_.fetchAdd(1);
+    retagPages_.fetchAdd(n);
     if (clock_)
         clock_->charge(cost::kPkeyMprotect);
+    return n;
 }
 
 void

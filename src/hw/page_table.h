@@ -130,14 +130,25 @@ class AddressSpace {
     /**
      * Reassigns the protection key on a page range.
      *
-     * Models pkey_mprotect: charges cost::kPkeyMprotect per call
-     * (the paper's >1,100-cycle kernel path). The per-page tag write
-     * is an atomic store, so a retag may commit concurrently with
-     * other threads' access checks and with other retags: the last
-     * writer wins, exactly like racing pkey_mprotect calls on real
-     * hardware. Callers need no exclusive lock around setKey.
+     * Models pkey_mprotect: charges cost::kPkeyMprotect per *call*
+     * (the paper's >1,100-cycle kernel path), however many pages the
+     * range covers — which is exactly why range-granular retagging
+     * amortises the trap-and-map cost. The per-page tag write is an
+     * atomic store, so a retag may commit concurrently with other
+     * threads' access checks and with other retags: the last writer
+     * wins, exactly like racing pkey_mprotect calls on real hardware.
+     * Callers need no exclusive lock around setKeyRange.
+     *
+     * @return the number of pages retagged (== @p n).
      */
-    void setKey(std::size_t first, std::size_t n, uint8_t pkey);
+    std::size_t setKeyRange(std::size_t first, std::size_t n,
+                            uint8_t pkey);
+
+    /** Single-call alias kept for existing call sites. */
+    void setKey(std::size_t first, std::size_t n, uint8_t pkey)
+    {
+        setKeyRange(first, n, pkey);
+    }
 
     /** Changes the page-table permissions on a range (no key change). */
     void setPerms(std::size_t first, std::size_t n, uint8_t perms);
@@ -153,8 +164,11 @@ class AddressSpace {
                                const void *ptr, std::size_t len,
                                Access access) const;
 
-    /** Number of setKey invocations (retag statistics). */
+    /** Number of setKeyRange invocations (retag statistics). */
     uint64_t retagCount() const { return retags_; }
+
+    /** Total pages covered across all setKeyRange invocations. */
+    uint64_t retagPageCount() const { return retagPages_; }
 
   private:
     struct FreeDeleter {
@@ -166,6 +180,7 @@ class AddressSpace {
     std::vector<PageEntry> entries_;
     CycleClock *clock_;
     RelaxedAtomic<uint64_t> retags_ = uint64_t{0};
+    RelaxedAtomic<uint64_t> retagPages_ = uint64_t{0};
 };
 
 } // namespace cubicleos::hw

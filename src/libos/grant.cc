@@ -5,8 +5,9 @@ namespace cubicleos::libos {
 // --- GrantWindow ------------------------------------------------------
 
 GrantWindow::GrantWindow(core::System &sys, const PeerSet &peers,
-                         bool hot)
-    : sys_(&sys), owner_(sys.currentCubicle()), hot_(hot), peers_(peers)
+                         bool hot, Prestage prestage)
+    : sys_(&sys), owner_(sys.currentCubicle()), hot_(hot),
+      prestage_(prestage), peers_(peers)
 {
     wid_ = sys.windowInit();
     if (hot_) {
@@ -26,7 +27,9 @@ GrantWindow::moveFrom(GrantWindow &other) noexcept
     wid_ = other.wid_;
     owner_ = other.owner_;
     hot_ = other.hot_;
+    prestage_ = other.prestage_;
     peers_ = other.peers_;
+    opened_ = other.opened_;
     staged_ = other.staged_;
     other.sys_ = nullptr;
     other.wid_ = core::kInvalidWindow;
@@ -37,6 +40,7 @@ void
 GrantWindow::stage(const void *ptr, std::size_t n)
 {
     sys_->windowAdd(wid_, ptr, n);
+    prestageNow();
 }
 
 void
@@ -48,14 +52,34 @@ GrantWindow::unstage(const void *ptr)
 void
 GrantWindow::open(const PeerSet &peers)
 {
-    for (core::Cid peer : peers)
+    for (core::Cid peer : peers) {
         sys_->windowOpen(wid_, peer);
+        opened_.add(peer);
+    }
+    prestageNow();
 }
 
 void
 GrantWindow::closeAll()
 {
     sys_->windowCloseAll(wid_);
+    opened_ = PeerSet{};
+}
+
+void
+GrantWindow::prestageNow()
+{
+    // Persistent windows that stage per transfer (e.g. the RAMFS
+    // per-peer block windows) re-enter here on every stage(); the
+    // monitor re-retags already-granted pages idempotently, so the
+    // cost stays one pkey_mprotect per staged run per peer.
+    if (prestage_ == Prestage::kNone || hot_)
+        return;
+    const hw::Access acc = prestage_ == Prestage::kWrite
+        ? hw::Access::kWrite
+        : hw::Access::kRead;
+    for (core::Cid peer : opened_)
+        sys_->windowPrestage(wid_, peer, acc);
 }
 
 void
@@ -67,6 +91,7 @@ GrantWindow::restage(const void *ptr, std::size_t n)
         sys_->windowRemove(wid_, staged_);
     sys_->windowAdd(wid_, ptr, n);
     staged_ = ptr;
+    prestageNow();
 }
 
 void
@@ -96,7 +121,8 @@ GrantWindow::destroy() noexcept
 // --- Grant ------------------------------------------------------------
 
 Grant::Grant(core::System &sys, GrantWindow &win, const PeerSet &peers,
-             const void *buf, std::size_t n, hw::Access reclaim_access)
+             const void *buf, std::size_t n, hw::Access reclaim_access,
+             Prestage prestage, const PeerSet &prestage_peers)
     : sys_(&sys), win_(&win), n_(n), reclaim_(reclaim_access)
 {
     // Host-private buffers (outside the simulated machine) need no
@@ -114,6 +140,15 @@ Grant::Grant(core::System &sys, GrantWindow &win, const PeerSet &peers,
     win.stage(buf, n);
     win.open(peers);
     buf_ = buf; // armed: destructor must undo
+    if (prestage != Prestage::kNone) {
+        const hw::Access acc = prestage == Prestage::kWrite
+            ? hw::Access::kWrite
+            : hw::Access::kRead;
+        const PeerSet &targets =
+            prestage_peers.size() ? prestage_peers : peers;
+        for (core::Cid peer : targets)
+            sys.windowPrestage(win.id(), peer, acc);
+    }
 }
 
 void

@@ -98,6 +98,24 @@ class PeerSet {
 };
 
 /**
+ * Expected-access declaration for window prestaging.
+ *
+ * A construction-time hint that the peers WILL touch the staged
+ * ranges, and how: the grant layer then asks the monitor to retag
+ * eagerly at stage/open time (System::windowPrestage) instead of
+ * letting every peer pay a first-touch trap. kNone keeps the paper's
+ * fully lazy trap-and-map. The hint never widens rights — prestaging
+ * only runs for peers already opened in the ACL — and it counts as
+ * declared usage for the least-privilege audit, so only hint access
+ * that really happens.
+ */
+enum class Prestage : uint8_t {
+    kNone,  ///< lazy: peers fault their first touch (paper default)
+    kRead,  ///< peers will read the staged ranges
+    kWrite, ///< peers will write (implies read) the staged ranges
+};
+
+/**
  * An owned window descriptor with construction-time owner capture.
  *
  * The monitor's ownership rule says only the owning cubicle may manage
@@ -121,9 +139,14 @@ class GrantWindow {
      * window is promoted to a hot window and the ACL for @p peers is
      * opened immediately and kept open; otherwise @p peers is only
      * remembered as the default ACL set for open().
+     *
+     * @p prestage declares the peers' expected access: every stage()
+     * or open() then eagerly retags the staged ranges to the opened
+     * peers (no effect on hot windows, which are already eager via
+     * their dedicated key).
      */
     GrantWindow(core::System &sys, const PeerSet &peers = {},
-                bool hot = false);
+                bool hot = false, Prestage prestage = Prestage::kNone);
     ~GrantWindow();
 
     GrantWindow(const GrantWindow &) = delete;
@@ -143,6 +166,7 @@ class GrantWindow {
     core::Wid id() const { return wid_; }
     core::Cid owner() const { return owner_; }
     const PeerSet &peers() const { return peers_; }
+    Prestage prestage() const { return prestage_; }
 
     /** Adds [ptr, ptr+n) to the window (owner-context only). */
     void stage(const void *ptr, std::size_t n);
@@ -171,12 +195,16 @@ class GrantWindow {
 
   private:
     void moveFrom(GrantWindow &other) noexcept;
+    /** Eager retag of the staged ranges to every opened peer. */
+    void prestageNow();
 
     core::System *sys_ = nullptr;
     core::Wid wid_ = core::kInvalidWindow;
     core::Cid owner_ = core::kNoCubicle;
     bool hot_ = false;
+    Prestage prestage_ = Prestage::kNone;
     PeerSet peers_;
+    PeerSet opened_;
     const void *staged_ = nullptr;
 };
 
@@ -197,8 +225,23 @@ class GrantWindow {
 class Grant {
   public:
     Grant() = default;
+    /**
+     * @p prestage optionally declares expected access for this one
+     * call: the staged buffer is eagerly retagged right after the ACL
+     * opens, so the callee's first touch does not trap. Ignored on hot
+     * windows (already eager).
+     *
+     * @p prestage_peers names the subset of @p peers that will really
+     * touch the buffer (empty = all of them). Under the nested-call
+     * rule the ACL often includes pass-through cubicles that only
+     * forward the pointer — prestaging those would declare usage that
+     * never happens and hide dead ACL entries from the
+     * least-privilege audit.
+     */
     Grant(core::System &sys, GrantWindow &win, const PeerSet &peers,
-          const void *buf, std::size_t n, hw::Access reclaim_access);
+          const void *buf, std::size_t n, hw::Access reclaim_access,
+          Prestage prestage = Prestage::kNone,
+          const PeerSet &prestage_peers = {});
     ~Grant() { release(); }
 
     Grant(const Grant &) = delete;

@@ -330,7 +330,7 @@ RamfsComponent::doReaddir(const char *path, uint64_t idx, VfsDirent *out)
 
 int
 RamfsComponent::doBorrow(NodeId id, uint64_t off, core::Cid peer,
-                         VfsSpan *out)
+                         std::size_t max_len, VfsSpan *out)
 {
     Node *node = nodeAt(id);
     if (!node)
@@ -366,20 +366,42 @@ RamfsComponent::doBorrow(NodeId id, uint64_t off, core::Cid peer,
         node->blocks[blk] = block;
     }
 
+    // Readahead merge: extend the span over physically-contiguous,
+    // already-materialised successor blocks (sequential writers get
+    // contiguous blocks from the ALLOC bump path) so one borrow — and
+    // ONE staged window range, one epoch cycle, one retag — serves up
+    // to kReadAheadBlocks blocks instead of one per block.
+    const uint64_t want = std::min<uint64_t>(
+        max_len ? max_len : node->size - off, node->size - off);
+    std::size_t run = 1;
+    while (run < kReadAheadBlocks &&
+           static_cast<uint64_t>(run) * kBlockSize - bo < want &&
+           blk + run < node->blocks.size() &&
+           node->blocks[blk + run] == block + run * kBlockSize)
+        ++run;
+
     // One persistent RAMFS-owned window per borrowing peer; its ACL
     // opens once and stays open (lazy revocation, §5.6) while staged
-    // block ranges come and go with the borrows.
+    // block runs come and go with the borrows. The window declares
+    // Prestage::kRead: staging a run eagerly retags it to the peer, so
+    // the peer's reads of borrowed data never fault at all.
     auto wit = peerWins_.find(peer);
     if (wit == peerWins_.end()) {
         const PeerSet peers{peer};
-        GrantWindow win(*sys(), peers);
+        GrantWindow win(*sys(), peers, /*hot=*/false, Prestage::kRead);
         win.open(peers);
         wit = peerWins_.emplace(peer, std::move(win)).first;
     }
-    uint32_t &refs = stagedRefs_[{peer, block}];
-    if (refs == 0)
-        wit->second.stage(block, kBlockSize);
-    ++refs;
+    StagedRun &sr = stagedRefs_[{peer, block}];
+    if (sr.refs == 0) {
+        wit->second.stage(block, run * kBlockSize);
+        sr.blocks = run;
+    } else {
+        // A same-start borrow reuses the staged range; the span must
+        // not outrun what is actually granted.
+        run = std::min(run, sr.blocks);
+    }
+    ++sr.refs;
 
     const uint64_t token = nextToken_++;
     borrows_[token] = Borrow{id, peer, block};
@@ -387,7 +409,10 @@ RamfsComponent::doBorrow(NodeId id, uint64_t off, core::Cid peer,
 
     VfsSpan span;
     span.ptr = block + bo;
-    span.len = std::min<uint64_t>(kBlockSize - bo, node->size - off);
+    span.len = std::min<uint64_t>(run * kBlockSize - bo,
+                                  node->size - off);
+    if (max_len)
+        span.len = std::min<uint64_t>(span.len, max_len);
     span.token = token;
     *out = span;
     return kOk;
@@ -403,7 +428,7 @@ RamfsComponent::doRelease(NodeId id, uint64_t token)
     borrows_.erase(it);
 
     auto rit = stagedRefs_.find({b.peer, b.block});
-    if (rit != stagedRefs_.end() && --rit->second == 0) {
+    if (rit != stagedRefs_.end() && --rit->second.refs == 0) {
         stagedRefs_.erase(rit);
         auto wit = peerWins_.find(b.peer);
         if (wit != peerWins_.end())
@@ -449,10 +474,11 @@ RamfsComponent::registerExports(core::Exporter &exp)
             return doReaddir(p, idx, out);
         });
     exp.fn<int(NodeId)>("ramfs_sync", [](NodeId) { return kOk; });
-    exp.fn<int(NodeId, uint64_t, core::Cid, VfsSpan *)>(
+    exp.fn<int(NodeId, uint64_t, core::Cid, std::size_t, VfsSpan *)>(
         "ramfs_borrow",
-        [this](NodeId id, uint64_t off, core::Cid peer, VfsSpan *out) {
-            return doBorrow(id, off, peer, out);
+        [this](NodeId id, uint64_t off, core::Cid peer,
+               std::size_t max_len, VfsSpan *out) {
+            return doBorrow(id, off, peer, max_len, out);
         });
     exp.fn<int(NodeId, uint64_t)>(
         "ramfs_release", [this](NodeId id, uint64_t token) {

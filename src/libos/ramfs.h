@@ -46,6 +46,13 @@ class RamfsComponent : public core::Component {
 
   private:
     static constexpr std::size_t kBlockSize = hw::kPageSize;
+    /**
+     * Borrow readahead cap: physically-contiguous blocks merged into
+     * one span (and one staged window range). 8 blocks = 32 KiB, half
+     * of LWIP's 64 KiB send buffer — sendZero is all-or-nothing, so a
+     * full-buffer span would degenerate to stop-and-wait.
+     */
+    static constexpr std::size_t kReadAheadBlocks = 8;
 
     struct Node {
         uint32_t mode = 0;
@@ -73,7 +80,8 @@ class RamfsComponent : public core::Component {
     int doTruncate(NodeId node, uint64_t size);
     int doGetattr(NodeId node, VfsStat *st);
     int doReaddir(const char *path, uint64_t idx, VfsDirent *out);
-    int doBorrow(NodeId node, uint64_t off, core::Cid peer, VfsSpan *out);
+    int doBorrow(NodeId node, uint64_t off, core::Cid peer,
+                 std::size_t max_len, VfsSpan *out);
     int doRelease(NodeId node, uint64_t token);
 
     /** Copies a caller path (checked access) into a local string. */
@@ -94,11 +102,17 @@ class RamfsComponent : public core::Component {
     core::CrossFn<void(void *, std::size_t)> freePages_;
     std::size_t blocksHeld_ = 0;
 
+    /** One staged multi-block run, shared by same-start borrows. */
+    struct StagedRun {
+        uint32_t refs = 0;
+        std::size_t blocks = 0; ///< run length actually staged
+    };
+
     // Zero-copy borrow state: one persistent RAMFS-owned window per
-    // borrowing peer, block staging refcounted per (peer, block) so
-    // overlapping borrows of the same block share one staged range.
+    // borrowing peer, run staging refcounted per (peer, start block) so
+    // repeated borrows of the same run share one staged range.
     std::map<core::Cid, GrantWindow> peerWins_;
-    std::map<std::pair<core::Cid, std::byte *>, uint32_t> stagedRefs_;
+    std::map<std::pair<core::Cid, std::byte *>, StagedRun> stagedRefs_;
     std::map<uint64_t, Borrow> borrows_;
     uint64_t nextToken_ = 1;
 };

@@ -7,6 +7,7 @@ CubicleSockApi::CubicleSockApi(core::System &sys)
       lwipCid_(sys.cidOf("lwip")),
       lwipPeer_{lwipCid_},
       window_(sys, lwipPeer_),
+      ring_(sys, lwipCid_),
       socket_(sys.resolve<int()>("lwip", "lwip_socket")),
       bind_(sys.resolve<int(int, uint16_t)>("lwip", "lwip_bind")),
       listen_(sys.resolve<int(int, int)>("lwip", "lwip_listen")),
@@ -33,16 +34,34 @@ CubicleSockApi::send(int fd, const void *buf, std::size_t n)
     // The Grant un-stages, closes and reclaims on every exit path —
     // including an exception thrown by the resolved callee (the old
     // inline add/open…remove/closeAll sequence leaked an open window
-    // whenever the callee threw).
-    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead);
+    // whenever the callee threw). LWIP always copies the buffer into
+    // its send queue, so declare the read up front: the prestage retag
+    // replaces the guaranteed first-touch fault.
+    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead,
+                Prestage::kRead);
     return send_(fd, buf, n);
 }
 
 int64_t
 CubicleSockApi::recv(int fd, void *buf, std::size_t n)
 {
-    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead);
+    // LWIP writes received bytes into the buffer (when data is
+    // pending); declare the write so the delivery path never faults.
+    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead,
+                Prestage::kWrite);
     return recv_(fd, buf, n);
+}
+
+int64_t
+CubicleSockApi::poll(uint64_t now_ns)
+{
+    // Push-then-flush: a poll becomes the tail of whatever batch is
+    // already queued, so callers that submitted zero-copy work earlier
+    // in the round get it executed under this poll's switch.
+    int64_t r = 0;
+    enqueue([this, now_ns, &r] { r = poll_(now_ns); });
+    ring_.flush();
+    return r;
 }
 
 int64_t
@@ -50,7 +69,38 @@ CubicleSockApi::sendZero(int fd, const void *span, std::size_t n)
 {
     // No window work: the span is backend memory already granted to
     // LWIP by the borrow that produced it.
-    return sendz_(fd, span, n);
+    int64_t r = 0;
+    enqueue([this, fd, span, n, &r] { r = sendz_(fd, span, n); });
+    ring_.flush();
+    return r;
+}
+
+int64_t
+CubicleSockApi::zeroCopyDone(int fd)
+{
+    int64_t r = 0;
+    enqueue([this, fd, &r] { r = zcDone_(fd); });
+    ring_.flush();
+    return r;
+}
+
+void
+CubicleSockApi::submitSendZero(int fd, const void *span, std::size_t n,
+                               int64_t *out)
+{
+    enqueue([this, fd, span, n, out] { *out = sendz_(fd, span, n); });
+}
+
+void
+CubicleSockApi::submitZeroCopyDone(int fd, int64_t *out)
+{
+    enqueue([this, fd, out] { *out = zcDone_(fd); });
+}
+
+void
+CubicleSockApi::submitPoll(uint64_t now_ns, int64_t *out)
+{
+    enqueue([this, now_ns, out] { *out = poll_(now_ns); });
 }
 
 } // namespace cubicleos::libos

@@ -13,6 +13,14 @@
  * passed to sendZero are backend-owned blocks already granted to the
  * LWIP cubicle (via vfs_borrow), so no window management happens here
  * — the pointer crosses by value and LWIP reads the block in place.
+ *
+ * The zero-copy calls ride a core::CallRing into LWIP: submitSendZero
+ * and submitZeroCopyDone queue the call and flushRing() executes the
+ * whole batch under ONE trampoline/PKRU switch (the io_uring shape).
+ * The synchronous wrappers push-then-flush, so any pending queued
+ * calls batch with them for free; results land exactly as if each
+ * call had been made directly, and per-edge call accounting (Fig. 5)
+ * is unchanged — only the switches are amortised.
  */
 
 #ifndef CUBICLEOS_LIBOS_SOCKAPI_H_
@@ -44,7 +52,8 @@ class CubicleSockApi {
     int close(int fd) { return close_(fd); }
     bool established(int fd) { return established_(fd) != 0; }
     bool sendDrained(int fd) { return sendDrained_(fd) != 0; }
-    int64_t poll(uint64_t now_ns) { return poll_(now_ns); }
+    /** Drives the stack; batches with any pending submitted calls. */
+    int64_t poll(uint64_t now_ns);
 
     /**
      * Queues a borrowed span for zero-copy transmission (all or
@@ -58,13 +67,43 @@ class CubicleSockApi {
      * call, in FIFO queue order — the caller releases that many of its
      * oldest outstanding borrows.
      */
-    int64_t zeroCopyDone(int fd) { return zcDone_(fd); }
+    int64_t zeroCopyDone(int fd);
+
+    // --- Batched submission (io_uring shape) -------------------------
+    // submit* queues the call without crossing into LWIP; flushRing()
+    // executes every queued call under a single trampoline/PKRU
+    // switch, in submission order. Each *out target must stay alive
+    // until the flush and is written when its call executes. A full
+    // ring self-flushes on the next submit.
+
+    /** Queues sendZero(fd, span, n); result lands in @p out at flush. */
+    void submitSendZero(int fd, const void *span, std::size_t n,
+                        int64_t *out);
+    /** Queues zeroCopyDone(fd); result lands in @p out at flush. */
+    void submitZeroCopyDone(int fd, int64_t *out);
+    /** Queues poll(now_ns); result lands in @p out at flush. */
+    void submitPoll(uint64_t now_ns, int64_t *out);
+    /** Executes the queued batch; returns the number of calls run. */
+    std::size_t flushRing() { return ring_.flush(); }
+    /** Calls queued but not yet flushed. */
+    std::size_t ringPending() const { return ring_.pending(); }
 
   private:
+    /** Queues @p fn, flushing first if the ring is full. */
+    template <typename Fn>
+    void enqueue(Fn &&fn)
+    {
+        if (!ring_.push(std::forward<Fn>(fn))) {
+            ring_.flush();
+            ring_.push(std::forward<Fn>(fn));
+        }
+    }
+
     core::System &sys_;
     core::Cid lwipCid_;
     PeerSet lwipPeer_;
     GrantWindow window_;
+    core::CallRing ring_;
 
     core::CrossFn<int()> socket_;
     core::CrossFn<int(int, uint16_t)> bind_;

@@ -35,15 +35,20 @@ CubicleFileApi::CubicleFileApi(core::System &sys,
       ftruncate_(
           sys.resolve<int(int, uint64_t)>("vfscore", "vfs_ftruncate")),
       fsync_(sys.resolve<int(int)>("vfscore", "vfs_fsync")),
-      borrow_(sys.resolve<int(int, uint64_t, core::Cid, VfsSpan *)>(
-          "vfscore", "vfs_borrow")),
+      borrow_(sys.resolve<int(int, uint64_t, core::Cid, std::size_t,
+                              VfsSpan *)>("vfscore", "vfs_borrow")),
       release_(sys.resolve<int(int, uint64_t)>("vfscore", "vfs_release"))
 {
     // Persistent arena window over the transfer page, open for the
     // whole file stack; one window per peer set keeps the descriptor
     // arrays short (paper: <10 windows per cubicle). The arena owns
-    // the page and frees it on destruction.
-    xfer_ = XferArena(sys_, 1, peers_, hotWindows_);
+    // the page and frees it on destruction. It is always hot (§8): the
+    // page ping-pongs between app, VFSCORE and backend on every call,
+    // and — unlike the I/O buffers — it holds no application data, so
+    // trading its temporal isolation for a dedicated key costs nothing
+    // and spares three-plus faults per call whenever an unrelated
+    // revocation bumps the grant epoch.
+    xfer_ = XferArena(sys_, 1, peers_, /*hot=*/true);
 
     // Per-I/O window, managed by a Grant around each call. In
     // hot-window mode it gets a dedicated MPK key (paper §8), its ACL
@@ -77,21 +82,27 @@ CubicleFileApi::close(int fd)
 int64_t
 CubicleFileApi::read(int fd, void *buf, std::size_t n)
 {
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
+    // Only the backend touches the data buffer (VFSCORE forwards the
+    // pointer), and on a read it always writes into it: declare that
+    // so the backend's first store is a prestaged retag, not a trap.
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                Prestage::kWrite, PeerSet{backendCid_});
     return read_(fd, buf, n);
 }
 
 int64_t
 CubicleFileApi::write(int fd, const void *buf, std::size_t n)
 {
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                Prestage::kRead, PeerSet{backendCid_});
     return write_(fd, buf, n);
 }
 
 int64_t
 CubicleFileApi::pread(int fd, void *buf, std::size_t n, uint64_t off)
 {
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                Prestage::kWrite, PeerSet{backendCid_});
     return pread_(fd, buf, n, off);
 }
 
@@ -99,7 +110,8 @@ int64_t
 CubicleFileApi::pwrite(int fd, const void *buf, std::size_t n,
                        uint64_t off)
 {
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead);
+    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                Prestage::kRead, PeerSet{backendCid_});
     return pwrite_(fd, buf, n, off);
 }
 
@@ -169,7 +181,7 @@ CubicleFileApi::readdir(const char *path, uint64_t idx, VfsDirent *out)
 
 int
 CubicleFileApi::borrow(int fd, uint64_t off, core::Cid peer,
-                       VfsSpan *out)
+                       std::size_t max_len, VfsSpan *out)
 {
     // The out-struct is staged past the path slot so a concurrent
     // stagePath cannot clobber it; the arena window already covers it
@@ -177,7 +189,7 @@ CubicleFileApi::borrow(int fd, uint64_t off, core::Cid peer,
     auto *staged = reinterpret_cast<VfsSpan *>(xfer_.at(kMaxPath));
     sys_.touch(staged, sizeof(*staged), hw::Access::kWrite);
     *staged = VfsSpan{};
-    const int rc = borrow_(fd, off, peer, staged);
+    const int rc = borrow_(fd, off, peer, max_len, staged);
     sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
     *out = *staged;
     return rc;

@@ -69,11 +69,14 @@ class CubicleFileApi : public FileApi {
     /**
      * Borrows a grant-protected span of the file's backing blocks at
      * @p off (the zero-copy sendfile primitive): the backend pins the
-     * block and opens a window over it for cubicle @p peer. The span
-     * stays valid until release(fd, out->token). Returns 0 (span in
-     * @p out, len 0 at EOF) or a negative VfsErr.
+     * blocks and opens a window over them for cubicle @p peer. The
+     * backend may merge physically-contiguous blocks into one span
+     * (readahead); @p max_len caps the span length (0 = no caller
+     * cap). The span stays valid until release(fd, out->token).
+     * Returns 0 (span in @p out, len 0 at EOF) or a negative VfsErr.
      */
-    int borrow(int fd, uint64_t off, core::Cid peer, VfsSpan *out);
+    int borrow(int fd, uint64_t off, core::Cid peer, std::size_t max_len,
+               VfsSpan *out);
     /** Returns a borrowed span; the backend revokes and unpins. */
     int release(int fd, uint64_t token);
 
@@ -104,7 +107,8 @@ class CubicleFileApi : public FileApi {
     core::CrossFn<int(const char *, uint64_t, VfsDirent *)> readdir_;
     core::CrossFn<int(int, uint64_t)> ftruncate_;
     core::CrossFn<int(int)> fsync_;
-    core::CrossFn<int(int, uint64_t, core::Cid, VfsSpan *)> borrow_;
+    core::CrossFn<int(int, uint64_t, core::Cid, std::size_t, VfsSpan *)>
+        borrow_;
     core::CrossFn<int(int, uint64_t)> release_;
 };
 

@@ -85,15 +85,19 @@ struct VfsDirent {
  * A borrowed, grant-protected span of a file's backing blocks
  * (the zero-copy sendfile unit).
  *
- * Returned by vfs_borrow: the backend pins the block, adds it to a
+ * Returned by vfs_borrow: the backend pins the blocks, adds them to a
  * window it owns, and opens that window for the peer cubicle named by
  * the caller. The span stays readable by the peer until vfs_release
- * is called with @p token. Spans never cross a block boundary, so a
- * large file is served as a sequence of borrows.
+ * is called with @p token. A span is always contiguous memory: the
+ * backend may merge physically-adjacent blocks into one multi-block
+ * span (readahead) but never stitches discontiguous blocks, so a
+ * large file is still served as a sequence of borrows — just fewer,
+ * larger ones. The caller bounds span length with the borrow's
+ * max_len argument.
  */
 struct VfsSpan {
     const std::byte *ptr = nullptr; ///< first borrowed byte
-    uint64_t len = 0;               ///< span length (≤ one block)
+    uint64_t len = 0;               ///< span length (contiguous bytes)
     uint64_t token = 0;             ///< handle for vfs_release
 };
 

@@ -67,8 +67,8 @@ VfsComponent::doMount(const char *fsname)
     // without it still mounts, and vfs_borrow reports kErrNoSys.
     try {
         backend_.borrow =
-            s.resolve<int(NodeId, uint64_t, core::Cid, VfsSpan *)>(
-                fs, fs + "_borrow");
+            s.resolve<int(NodeId, uint64_t, core::Cid, std::size_t,
+                          VfsSpan *)>(fs, fs + "_borrow");
         backend_.release =
             s.resolve<int(NodeId, uint64_t)>(fs, fs + "_release");
         backend_.canBorrow = true;
@@ -272,7 +272,7 @@ VfsComponent::doFsync(int fd)
 
 int
 VfsComponent::doBorrow(int fd, uint64_t off, core::Cid peer,
-                       VfsSpan *out)
+                       std::size_t max_len, VfsSpan *out)
 {
     FileDesc *f = fdAt(fd);
     if (!f)
@@ -284,7 +284,7 @@ VfsComponent::doBorrow(int fd, uint64_t off, core::Cid peer,
     // Validate the out-struct like any other caller pointer before the
     // backend writes through it (Fig. 2 discipline).
     sys()->touch(out, sizeof(*out), hw::Access::kWrite);
-    return backend_.borrow(f->node, off, peer, out);
+    return backend_.borrow(f->node, off, peer, max_len, out);
 }
 
 int
@@ -347,10 +347,11 @@ VfsComponent::registerExports(core::Exporter &exp)
         "vfs_ftruncate",
         [this](int fd, uint64_t size) { return doFtruncate(fd, size); });
     exp.fn<int(int)>("vfs_fsync", [this](int fd) { return doFsync(fd); });
-    exp.fn<int(int, uint64_t, core::Cid, VfsSpan *)>(
+    exp.fn<int(int, uint64_t, core::Cid, std::size_t, VfsSpan *)>(
         "vfs_borrow",
-        [this](int fd, uint64_t off, core::Cid peer, VfsSpan *out) {
-            return doBorrow(fd, off, peer, out);
+        [this](int fd, uint64_t off, core::Cid peer, std::size_t max_len,
+               VfsSpan *out) {
+            return doBorrow(fd, off, peer, max_len, out);
         });
     exp.fn<int(int, uint64_t)>(
         "vfs_release", [this](int fd, uint64_t token) {

@@ -56,7 +56,9 @@ class VfsComponent : public core::Component {
         core::CrossFn<int(const char *, uint64_t, VfsDirent *)> readdir;
         core::CrossFn<int(NodeId)> sync;
         /** Zero-copy span borrow/release (optional backend capability). */
-        core::CrossFn<int(NodeId, uint64_t, core::Cid, VfsSpan *)> borrow;
+        core::CrossFn<int(NodeId, uint64_t, core::Cid, std::size_t,
+                          VfsSpan *)>
+            borrow;
         core::CrossFn<int(NodeId, uint64_t)> release;
         std::string fsname;
         bool mounted = false;
@@ -87,7 +89,8 @@ class VfsComponent : public core::Component {
     int doReaddir(const char *path, uint64_t idx, VfsDirent *out);
     int doFtruncate(int fd, uint64_t size);
     int doFsync(int fd);
-    int doBorrow(int fd, uint64_t off, core::Cid peer, VfsSpan *out);
+    int doBorrow(int fd, uint64_t off, core::Cid peer,
+                 std::size_t max_len, VfsSpan *out);
     int doRelease(int fd, uint64_t token);
 
     FileDesc *fdAt(int fd);

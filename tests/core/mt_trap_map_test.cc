@@ -213,5 +213,108 @@ TEST(MtTrapMap, WindowCloseInvalidatesGrantCache)
     EXPECT_GE(sys.stats().violations(), 1u);
 }
 
+TEST(MtTrapMap, RangeRetagsDoNotInvalidateOtherThreadsCachedGrants)
+{
+    SystemConfig cfg;
+    cfg.numPages = 4096;
+    System sys(cfg);
+    addToy(sys, "owner");
+    addToy(sys, "acc0");
+    addToy(sys, "acc1");
+    sys.boot();
+    const Cid owner = sys.cidOf("owner");
+    const Cid acc0 = sys.cidOf("acc0");
+    const Cid acc1 = sys.cidOf("acc1");
+
+    // An 8-page buffer behind one window, open for both accessors: big
+    // enough that every prestage is a multi-page range retag, small
+    // enough to stay one setKeyRange run (retagChunkPages default).
+    constexpr std::size_t kBufPages = 8;
+    constexpr std::size_t kBufBytes = kBufPages * hw::kPageSize;
+    char *buf = nullptr;
+    Wid wid = kInvalidWindow;
+    sys.runAs(owner, [&] {
+        buf = reinterpret_cast<char *>(
+            sys.monitor()
+                .allocPagesFor(owner, kBufPages, mem::PageType::kHeap)
+                .ptr);
+        std::memset(buf, 5, kBufBytes);
+        wid = sys.windowInit();
+        sys.windowAdd(wid, buf, kBufBytes);
+        sys.windowOpen(wid, acc0);
+        sys.windowOpen(wid, acc1);
+    });
+
+    // Warm both accessors' per-thread grant caches with one full-range
+    // fault each (range-granular: one trap covers all eight pages).
+    for (Cid acc : {acc0, acc1}) {
+        sys.runAs(acc, [&] {
+            sys.touch(buf, kBufBytes, hw::Access::kRead);
+        });
+    }
+
+    // Owner storms range retags over exactly the pages the reader
+    // threads hold cached grants for: windowPrestage to alternating
+    // peers keeps flipping every page's tag between the two accessor
+    // keys. These retags only WIDEN access — they must not bump the
+    // revocation epoch, so both readers' caches stay valid and absorb
+    // the PKU misses without a single rejected access.
+    std::atomic<int> failures{0};
+    std::atomic<bool> done{false};
+    std::thread owner_thread([&] {
+        sys.runAs(owner, [&] {
+            for (int i = 0; i < 400; ++i) {
+                sys.windowPrestage(wid, (i & 1) ? acc1 : acc0,
+                                   hw::Access::kRead);
+                std::this_thread::yield();
+            }
+            done = true;
+        });
+    });
+    std::vector<std::thread> readers;
+    for (Cid acc : {acc0, acc1}) {
+        readers.emplace_back([&, acc] {
+            sys.runAs(acc, [&] {
+                while (!done) {
+                    try {
+                        sys.touch(buf, kBufBytes, hw::Access::kRead);
+                        long s = 0;
+                        for (std::size_t b = 0; b < kBufBytes;
+                             b += 1024)
+                            s += buf[b];
+                        if (s !=
+                            5 * static_cast<long>(kBufBytes / 1024))
+                            ++failures;
+                    } catch (const hw::CubicleFault &) {
+                        ++failures; // ACL never changed: no violation
+                    }
+                    std::this_thread::yield();
+                }
+            });
+        });
+    }
+    owner_thread.join();
+    for (auto &th : readers)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(sys.stats().violations(), 0u);
+    EXPECT_GE(sys.stats().grantCacheHits(), 2u);
+
+    // windowRemove IS a revocation: it bumps the epoch, so the cached
+    // grants — still warm in both reader threads — die at once. After
+    // the owner reclaims the tags, a reader's next access must go
+    // through the full fault path and be rejected.
+    sys.runAs(owner, [&] {
+        sys.windowRemove(wid, buf);
+        sys.touch(buf, kBufBytes, hw::Access::kWrite);
+    });
+    sys.runAs(acc0, [&] {
+        EXPECT_THROW(sys.touch(buf, 64, hw::Access::kRead),
+                     hw::CubicleFault);
+    });
+    EXPECT_GE(sys.stats().violations(), 1u);
+    sys.runAs(owner, [&] { sys.windowDestroy(wid); });
+}
+
 } // namespace
 } // namespace cubicleos::core

@@ -391,5 +391,227 @@ INSTANTIATE_TEST_SUITE_P(AllModes, ModeSweep,
                                            IsolationMode::kNoAcl,
                                            IsolationMode::kFull));
 
+TEST(RangeRetag, OneFaultRetagsWholeWindowCoverage)
+{
+    SystemConfig cfg;
+    cfg.numPages = 1024;
+    System sys(cfg);
+    addToy(sys, "owner");
+    addToy(sys, "acc");
+    sys.boot();
+    const Cid owner = sys.cidOf("owner");
+    const Cid acc = sys.cidOf("acc");
+
+    constexpr std::size_t kPages = 8;
+    char *buf = nullptr;
+    sys.runAs(owner, [&] {
+        buf = reinterpret_cast<char *>(
+            sys.monitor()
+                .allocPagesFor(owner, kPages, mem::PageType::kHeap)
+                .ptr);
+        const Wid wid = sys.windowInit();
+        sys.windowAdd(wid, buf, kPages * hw::kPageSize);
+        sys.windowOpen(wid, acc);
+    });
+
+    // One byte in the middle of the window: the trap's ACL decision
+    // covers the whole window, so the grant does too — one trap, one
+    // retag operation, all eight pages.
+    const uint64_t traps0 = sys.stats().traps();
+    const uint64_t retags0 = sys.stats().retags();
+    const uint64_t pages0 = sys.stats().retagPages();
+    sys.runAs(acc, [&] {
+        sys.touch(buf + 3 * hw::kPageSize, 1, hw::Access::kRead);
+    });
+    EXPECT_EQ(sys.stats().traps(), traps0 + 1);
+    EXPECT_EQ(sys.stats().retags(), retags0 + 1);
+    EXPECT_EQ(sys.stats().retagPages(), pages0 + kPages);
+
+    // Every other page of the window was granted by that one trap.
+    sys.runAs(acc, [&] {
+        sys.touch(buf, kPages * hw::kPageSize, hw::Access::kRead);
+    });
+    EXPECT_EQ(sys.stats().traps(), traps0 + 1);
+}
+
+TEST(RangeRetag, OwnerReclaimStopsAtDifferentlyTaggedPages)
+{
+    SystemConfig cfg;
+    cfg.numPages = 1024;
+    System sys(cfg);
+    addToy(sys, "owner");
+    addToy(sys, "a0");
+    addToy(sys, "a1");
+    sys.boot();
+    const Cid owner = sys.cidOf("owner");
+    const Cid a0 = sys.cidOf("a0");
+    const Cid a1 = sys.cidOf("a1");
+
+    // Two 2-page windows back to back, granted to different peers, so
+    // the owner's reclaim run hits a tag boundary in the middle.
+    char *buf = nullptr;
+    sys.runAs(owner, [&] {
+        buf = reinterpret_cast<char *>(
+            sys.monitor()
+                .allocPagesFor(owner, 4, mem::PageType::kHeap)
+                .ptr);
+        const Wid w0 = sys.windowInit();
+        sys.windowAdd(w0, buf, 2 * hw::kPageSize);
+        sys.windowOpen(w0, a0);
+        const Wid w1 = sys.windowInit();
+        sys.windowAdd(w1, buf + 2 * hw::kPageSize, 2 * hw::kPageSize);
+        sys.windowOpen(w1, a1);
+    });
+    sys.runAs(a0, [&] { sys.touch(buf, 1, hw::Access::kRead); });
+    sys.runAs(a1, [&] {
+        sys.touch(buf + 2 * hw::kPageSize, 1, hw::Access::kRead);
+    });
+
+    // Owner reclaims page 0: the run extends over the pages still
+    // carrying a0's tag (pages 0-1) and stops at a1's tag boundary.
+    const uint64_t traps0 = sys.stats().traps();
+    const uint64_t pages0 = sys.stats().retagPages();
+    sys.runAs(owner, [&] { sys.touch(buf, 1, hw::Access::kWrite); });
+    EXPECT_EQ(sys.stats().traps(), traps0 + 1);
+    EXPECT_EQ(sys.stats().retagPages(), pages0 + 2);
+
+    // Pages 2-3 still belong to a1's grant: no fault for a1.
+    const uint64_t traps1 = sys.stats().traps();
+    sys.runAs(a1, [&] {
+        sys.touch(buf + 2 * hw::kPageSize, 2 * hw::kPageSize,
+                  hw::Access::kRead);
+    });
+    EXPECT_EQ(sys.stats().traps(), traps1);
+}
+
+TEST(Prestage, EagerlyRetagsStagedRangeAndSkipsTaggedPages)
+{
+    SystemConfig cfg;
+    cfg.numPages = 1024;
+    System sys(cfg);
+    addToy(sys, "owner");
+    addToy(sys, "peer");
+    addToy(sys, "stranger");
+    sys.boot();
+    const Cid owner = sys.cidOf("owner");
+    const Cid peer = sys.cidOf("peer");
+    const Cid stranger = sys.cidOf("stranger");
+
+    constexpr std::size_t kPages = 4;
+    char *buf = nullptr;
+    Wid wid = kInvalidWindow;
+    sys.runAs(owner, [&] {
+        buf = reinterpret_cast<char *>(
+            sys.monitor()
+                .allocPagesFor(owner, kPages, mem::PageType::kHeap)
+                .ptr);
+        wid = sys.windowInit();
+        sys.windowAdd(wid, buf, kPages * hw::kPageSize);
+        sys.windowOpen(wid, peer);
+
+        // The hint never widens rights: prestaging a cubicle outside
+        // the ACL is refused, not granted.
+        EXPECT_THROW(
+            sys.windowPrestage(wid, stranger, hw::Access::kRead),
+            WindowError);
+
+        const uint64_t pre0 = sys.stats().prestages();
+        EXPECT_EQ(sys.windowPrestage(wid, peer, hw::Access::kRead),
+                  kPages);
+        EXPECT_EQ(sys.stats().prestages(), pre0 + 1);
+        // Idempotent: every page already carries the peer's tag.
+        EXPECT_EQ(sys.windowPrestage(wid, peer, hw::Access::kRead),
+                  0u);
+        EXPECT_EQ(sys.stats().prestages(), pre0 + 1);
+    });
+
+    // The peer's first touch was prestaged away: no trap at all.
+    const uint64_t traps0 = sys.stats().traps();
+    sys.runAs(peer, [&] {
+        sys.touch(buf, kPages * hw::kPageSize, hw::Access::kRead);
+    });
+    EXPECT_EQ(sys.stats().traps(), traps0);
+}
+
+TEST(CallRingTest, FlushRunsBatchUnderOneCrossing)
+{
+    SystemConfig cfg;
+    cfg.numPages = 1024;
+    System sys(cfg);
+    addToy(sys, "srv").onExports([](Exporter &exp, ToyComponent &) {
+        exp.fn<int(int)>("inc", [](int x) { return x + 1; });
+    });
+    addToy(sys, "app");
+    sys.boot();
+    auto inc = sys.resolve<int(int)>("srv", "inc");
+    const Cid app = sys.cidOf("app");
+    const Cid srv = sys.cidOf("srv");
+
+    sys.runAs(app, [&] {
+        // Reference: the PKRU-write cost of one direct crossing.
+        const uint64_t w0 = sys.stats().wrpkrus();
+        (void)inc(0);
+        const uint64_t one_crossing = sys.stats().wrpkrus() - w0;
+        ASSERT_GT(one_crossing, 0u);
+
+        CallRing ring(sys, srv);
+        int r1 = 0, r2 = 0, r3 = 0;
+        ASSERT_TRUE(ring.push([&] { r1 = inc(10); }));
+        ASSERT_TRUE(ring.push([&] { r2 = inc(20); }));
+        ASSERT_TRUE(ring.push([&] { r3 = inc(30); }));
+        EXPECT_EQ(ring.pending(), 3u);
+
+        const uint64_t w1 = sys.stats().wrpkrus();
+        const uint64_t calls0 = sys.stats().callsOnEdge(app, srv);
+        const uint64_t flushes0 = sys.stats().ringFlushes();
+        EXPECT_EQ(ring.flush(), 3u);
+        EXPECT_TRUE(ring.empty());
+
+        // In-order execution, per-call Fig. 5 accounting (exactly one
+        // count per queued call — the inner CrossFn runs on the
+        // current==callee direct path), but ONE PKRU round trip.
+        EXPECT_EQ(r1, 11);
+        EXPECT_EQ(r2, 21);
+        EXPECT_EQ(r3, 31);
+        EXPECT_EQ(sys.stats().callsOnEdge(app, srv), calls0 + 3);
+        EXPECT_EQ(sys.stats().ringFlushes(), flushes0 + 1);
+        EXPECT_EQ(sys.stats().wrpkrus() - w1, one_crossing);
+
+        // An empty flush is free: no crossing, no flush counted.
+        const uint64_t w2 = sys.stats().wrpkrus();
+        EXPECT_EQ(ring.flush(), 0u);
+        EXPECT_EQ(sys.stats().wrpkrus(), w2);
+        EXPECT_EQ(sys.stats().ringFlushes(), flushes0 + 1);
+    });
+}
+
+TEST(CallRingTest, SharedCalleeFlushSkipsTheCrossing)
+{
+    SystemConfig cfg;
+    cfg.numPages = 1024;
+    System sys(cfg);
+    addToy(sys, "shared", CubicleKind::kShared)
+        .onExports([](Exporter &exp, ToyComponent &) {
+            exp.fn<int(int)>("dbl", [](int x) { return 2 * x; });
+        });
+    addToy(sys, "app");
+    sys.boot();
+    auto dbl = sys.resolve<int(int)>("shared", "dbl");
+
+    sys.runAs(sys.cidOf("app"), [&] {
+        CallRing ring(sys, sys.cidOf("shared"));
+        int r = 0;
+        ASSERT_TRUE(ring.push([&] { r = dbl(21); }));
+        const uint64_t w0 = sys.stats().wrpkrus();
+        const uint64_t flushes0 = sys.stats().ringFlushes();
+        EXPECT_EQ(ring.flush(), 1u);
+        EXPECT_EQ(r, 42);
+        // Shared callee: direct execution, no PKRU switch and no
+        // batched-crossing stat (nothing was batched away).
+        EXPECT_EQ(sys.stats().wrpkrus(), w0);
+        EXPECT_EQ(sys.stats().ringFlushes(), flushes0);
+    });
+}
+
 } // namespace
 } // namespace cubicleos::core

@@ -149,5 +149,43 @@ TEST_F(WindowTableTest, BackwardWalkBoundedByLargestRange)
               kInvalidWindow);
 }
 
+TEST_F(WindowTableTest, CoverageForMergesAdjacentRangesOfSameWindow)
+{
+    // Window 7 staged as two back-to-back ranges (the per-block FS
+    // grant layout); window 9 holds the adjacent bytes. coverageFor
+    // must merge 7's ranges and stop at 9's, in both directions.
+    table.add(mem::PageType::kHeap, heap_buf, 32, 7);
+    table.add(mem::PageType::kHeap, heap_buf + 32, 32, 7);
+    table.add(mem::PageType::kHeap, heap_buf + 64, 32, 9);
+
+    const RangeSpan s =
+        table.coverageFor(mem::PageType::kHeap, 7, heap_buf + 40);
+    EXPECT_EQ(s.start, reinterpret_cast<uintptr_t>(heap_buf));
+    EXPECT_EQ(s.size(), 64u);
+
+    const RangeSpan other =
+        table.coverageFor(mem::PageType::kHeap, 9, heap_buf + 70);
+    EXPECT_EQ(other.start,
+              reinterpret_cast<uintptr_t>(heap_buf) + 64);
+    EXPECT_EQ(other.size(), 32u);
+
+    // No range of the asked-for window contains the address: empty.
+    EXPECT_TRUE(table.coverageFor(mem::PageType::kHeap, 7,
+                                  heap_buf + 70)
+                    .empty());
+    EXPECT_TRUE(
+        table.coverageFor(mem::PageType::kStack, 7, heap_buf).empty());
+}
+
+TEST_F(WindowTableTest, CoverageForDoesNotMergeAcrossGaps)
+{
+    table.add(mem::PageType::kHeap, heap_buf, 16, 4);
+    table.add(mem::PageType::kHeap, heap_buf + 32, 16, 4); // gap at 16
+    const RangeSpan s =
+        table.coverageFor(mem::PageType::kHeap, 4, heap_buf + 4);
+    EXPECT_EQ(s.start, reinterpret_cast<uintptr_t>(heap_buf));
+    EXPECT_EQ(s.size(), 16u);
+}
+
 } // namespace
 } // namespace cubicleos::core
