@@ -79,6 +79,21 @@ main(int argc, char **argv)
         std::printf("audit JSON written to %s\n", argv[1]);
     }
 
+    std::printf("== multi-tenant httpd (64 cubicles on 16 MPK tags, "
+                "full isolation) ==\n");
+    auto mt = baselines::makeMultiTenantHttpd(
+        26, core::IsolationMode::kFull, 65536);
+    mt->createFile(0, "/index.html", 2048);
+    mt->createFile(13, "/index.html", 2048);
+    mt->createFile(25, "/index.html", 2048);
+    for (int t : {0, 13, 25}) {
+        if (mt->fetch(t, "/index.html").status != 200) {
+            std::printf("FAIL: tenant %d did not serve\n", t);
+            return 1;
+        }
+    }
+    bad += reportFindings("multitenant-httpd", mt->sys());
+
     std::printf("== minisql (7 cubicles, full isolation) ==\n");
     auto dep = baselines::SqliteDeployment::makeCubicles(
         7, core::IsolationMode::kFull);

@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/httpd/httpd.h"
 #include "libos/netdev.h"
@@ -70,6 +71,64 @@ class HttpHarness {
     uint64_t requestBaseCycles_;
     uint64_t now_ = 0;
     core::Cid nginxCid_ = core::kNoCubicle;
+};
+
+/**
+ * Multi-tenant HTTP harness: one networked library-OS stack serving N
+ * independent tenants, each a cubicle group of its own — an NGINX
+ * instance on port 8000+i plus a private request-log cubicle. With
+ * tag virtualisation the deployment scales far past the 16 MPK keys:
+ * parked tenants keep full isolation behind the parked tag and fault
+ * back in when a request arrives (DESIGN.md §14).
+ */
+class MultiTenantHarness {
+  public:
+    /**
+     * @param tenants number of tenant groups (2 cubicles each)
+     * @param mode isolation mode
+     * @param num_pages simulated memory size in pages
+     * @param phys_budget physical MPK tags available (test knob)
+     * @param dynamic_tags size of the monitor's dynamic tag pool
+     * @param request_base_cycles per-request fixed client/wire cost
+     */
+    MultiTenantHarness(int tenants, core::IsolationMode mode,
+                       std::size_t num_pages = 65536,
+                       int phys_budget = hw::kNumPhysPkeys,
+                       std::size_t dynamic_tags = 4,
+                       uint64_t request_base_cycles = 11'000'000);
+    ~MultiTenantHarness();
+
+    /** Creates a file in tenant @p t's private docroot subtree. */
+    void createFile(int t, const std::string &path, std::size_t size);
+
+    /** Fetches @p path from tenant @p t over a fresh connection. */
+    FetchResult fetch(int t, const std::string &path);
+
+    int tenants() const { return tenants_; }
+    uint16_t portOf(int t) const
+    {
+        return static_cast<uint16_t>(8000 + t);
+    }
+    core::System &sys() { return *sys_; }
+    NginxComponent &nginx(int t) { return *servers_[t]; }
+    const TenantLogComponent &tenantLog(int t) const
+    {
+        return *logs_[t];
+    }
+
+  private:
+    void pumpOnce(int t);
+
+    int tenants_;
+    std::unique_ptr<core::System> sys_;
+    std::unique_ptr<libos::FrameChannel> wire_;
+    std::unique_ptr<libos::TcpIpStack> client_;
+    std::vector<NginxComponent *> servers_;
+    std::vector<TenantLogComponent *> logs_;
+    std::vector<core::CrossFn<int64_t(uint64_t)>> polls_;
+    std::vector<core::Cid> cids_;
+    uint64_t requestBaseCycles_;
+    uint64_t now_ = 0;
 };
 
 } // namespace cubicleos::httpd

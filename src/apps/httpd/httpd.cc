@@ -38,6 +38,15 @@ NginxComponent::registerExports(core::Exporter &exp)
 }
 
 void
+NginxComponent::makeDir(const std::string &path)
+{
+    sys()->runAs(self(), [&] {
+        if (fs_->mkdir(path.c_str()) != 0)
+            throw core::LoaderError("nginx: cannot mkdir " + path);
+    });
+}
+
+void
 NginxComponent::createFile(const std::string &path, std::size_t size)
 {
     sys()->runAs(self(), [&] {
@@ -86,6 +95,16 @@ NginxComponent::poll(uint64_t now_ns)
         }
     }
     std::erase_if(conns_, [](const Conn &c) { return c.fd < 0; });
+
+    // Tenant accounting: report completed requests to this tenant's
+    // log cubicle, one batched cross-call per poll round.
+    if (!logTo_.empty() && stats_.requests > loggedRequests_) {
+        if (!logFn_)
+            logFn_ = sys()->resolve<int64_t(int64_t)>(logTo_,
+                                                      "log_requests");
+        logFn_(static_cast<int64_t>(stats_.requests - loggedRequests_));
+        loggedRequests_ = stats_.requests;
+    }
     return active;
 }
 
@@ -99,6 +118,8 @@ NginxComponent::handleRequest(Conn &conn)
         if (sp != std::string::npos)
             path = conn.request.substr(4, sp - 4);
     }
+    // Tenants serve from a private subtree of the shared RAMFS.
+    path = docroot_ + path;
 
     libos::VfsStat st;
     const int rc = fs_->stat(path.c_str(), &st);

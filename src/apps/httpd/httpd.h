@@ -19,11 +19,30 @@
 #include <string>
 #include <vector>
 
+#include "core/codescan.h"
 #include "core/system.h"
 #include "libos/sockapi.h"
 #include "libos/ukapi.h"
 
 namespace cubicleos::httpd {
+
+/**
+ * Builds the code image a tenant cubicle ships: benign synthesised
+ * text sealed by a builder-declared CFI entry table. Tenants load at
+ * scale (dozens per deployment), so unlike the singleton deployments
+ * they must pass the audit's per-cubicle unresolved-site gate for
+ * every seed the load order hands them — the declared address-taken
+ * table resolves the stream's residual naked indirect calls.
+ */
+inline void
+attachTenantImage(core::ComponentSpec &s)
+{
+    core::verifier::EntryTable table;
+    // Fixed seed: every tenant ships the same hardened build, so the
+    // verifier's image-hash memoisation kicks in across the fleet.
+    s.image = core::makeCfiImage(4096, 0x7e4a, &table);
+    s.indirectTables = {table};
+}
 
 /** Server statistics. */
 struct HttpdStats {
@@ -51,12 +70,29 @@ class NginxComponent : public core::Component {
     {
     }
 
+    /**
+     * Multi-tenant variant: a named server instance. @p docroot is
+     * prefixed to every request path, giving each tenant a private
+     * subtree of the shared RAMFS; @p log_to, when non-empty, names a
+     * per-tenant log cubicle that receives one cross-call per
+     * completed request (the second member of the tenant's cubicle
+     * group).
+     */
+    NginxComponent(std::string name, uint16_t port, bool sendfile,
+                   std::string docroot, std::string log_to = "")
+        : port_(port), sendfile_(sendfile), name_(std::move(name)),
+          docroot_(std::move(docroot)), logTo_(std::move(log_to))
+    {
+    }
+
     core::ComponentSpec spec() const override
     {
         core::ComponentSpec s;
-        s.name = "nginx";
+        s.name = name_;
         s.kind = core::CubicleKind::kIsolated;
         s.stackPages = 32;
+        if (!docroot_.empty()) // multi-tenant instance
+            attachTenantImage(s);
         return s;
     }
 
@@ -68,6 +104,9 @@ class NginxComponent : public core::Component {
      * test/bench setup; runs inside this cubicle).
      */
     void createFile(const std::string &path, std::size_t size);
+
+    /** Creates a directory (host-side setup; runs inside the cubicle). */
+    void makeDir(const std::string &path);
 
     const HttpdStats &stats() const { return stats_; }
 
@@ -115,6 +154,11 @@ class NginxComponent : public core::Component {
 
     uint16_t port_;
     bool sendfile_;
+    std::string name_ = "nginx";
+    std::string docroot_;
+    std::string logTo_;
+    core::CrossFn<int64_t(int64_t)> logFn_;
+    uint64_t loggedRequests_ = 0;
     core::Cid lwipCid_ = core::kNoCubicle;
     int listenFd_ = -1;
     std::unique_ptr<libos::CubicleSockApi> sock_;
@@ -122,6 +166,57 @@ class NginxComponent : public core::Component {
     char *ioBuf_ = nullptr; ///< cubicle-owned I/O staging buffer
     std::vector<Conn> conns_;
     HttpdStats stats_;
+};
+
+/**
+ * Per-tenant request log: the second cubicle of a tenant's group.
+ *
+ * Keeps its running totals in its own cubicle memory, so a parked
+ * tenant's accounting state lives behind the parked tag and the
+ * log_requests cross-call exercises the full fault-back-in path under
+ * tag pressure (DESIGN.md §14).
+ */
+class TenantLogComponent : public core::Component {
+  public:
+    explicit TenantLogComponent(std::string name)
+        : name_(std::move(name))
+    {
+    }
+
+    core::ComponentSpec spec() const override
+    {
+        core::ComponentSpec s;
+        s.name = name_;
+        s.kind = core::CubicleKind::kIsolated;
+        s.stackPages = 4;
+        attachTenantImage(s);
+        return s;
+    }
+
+    void registerExports(core::Exporter &exp) override
+    {
+        exp.fn<int64_t(int64_t)>("log_requests", [this](int64_t n) {
+            sys()->touch(counters_, sizeof(uint64_t) * 2,
+                         hw::Access::kWrite);
+            counters_[0] += static_cast<uint64_t>(n);
+            counters_[1] += 1;
+            return static_cast<int64_t>(counters_[0]);
+        });
+    }
+
+    void init() override
+    {
+        counters_ = static_cast<uint64_t *>(
+            sys()->heapAlloc(sizeof(uint64_t) * 2));
+        counters_[0] = counters_[1] = 0;
+    }
+
+    /** Total requests this tenant has served (host-side readback). */
+    uint64_t totalRequests() const { return counters_ ? counters_[0] : 0; }
+
+  private:
+    std::string name_;
+    uint64_t *counters_ = nullptr; ///< cubicle memory: {requests, batches}
 };
 
 } // namespace cubicleos::httpd

@@ -276,4 +276,22 @@ makeBenignImage(std::size_t size, uint64_t seed,
     return image;
 }
 
+std::vector<uint8_t>
+makeCfiImage(std::size_t size, uint64_t seed,
+             verifier::EntryTable *table,
+             std::vector<std::size_t> *entries)
+{
+    std::vector<uint8_t> image = makeBenignImage(size, seed, entries);
+    image.push_back(0xC3); // seal fallthrough before the table data
+    if (table != nullptr) {
+        table->offset = image.size();
+        table->count = 1;
+    }
+    // One address-taken entry: offset 0. All-zero bytes, so even if a
+    // misaligned decode reads the table, no forbidden pattern can form.
+    for (int i = 0; i < 4; ++i)
+        image.push_back(0x00);
+    return image;
+}
+
 } // namespace cubicleos::core

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "core/verifier/report.h"
+
 namespace cubicleos::core {
 
 /** A forbidden instruction pattern found by the scanner. */
@@ -90,6 +92,21 @@ std::vector<ForbiddenInsn> scanCodeImageAll(std::span<const uint8_t> image);
 std::vector<uint8_t>
 makeBenignImage(std::size_t size, uint64_t seed,
                 std::vector<std::size_t> *entries = nullptr);
+
+/**
+ * Like makeBenignImage, but finished the way a CFI-hardened build
+ * ships: the stream is sealed with a terminal ret and followed by a
+ * builder-declared entry table (one 4-byte slot naming offset 0, the
+ * canonical address-taken entry). Declaring @p table in
+ * ComponentSpec::indirectTables lets verifier pass 3 resolve the
+ * stream's residual naked indirect calls entry-table-style instead of
+ * reporting them opaque — the idiom for components loaded at scale,
+ * where deployment audits bound the per-cubicle unresolved rate.
+ */
+std::vector<uint8_t>
+makeCfiImage(std::size_t size, uint64_t seed,
+             verifier::EntryTable *table,
+             std::vector<std::size_t> *entries = nullptr);
 
 } // namespace cubicleos::core
 

@@ -20,6 +20,7 @@
 #include "core/locking.h"
 #include "core/window.h"
 #include "hw/mpk.h"
+#include "hw/relaxed_atomic.h"
 #include "mem/arena.h"
 #include "mem/suballoc.h"
 
@@ -31,21 +32,47 @@ namespace cubicleos::core {
  * Created by the loader; owned by the monitor. Untrusted code never holds
  * a Cubicle pointer — it interacts through the System facade.
  *
- * Concurrency: id/name/kind/pkey and the page ranges are immutable after
+ * Concurrency: id/name/kind/lkey and the page ranges are immutable after
  * loadComponent publishes the cubicle, so any thread may read them
- * without locking. Mutable state is split per concern so cubicles never
- * contend with each other: the stack arena cursor under stackMu, the
- * heap sub-allocator under heapMu, the window-descriptor arrays under
- * the monitor's window lock, and extraAllow as an atomic PKRU image
- * (see monitor.h for the lock hierarchy).
+ * without locking. pkey is immutable too for statically-tagged
+ * cubicles, but under tag virtualisation a parked cubicle's pkey is
+ * rewritten by eviction/re-binding (Monitor::ensureResident), so it is
+ * a relaxed atomic — readers racing a rebind see either the old or the
+ * new tag, and both are safe (the stale one merely faults and retries;
+ * see DESIGN.md §14). Remaining mutable state is split per concern so
+ * cubicles never contend with each other: the stack arena cursor under
+ * stackMu, the heap sub-allocator under heapMu, the window-descriptor
+ * arrays under the monitor's window lock, and extraAllow as an atomic
+ * PKRU image (see monitor.h for the lock hierarchy).
  */
 struct Cubicle {
     Cid id = kNoCubicle;
     std::string name;
     CubicleKind kind = CubicleKind::kIsolated;
 
-    /** MPK key assigned by the loader (shared key for shared cubicles). */
-    int pkey = -1;
+    /**
+     * Physical MPK tag currently backing this cubicle (shared key for
+     * shared cubicles, parked key while evicted). Written by the
+     * loader before publication and thereafter only by the monitor's
+     * key table under keyMutex_; read lock-free everywhere.
+     */
+    hw::RelaxedAtomic<int> pkey{-1};
+
+    /**
+     * Logical key (≥ hw::kFirstLogicalKey) when this cubicle is
+     * dynamically tagged under virtualisation, or -1 for statically
+     * tagged cubicles. Immutable after load.
+     */
+    int lkey = -1;
+
+    /** LRU clock value of the last cross-call into this cubicle. */
+    hw::RelaxedAtomic<uint64_t> lastUse{0};
+
+    /** Times this cubicle's tag was evicted (residency stats). */
+    hw::RelaxedAtomic<uint64_t> evictions{0};
+
+    /** Times this cubicle faulted back in after eviction. */
+    hw::RelaxedAtomic<uint64_t> faultIns{0};
 
     /** Code image pages (execute-only after load). */
     mem::PageRange codeRange;

@@ -22,8 +22,14 @@ using Wid = uint32_t;
 /** Sentinel for an invalid window. */
 inline constexpr Wid kInvalidWindow = 0xFFFFFFFF;
 
-/** Maximum cubicles representable in a window ACL bitmask. */
-inline constexpr int kMaxCubicles = 64;
+/**
+ * Maximum cubicles representable in a window ACL bitmask.
+ *
+ * With tag virtualisation (SystemConfig::virtualizeTags) the loader is
+ * no longer bounded by the 16 hardware tags, so the ACL mask is a
+ * 128-bit pair (core::AclMask) rather than a single machine word.
+ */
+inline constexpr int kMaxCubicles = 128;
 
 /** Kind of a cubicle (paper §3). */
 enum class CubicleKind : uint8_t {

@@ -39,6 +39,7 @@
  *   kLoader      (10)  Monitor::loaderMutex_
  *   kVerifyCache (20)  verifier::VerifyCache::mu_   (under the loader)
  *   kWindow      (30)  Monitor::windowMutex_
+ *   kKeyTable    (35)  Monitor::keyMutex_           (vkey bind/evict)
  *   kCubicle     (40)  Cubicle::stackMu / heapMu    (key = cubicle id)
  *   kPage        (50)  Monitor::pageMutex_          (leaf)
  *
@@ -107,6 +108,7 @@ enum class LockRank : uint16_t {
     kLoader = 10,      ///< Monitor::loaderMutex_
     kVerifyCache = 20, ///< verifier::VerifyCache::mu_
     kWindow = 30,      ///< Monitor::windowMutex_
+    kKeyTable = 35,    ///< Monitor::keyMutex_ (vkey bind/evict)
     kCubicle = 40,     ///< Cubicle::stackMu / heapMu (key = cid)
     kPage = 50,        ///< Monitor::pageMutex_ (leaf)
 };

@@ -26,13 +26,32 @@ isolationModeName(IsolationMode mode)
 Monitor::Monitor(const SystemConfig &cfg, Stats *stats)
     : cfg_(cfg), stats_(stats), clock_(),
       space_(cfg.numPages, &clock_),
-      mpk_(cfg.modifiedExecSemantics),
+      mpk_(cfg.modifiedExecSemantics, cfg.physTagBudget),
       meta_(cfg.numPages),
       pageAlloc_(&space_, &meta_, /*reserve_first=*/0)
 {
     // One key for all shared cubicles' static data; readable everywhere.
     sharedKey_ = mpk_.allocKey();
     assert(sharedKey_ == 1);
+    if (cfg_.virtualizeTags) {
+        // Reserve the parked tag plus the dynamic pool up front, so
+        // the static-tag allocator and hot windows share what remains.
+        parkedKey_ = mpk_.allocKey();
+        if (parkedKey_ < 0)
+            throw LoaderError("virtualizeTags: no physical tag left "
+                              "for the parked key");
+        keys_.bindGuard(&keyMutex_);
+        MutexLock keys(keyMutex_);
+        for (std::size_t i = 0; i < cfg_.dynamicTags; ++i) {
+            const int tag = mpk_.allocKey();
+            if (tag < 0)
+                break; // tight budget: smaller pool, more eviction
+            keys_.addTag(tag);
+        }
+        if (keys_.poolSize() == 0)
+            throw LoaderError("virtualizeTags: physical-tag budget too "
+                              "small for a dynamic pool");
+    }
     // Pre-reserve so the tables never reallocate: fault-path readers
     // index them without holding any lock.
     cubicles_.reserve(kMaxCubicles);
@@ -114,8 +133,27 @@ Monitor::loadComponent(const ComponentSpec &spec)
     cub->windows.bindGuard(&windowMutex_);
 
     if (spec.kind == CubicleKind::kIsolated) {
-        cub->pkey = mpk_.allocKey(cfg_.virtualizeTags);
-        if (cub->pkey < 0) {
+        // Under virtualisation, stop handing out static tags before
+        // the physical space is bone dry: the reserve keeps a few
+        // keys allocatable for hot windows (paper §8), which need a
+        // dedicated hardware tag each.
+        const bool reserve_hit =
+            cfg_.virtualizeTags &&
+            mpk_.remainingKeys() <= cfg_.hotKeyReserve;
+        const int key = reserve_hit ? -1 : mpk_.allocKey();
+        if (key >= 0) {
+            // Statically tagged: this cubicle keeps its physical tag
+            // forever and never enters the eviction pool. The libos
+            // infrastructure loads first, so under virtualisation the
+            // core stack stays permanently resident.
+            cub->pkey = key;
+        } else if (cfg_.virtualizeTags) {
+            // Physical tags exhausted: dynamically tagged. The cubicle
+            // starts parked; its first cross-call or touch binds a
+            // pool tag through ensureResident.
+            cub->lkey = mpk_.allocLogicalKey();
+            cub->pkey = parkedKey_;
+        } else {
             throw LoaderError(
                 "MPK keys exhausted loading '" + spec.name +
                 "' (enable virtualizeTags for >14 isolated cubicles)");
@@ -171,12 +209,9 @@ Monitor::loadComponent(const ComponentSpec &spec)
         spec.heapChunkPages ? spec.heapChunkPages : cfg_.heapChunkPages;
     cub->heap = std::make_unique<mem::HeapAllocator>(
         [this, cid](std::size_t pages) {
-            const auto key =
-                static_cast<uint8_t>(cubicles_[cid]->pkey);
-            MutexLock l(pageMutex_);
-            return pageAlloc_.allocPages(
-                pages, cid, mem::PageType::kHeap,
-                hw::kPermRead | hw::kPermWrite, key);
+            // Through allocPagesFor: reads the cubicle's current tag
+            // and re-parks the fresh pages if an eviction raced it.
+            return allocPagesFor(cid, pages, mem::PageType::kHeap);
         },
         [this](const mem::PageRange &r) {
             MutexLock l(pageMutex_);
@@ -250,11 +285,16 @@ Monitor::cubicle(Cid cid) const
 hw::Pkru
 Monitor::pkruFor(Cid cid) const
 {
-    // Lock-free: pkey is immutable after publication and extraAllow is
-    // an atomic register image. Runs on every cross-call switch.
+    // Lock-free: pkey is a word-atomic tag and extraAllow is an atomic
+    // register image. Runs on every cross-call switch.
     hw::Pkru pkru = hw::Pkru::denyAll();
     if (cid < cubicleCount()) {
-        pkru.allow(cubicles_[cid]->pkey);
+        // Never allow the parked tag: every parked cubicle shares it,
+        // so allowing it would cross-expose all of them. A parked
+        // cubicle's accesses fault and re-bind via ensureResident.
+        const int k = cubicles_[cid]->pkey;
+        if (k != parkedKey_)
+            pkru.allow(k);
         // Hot-window keys granted to this cubicle (paper §8).
         pkru.mergeAllow(cubicles_[cid]->extraAllow.load());
     }
@@ -425,6 +465,12 @@ Monitor::windowSetHot(Cid caller, Wid wid)
         return;
     const int key = mpk_.allocKey();
     if (key < 0) {
+        // Under virtualisation key exhaustion is an expected steady
+        // state (every key beyond the reserve is spoken for), and hot
+        // windows are a performance hint: degrade to an ordinary
+        // trap-and-map window instead of failing the deployment.
+        if (cfg_.virtualizeTags)
+            return;
         throw WindowError(
             "window_set_hot: MPK keys exhausted (hot windows use one "
             "dedicated hardware key each)");
@@ -460,12 +506,58 @@ Monitor::windowPrestage(Cid caller, Wid wid, Cid peer,
     if (expected == hw::Access::kWrite)
         windowUsage_[wid].usedWrite.fetchOr(aclBit(peer));
     windowUsage_[wid].usedRead.fetchOr(aclBit(peer));
+    // Remember the standing hint so an eviction of the peer does not
+    // erase it: fault-in replays the prestage (DESIGN.md §14).
+    if (expected == hw::Access::kWrite)
+        windowUsage_[wid].prestagedWrite.fetchOr(aclBit(peer));
+    else
+        windowUsage_[wid].prestagedRead.fetchOr(aclBit(peer));
 
-    const auto peer_key = static_cast<uint8_t>(cubicles_[peer]->pkey);
+    const int peer_pkey = cubicles_[peer]->pkey;
+    if (parkedKey_ >= 0 && peer_pkey == parkedKey_) {
+        // Parked peer: retagging to the parked tag would park the
+        // owner's pages. The hint is recorded above; fault-in replays
+        // the physical sweep when the peer re-binds.
+        return 0;
+    }
+
+    const std::size_t total =
+        prestageSweep(caller, wid, static_cast<uint8_t>(peer_pkey),
+                      /*only_parked=*/false);
+    if (total > 0)
+        stats_->countPrestage(total);
+    return total;
+}
+
+std::size_t
+Monitor::prestageSweep(Cid owner, Wid wid, uint8_t peer_key,
+                       bool only_parked)
+{
     const std::size_t chunk =
         cfg_.retagChunkPages ? cfg_.retagChunkPages : 1;
     std::size_t total = 0;
-    for (const WindowRange &r : cubicles_[caller]->windows.rangesOf(wid)) {
+    // Owner intersection, exactly as in handleFault: windowAdd
+    // validates only the first page, so foreign pages inside a range
+    // are skipped, never granted. Pages already carrying the peer's
+    // tag are skipped too, so re-prestaging a window after each new
+    // staged range (the grant layer does this) only pays for the
+    // pages that actually changed hands. With @p only_parked (the
+    // fault-in replay) the sweep reclaims only pages the eviction
+    // parked, plus pages the window's owner pulled back under its own
+    // tag when it faulted in first — pages a third party currently
+    // holds keep their tag.
+    const uint8_t owner_key = static_cast<uint8_t>(cubicles_[owner]->pkey);
+    auto eligible = [&](std::size_t i) {
+        if (meta_.at(i).owner != owner ||
+            space_.entryAt(i).pkey == peer_key)
+            return false;
+        if (only_parked &&
+            space_.entryAt(i).pkey != static_cast<uint8_t>(parkedKey_) &&
+            space_.entryAt(i).pkey != owner_key)
+            return false;
+        return true;
+    };
+    for (const WindowRange &r : cubicles_[owner]->windows.rangesOf(wid)) {
         const auto *p = static_cast<const std::byte *>(r.ptr);
         if (r.size == 0 || !space_.contains(p))
             continue;
@@ -474,31 +566,21 @@ Monitor::windowPrestage(Cid caller, Wid wid, Cid peer,
         const std::size_t last = space_.contains(last_byte)
             ? space_.pageIndexOf(last_byte)
             : space_.numPages() - 1;
-        // Owner intersection, exactly as in handleFault: windowAdd
-        // validates only the first page, so foreign pages inside a
-        // range are skipped, never granted. Pages already carrying the
-        // peer's tag are skipped too, so re-prestaging a window after
-        // each new staged range (the grant layer does this) only pays
-        // for the pages that actually changed hands.
         std::size_t i = first;
         while (i <= last) {
-            if (meta_.at(i).owner != caller ||
-                space_.entryAt(i).pkey == peer_key) {
+            if (!eligible(i)) {
                 ++i;
                 continue;
             }
             std::size_t run_end = i + 1;
             while (run_end <= last && run_end - i < chunk &&
-                   meta_.at(run_end).owner == caller &&
-                   space_.entryAt(run_end).pkey != peer_key)
+                   eligible(run_end))
                 ++run_end;
             space_.setKeyRange(i, run_end - i, peer_key);
             total += run_end - i;
             i = run_end;
         }
     }
-    if (total > 0)
-        stats_->countPrestage(total);
     return total;
 }
 
@@ -556,8 +638,14 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
     if (page_owner == kNoCubicle || page_owner >= cubicleCount())
         return false;
 
-    const auto accessor_key =
-        static_cast<uint8_t>(cubicles_[accessor]->pkey);
+    // Tag virtualisation: a parked accessor must be re-bound before
+    // any grant can be committed with its tag (retagging to the parked
+    // tag would hand the page to every parked cubicle). Lock-free when
+    // the accessor is statically tagged or already bound.
+    int accessor_key_i = cubicles_[accessor]->pkey;
+    if (parkedKey_ >= 0 && accessor_key_i == parkedKey_)
+        accessor_key_i = ensureResident(accessor);
+    const auto accessor_key = static_cast<uint8_t>(accessor_key_i);
     const std::size_t chunk =
         cfg_.retagChunkPages ? cfg_.retagChunkPages : 1;
 
@@ -580,6 +668,16 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
             ++end;
         space_.setKeyRange(page, end - page, accessor_key);
         stats_->countRetag(end - page);
+        if (parkedKey_ >= 0 &&
+            cubicles_[accessor]->pkey != accessor_key_i) {
+            // An eviction re-bound our tag between the read above and
+            // the lock-free commit: the range now carries a tag that
+            // belongs to another cubicle. Undo to the parked tag —
+            // losing access is always safe — and let the retried
+            // access fault back in through ensureResident.
+            space_.setKeyRange(page, end - page,
+                               static_cast<uint8_t>(parkedKey_));
+        }
         return true;
     }
 
@@ -633,9 +731,221 @@ Monitor::handleFault(const hw::Fault &fault, Cid accessor,
                meta_.at(lo - 1).owner == page_owner)
             --lo;
     }
+    if (parkedKey_ >= 0 && cubicles_[accessor]->pkey != accessor_key_i) {
+        // An eviction completed between ensureResident and this
+        // ReaderLock (evictions hold the lock exclusively, so none is
+        // concurrent with us): the tag we were about to grant now
+        // backs another cubicle. Retry; the next round re-binds.
+        return true;
+    }
     space_.setKeyRange(lo, hi - lo, accessor_key);
     stats_->countRetag(hi - lo);
     return true;
+}
+
+// ----------------------------------------------------------------------
+// Tag virtualisation (DESIGN.md §14)
+// ----------------------------------------------------------------------
+
+namespace {
+
+bool
+traceEvictions()
+{
+    static const bool trace =
+        std::getenv("CUBICLEOS_TRACE_EVICTIONS") != nullptr;
+    return trace;
+}
+
+} // namespace
+
+int
+Monitor::ensureResident(Cid cid)
+{
+    if (cid >= cubicleCount())
+        return -1;
+    Cubicle &cub = *cubicles_[cid];
+    // Lock-free fast path: statically tagged, or already bound.
+    if (cub.lkey < 0)
+        return cub.pkey;
+    if (cub.pkey != parkedKey_)
+        return cub.pkey;
+
+    // Bind/evict under the exclusive window lock (the page sweeps must
+    // not race the fault handler's window walk) then the key lock.
+    WriterLock windows(windowMutex_);
+    MutexLock keys(keyMutex_);
+    if (cub.pkey != parkedKey_)
+        return cub.pkey; // another thread bound us while we waited
+
+    int tag = keys_.bindFree(cid);
+    if (tag < 0) {
+        tag = evictLocked();
+        keys_.rebind(tag, cid);
+    }
+    const std::size_t restored = faultInLocked(cid, tag);
+    // Publish the binding only after the pages are restored, then
+    // invalidate every thread's cached PKRU (the IPI analogue).
+    cub.pkey = tag;
+    cub.lastUse = useClock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    keyEpoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (traceEvictions()) {
+        std::fprintf(stderr, "[faultin] %s tag=%d pages=%zu\n",
+                     cub.name.c_str(), tag, restored);
+    }
+    return tag;
+}
+
+void
+Monitor::noteSwitch(Cid callee)
+{
+    if (parkedKey_ < 0 || callee >= cubicleCount())
+        return;
+    Cubicle &cub = *cubicles_[callee];
+    if (cub.lkey < 0)
+        return; // statically tagged: never evicted
+    cub.lastUse = useClock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cub.pkey == parkedKey_) {
+        stats_->countTagMiss();
+        ensureResident(callee);
+    } else {
+        stats_->countTagHit();
+    }
+}
+
+int
+Monitor::evictLocked()
+{
+    // LRU victim scan over the (≤ dynamicTags) bound slots.
+    const KeyBinding *victim = nullptr;
+    uint64_t oldest = ~uint64_t{0};
+    for (const KeyBinding &s : keys_.slots()) {
+        if (s.cid == kNoCubicle || s.cid >= cubicleCount())
+            continue;
+        const uint64_t lu = cubicles_[s.cid]->lastUse;
+        if (victim == nullptr || lu < oldest) {
+            oldest = lu;
+            victim = &s;
+        }
+    }
+    assert(victim != nullptr && "evictLocked: empty dynamic pool");
+    Cubicle &v = *cubicles_[victim->cid];
+    const int tag = victim->tag;
+
+    // Park the victim BEFORE the sweep: lock-free fast paths re-check
+    // the accessor's pkey after their atomic retag and undo on
+    // mismatch, so ordering the store first closes the race.
+    v.pkey = parkedKey_;
+    keyEpoch_.fetch_add(1, std::memory_order_seq_cst);
+
+    // Sweep EVERY present page still carrying the victim's tag to the
+    // parked tag — the victim's own pages and pages other owners
+    // granted it through windows (their tag ran ahead of revocation
+    // under §5.6 laziness; parking them is a narrowing, always safe).
+    const std::size_t pages =
+        sweepTag(0, space_.numPages(), tag, parkedKey_);
+
+    // Unlike PR 8's widening retags, an eviction is a *narrowing*
+    // retag that cached grants may still cover: bump the revocation
+    // epoch so no thread's grant cache can absorb a touch on a page
+    // that is now parked.
+    bumpEpoch();
+
+    v.evictions.fetchAdd(1);
+    stats_->countEviction(pages);
+    keys_.release(tag);
+    if (traceEvictions()) {
+        std::fprintf(stderr, "[evict] %s tag=%d pages=%zu\n",
+                     v.name.c_str(), tag, pages);
+    }
+    return tag;
+}
+
+std::size_t
+Monitor::faultInLocked(Cid cid, int tag)
+{
+    const auto parked = static_cast<uint8_t>(parkedKey_);
+    const auto to = static_cast<uint8_t>(tag);
+    const std::size_t chunk =
+        cfg_.retagChunkPages ? cfg_.retagChunkPages : 1;
+    const std::size_t n = space_.numPages();
+
+    // Restore the cubicle's own parked pages in chunked runs.
+    auto wants = [&](std::size_t p) {
+        return space_.entryAt(p).present &&
+               space_.entryAt(p).pkey == parked && meta_.at(p).owner == cid;
+    };
+    std::size_t total = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        if (!wants(i)) {
+            ++i;
+            continue;
+        }
+        std::size_t run = i + 1;
+        while (run < n && run - i < chunk && wants(run))
+            ++run;
+        space_.setKeyRange(i, run - i, to);
+        stats_->countRetag(run - i);
+        total += run - i;
+        i = run;
+    }
+
+    // Replay standing prestage hints: every live window that prestaged
+    // for this cubicle (and still lists it in the ACL) gets its parked
+    // range pages restored to the new tag, so a grant-layer Prestage
+    // declaration survives eviction instead of decaying to first-touch
+    // faults.
+    const AclMask bit = aclBit(cid);
+    for (Wid wid = 0; wid < windows_.size(); ++wid) {
+        const Window &w = windows_[wid];
+        if (!w.live || !(w.acl & bit))
+            continue;
+        const bool hinted =
+            static_cast<bool>(windowUsage_[wid].prestagedRead.load() & bit) ||
+            static_cast<bool>(windowUsage_[wid].prestagedWrite.load() & bit);
+        if (!hinted)
+            continue;
+        const std::size_t replayed =
+            prestageSweep(w.owner, wid, to, /*only_parked=*/true);
+        if (replayed > 0) {
+            stats_->countPrestage(replayed);
+            total += replayed;
+        }
+    }
+
+    cubicles_[cid]->faultIns.fetchAdd(1);
+    stats_->countFaultIn(total);
+    return total;
+}
+
+std::size_t
+Monitor::sweepTag(std::size_t first, std::size_t end, int from, int to)
+{
+    const auto from_key = static_cast<uint8_t>(from);
+    const auto to_key = static_cast<uint8_t>(to);
+    const std::size_t chunk =
+        cfg_.retagChunkPages ? cfg_.retagChunkPages : 1;
+    auto wants = [&](std::size_t p) {
+        return space_.entryAt(p).present &&
+               space_.entryAt(p).pkey == from_key;
+    };
+    std::size_t total = 0;
+    std::size_t i = first;
+    while (i < end) {
+        if (!wants(i)) {
+            ++i;
+            continue;
+        }
+        std::size_t run = i + 1;
+        while (run < end && run - i < chunk && wants(run))
+            ++run;
+        space_.setKeyRange(i, run - i, to_key);
+        stats_->countRetag(run - i);
+        total += run - i;
+        i = run;
+    }
+    return total;
 }
 
 // ----------------------------------------------------------------------
@@ -647,9 +957,19 @@ Monitor::allocPagesFor(Cid cid, std::size_t n, mem::PageType type,
                        uint8_t perms)
 {
     assert(cid < cubicleCount());
-    const auto key = static_cast<uint8_t>(cubicles_[cid]->pkey);
+    const int key_i = cubicles_[cid]->pkey;
+    const auto key = static_cast<uint8_t>(key_i);
     MutexLock lock(pageMutex_);
-    return pageAlloc_.allocPages(n, cid, type, perms, key);
+    mem::PageRange r = pageAlloc_.allocPages(n, cid, type, perms, key);
+    if (r.valid() && parkedKey_ >= 0 &&
+        cubicles_[cid]->pkey != key_i) {
+        // An eviction re-bound (or parked) the cubicle's tag while we
+        // tagged the fresh pages with the stale value. Park them —
+        // always safe — and let first touch fault them in.
+        space_.setKeyRange(r.first, r.count,
+                           static_cast<uint8_t>(parkedKey_));
+    }
+    return r;
 }
 
 void

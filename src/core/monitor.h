@@ -71,6 +71,7 @@
 #include "core/component.h"
 #include "core/cubicle.h"
 #include "core/errors.h"
+#include "core/keytable.h"
 #include "core/locking.h"
 #include "core/stats.h"
 #include "core/verifier/lint.h"
@@ -102,8 +103,37 @@ struct SystemConfig {
     std::size_t numPages = 16384;
     /** Isolation mode (Fig. 6 ablation switch). */
     IsolationMode mode = IsolationMode::kFull;
-    /** Allow >16 cubicles by multiplexing spilled ones onto one key. */
+    /**
+     * Tag virtualisation (DESIGN.md §14): when the 16 physical MPK
+     * tags run out, give further isolated cubicles *logical* keys and
+     * multiplex them onto a reserved pool of dynamic physical tags
+     * with LRU eviction — evicted cubicles' pages are parked under a
+     * reserved tag and fault back in on next touch. Off by default:
+     * loading past the hardware limit then fails exactly as before.
+     */
     bool virtualizeTags = false;
+    /**
+     * Physical tags the dynamic pool reserves for virtualised
+     * cubicles (only meaningful with virtualizeTags). The rest of the
+     * tag space keeps serving statically-tagged cubicles and hot
+     * windows.
+     */
+    std::size_t dynamicTags = 4;
+    /**
+     * Caps the simulated hardware's physical-tag space below 16
+     * (test-only: forces tag pressure with as few as 4 tags;
+     * clamped to [2, hw::kNumPhysPkeys]).
+     */
+    int physTagBudget = hw::kNumPhysPkeys;
+    /**
+     * Physical keys kept allocatable for hot windows (paper §8) when
+     * virtualizeTags is on: static cubicle tagging stops once only
+     * this many keys remain, so the infrastructure's hot windows can
+     * still claim dedicated hardware tags. Hot windows requested
+     * after the reserve too is spent degrade to ordinary trap-and-map
+     * windows instead of failing the boot.
+     */
+    int hotKeyReserve = 2;
     /** Model the paper's modified-MPK execute semantics. */
     bool modifiedExecSemantics = true;
     /** Default per-cubicle stack arena size in pages. */
@@ -157,6 +187,44 @@ class Monitor {
 
     /** MPK key shared by all shared cubicles' static data. */
     int sharedKey() const { return sharedKey_; }
+
+    /**
+     * The reserved "parked" physical tag evicted cubicles' pages are
+     * swept to, or -1 when tag virtualisation is off. No cubicle's
+     * PKRU ever allows it — all parked cubicles share the tag, so
+     * allowing it would cross-expose every parked cubicle; any access
+     * to a parked page faults into handleFault, which re-binds the
+     * owner first (DESIGN.md §14).
+     */
+    int parkedKey() const { return parkedKey_; }
+
+    /**
+     * Monotonic key-binding epoch, bumped on every eviction/re-bind.
+     * Models the PKRU-update IPI of a real implementation: threads
+     * whose cached PKRU predates the current epoch must recompute it
+     * before trusting a permission check (see System::touch).
+     */
+    uint64_t keyEpoch() const
+    {
+        return keyEpoch_.load(std::memory_order_seq_cst);
+    }
+
+    /**
+     * Ensures @p cid's pages are resident under a physical tag,
+     * evicting the LRU dynamically-tagged cubicle if the pool is full.
+     * No-op (lock-free) when the cubicle is statically tagged or
+     * already bound.
+     * @return the physical tag now backing @p cid.
+     */
+    int ensureResident(Cid cid);
+
+    /**
+     * LRU bookkeeping + fault-in hook for a cross-call into @p callee:
+     * stamps the LRU clock and, when @p callee is parked, binds it a
+     * physical tag (counting a tag miss; hits are counted otherwise).
+     * Called by CrossCallGuard before computing the callee's PKRU.
+     */
+    void noteSwitch(Cid callee);
 
     // ------------------------------------------------------------------
     // Loader (paper §5.4)
@@ -337,6 +405,38 @@ class Monitor {
         windowEpoch_.fetch_add(1, std::memory_order_seq_cst);
     }
 
+    /**
+     * Evicts the LRU dynamically-tagged cubicle and returns its tag,
+     * now free for re-binding. Sweeps every present page still tagged
+     * with the victim's tag — the victim's own pages *and* pages it
+     * was granted through windows — to the parked tag, and bumps both
+     * the revocation epoch (cached grants must not touch parked
+     * pages) and the key epoch.
+     */
+    int evictLocked() REQUIRES(windowMutex_, keyMutex_);
+
+    /**
+     * Restores @p cid's pages from the parked tag to @p tag and
+     * replays standing prestage hints on its live windows.
+     * @return pages restored.
+     */
+    std::size_t faultInLocked(Cid cid, int tag)
+        REQUIRES(windowMutex_, keyMutex_);
+
+    /** One chunked setKeyRange sweep: pages in [first,end) whose
+     *  current tag is @p from become @p to. Returns pages retagged. */
+    std::size_t sweepTag(std::size_t first, std::size_t end, int from,
+                         int to);
+
+    /**
+     * Eagerly retags window @p wid's ranges (owner ∩ not-peer-tagged,
+     * chunked) to @p peer_key. With @p only_parked, restricted to
+     * currently parked pages — the fault-in prestage replay.
+     * @return pages retagged.
+     */
+    std::size_t prestageSweep(Cid owner, Wid wid, uint8_t peer_key,
+                              bool only_parked) REQUIRES(windowMutex_);
+
     SystemConfig cfg_;
     Stats *stats_;
     hw::CycleClock clock_;
@@ -345,6 +445,13 @@ class Monitor {
     mem::PageMetaMap meta_;
     mem::PageAllocator pageAlloc_ GUARDED_BY(pageMutex_);
     int sharedKey_;
+    int parkedKey_ = -1;
+
+    /** Logical→physical bindings for dynamically-tagged cubicles. */
+    KeyTable keys_; // guarded by keyMutex_ (bindGuard + lockdep)
+    std::atomic<uint64_t> keyEpoch_{0};
+    /** LRU clock: stamped into Cubicle::lastUse on every switch. */
+    std::atomic<uint64_t> useClock_{0};
 
     // Locks, in acquisition order (see the file-header hierarchy).
     // Declared before the cubicle table: cubicle heap destructors
@@ -353,8 +460,17 @@ class Monitor {
     mutable Mutex loaderMutex_{LockRank::kLoader, "monitor.loader"};
     mutable SharedMutex windowMutex_
         ACQUIRED_AFTER(loaderMutex_){LockRank::kWindow, "monitor.window"};
+    /**
+     * Serialises key-table bind/evict decisions. Rank kKeyTable sits
+     * between kWindow and kCubicle: eviction runs under the exclusive
+     * window lock (its page sweep must not race the fault handler's
+     * window walk, and it bumps the revocation epoch), and never takes
+     * per-cubicle or page locks (the sweep is an atomic tag store).
+     */
+    mutable Mutex keyMutex_
+        ACQUIRED_AFTER(windowMutex_){LockRank::kKeyTable, "monitor.keys"};
     mutable Mutex pageMutex_
-        ACQUIRED_AFTER(windowMutex_){LockRank::kPage, "monitor.page"};
+        ACQUIRED_AFTER(keyMutex_){LockRank::kPage, "monitor.page"};
 
     /**
      * Append-only, pre-reserved to kMaxCubicles so readers index it
@@ -380,8 +496,18 @@ class Monitor {
      * blank (the audit's documented blind spot).
      */
     struct WindowUsage {
-        hw::RelaxedAtomic<AclMask> usedRead;
-        hw::RelaxedAtomic<AclMask> usedWrite;
+        AtomicAclMask usedRead;
+        AtomicAclMask usedWrite;
+        /**
+         * Peers with a standing prestage hint on this window (read /
+         * write), recorded by windowPrestage and cleared with the
+         * usage masks on slot recycle. Fault-in replays these so a
+         * prestage hint survives its pages being parked by an
+         * eviction (the grant layer declared the access once; the
+         * monitor keeps the declaration, DESIGN.md §14).
+         */
+        AtomicAclMask prestagedRead;
+        AtomicAclMask prestagedWrite;
     };
     std::vector<WindowUsage> windowUsage_ GUARDED_BY(windowMutex_);
 

@@ -99,6 +99,32 @@ class Stats {
      */
     void countGrantCacheHit() { grantCacheHits_.fetchAdd(1); }
 
+    /**
+     * Cross-call into a dynamically-tagged cubicle whose physical tag
+     * was already bound (no eviction machinery on the path).
+     */
+    void countTagHit() { tagHits_.fetchAdd(1); }
+    /** Cross-call that found its callee parked (fault-in required). */
+    void countTagMiss() { tagMisses_.fetchAdd(1); }
+    /**
+     * One eviction: a victim cubicle's resident pages were swept to
+     * the parked tag in range-granular retags covering @p pages pages.
+     */
+    void countEviction(uint64_t pages)
+    {
+        evictions_.fetchAdd(1);
+        evictionPages_.fetchAdd(pages);
+    }
+    /**
+     * One fault-in: a parked cubicle was re-bound to a physical tag
+     * and @p pages of its pages restored from the parked tag.
+     */
+    void countFaultIn(uint64_t pages)
+    {
+        faultIns_.fetchAdd(1);
+        faultInPages_.fetchAdd(pages);
+    }
+
     /** Records one load-time verifier run over a component image. */
     void countVerifiedImage(uint64_t imageBytes, uint64_t decodedBytes,
                             uint64_t insns, uint64_t rejecting,
@@ -155,6 +181,27 @@ class Stats {
     uint64_t windowOps() const { return windowOps_; }
     uint64_t violations() const { return violations_; }
     uint64_t grantCacheHits() const { return grantCacheHits_; }
+    uint64_t tagHits() const { return tagHits_; }
+    uint64_t tagMisses() const { return tagMisses_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t evictionPages() const { return evictionPages_; }
+    uint64_t faultIns() const { return faultIns_; }
+    uint64_t faultInPages() const { return faultInPages_; }
+
+    /**
+     * Physical-tag hit rate over all cross-calls into virtual-key
+     * cubicles, in percent; 100 when no such call happened yet.
+     */
+    double tagHitRatePercent() const
+    {
+        const uint64_t hits = tagHits_;
+        const uint64_t misses = tagMisses_;
+        if (hits + misses == 0)
+            return 100.0;
+        return 100.0 * static_cast<double>(hits) /
+               static_cast<double>(hits + misses);
+    }
+
     uint64_t imagesVerified() const { return imagesVerified_; }
     uint64_t verifierBytesScanned() const { return verifierBytesScanned_; }
     uint64_t verifierBytesDecoded() const { return verifierBytesDecoded_; }
@@ -219,6 +266,12 @@ class Stats {
         windowOps_ = 0;
         violations_ = 0;
         grantCacheHits_ = 0;
+        tagHits_ = 0;
+        tagMisses_ = 0;
+        evictions_ = 0;
+        evictionPages_ = 0;
+        faultIns_ = 0;
+        faultInPages_ = 0;
         imagesVerified_ = 0;
         verifierBytesScanned_ = 0;
         verifierBytesDecoded_ = 0;
@@ -266,6 +319,12 @@ class Stats {
     Counter windowOps_;
     Counter violations_;
     Counter grantCacheHits_;
+    Counter tagHits_;
+    Counter tagMisses_;
+    Counter evictions_;
+    Counter evictionPages_;
+    Counter faultIns_;
+    Counter faultInPages_;
     Counter imagesVerified_;
     Counter verifierBytesScanned_;
     Counter verifierBytesDecoded_;

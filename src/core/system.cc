@@ -36,11 +36,16 @@ CrossCallGuard::CrossCallGuard(System &sys, ThreadCtx &ctx, Cid callee)
         sys.clock().charge(hw::cost::kTrampoline + hw::cost::kStackSwitch);
     }
     if (mode >= IsolationMode::kNoAcl) {
+        // Tag virtualisation: stamp the callee's LRU clock and bind it
+        // a physical tag if it is parked, BEFORE computing its PKRU —
+        // pkruFor never allows the parked tag.
+        sys.monitor().noteSwitch(callee);
         // Guard-page wrpkru (enables the trampoline in the monitor's
         // cubicle) + the trampoline's wrpkru to the callee's key set.
         sys.clock().charge(2 * hw::cost::kWrpkru);
         sys.stats().countWrpkru(2);
         ctx.pkru = sys.monitor().pkruFor(callee);
+        ctx.keyEpoch = sys.monitor().keyEpoch();
     }
     ctx.callStack.push_back(caller_);
     ctx.current = callee;
@@ -356,6 +361,17 @@ System::touchSlow(ThreadCtx &ctx, const void *ptr, std::size_t len,
                   hw::Access access)
 {
     for (;;) {
+        // Tag virtualisation: an eviction (or fault-in) since this
+        // thread last loaded PKRU may have rebound a physical tag to a
+        // different cubicle; a stale PKRU allowing that tag would now
+        // reach the *new* owner's pages without faulting. The epoch
+        // check models the PKRU-update IPI real MPK kernels broadcast.
+        if (ctx.keyEpoch != monitor_.keyEpoch()) {
+            ctx.keyEpoch = monitor_.keyEpoch();
+            ctx.pkru = monitor_.pkruFor(ctx.current);
+            clock().charge(hw::cost::kWrpkru);
+            stats_.countWrpkru();
+        }
         auto fault = monitor_.space().check(monitor_.mpk(), ctx.pkru,
                                             ptr, len, access);
         if (!fault)
@@ -427,9 +443,33 @@ System::checkExec(const void *ptr)
     if (mode_ < IsolationMode::kNoAcl)
         return;
     ThreadCtx &ctx = currentCtx();
-    auto fault = monitor_.space().check(monitor_.mpk(), ctx.pkru, ptr, 1,
-                                        hw::Access::kExec);
-    if (fault) {
+    // Bounded retry: an exec fault can be a parked code page of the
+    // *running* cubicle (its tag was evicted while it kept executing
+    // host-side). Fault the cubicle back in and re-check once per
+    // rebinding; genuine cross-cubicle exec faults still throw.
+    for (int attempt = 0;; ++attempt) {
+        if (ctx.keyEpoch != monitor_.keyEpoch()) {
+            ctx.keyEpoch = monitor_.keyEpoch();
+            ctx.pkru = monitor_.pkruFor(ctx.current);
+            clock().charge(hw::cost::kWrpkru);
+            stats_.countWrpkru();
+        }
+        auto fault = monitor_.space().check(monitor_.mpk(), ctx.pkru,
+                                            ptr, 1, hw::Access::kExec);
+        if (!fault)
+            return;
+        if (attempt < 2 && monitor_.parkedKey() >= 0 &&
+            monitor_.space().contains(fault->addr) &&
+            ctx.current != kNoCubicle) {
+            const std::size_t page =
+                monitor_.space().pageIndexOf(fault->addr);
+            if (monitor_.pageMeta().at(page).owner == ctx.current &&
+                monitor_.space().entryAt(page).pkey ==
+                    static_cast<uint8_t>(monitor_.parkedKey())) {
+                monitor_.ensureResident(ctx.current);
+                continue;
+            }
+        }
         // Execute faults are never resolvable by trap-and-map: windows
         // grant data access only.
         stats_.countViolation();

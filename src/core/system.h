@@ -94,6 +94,16 @@ struct ThreadCtx {
     hw::Pkru pkru = hw::Pkru::denyAll();
     std::vector<Cid> callStack;
     GrantCache grants;
+    /**
+     * The monitor's key-binding epoch this thread's pkru was computed
+     * at. Tag virtualisation rebinds physical tags (eviction); a PKRU
+     * computed before a rebind may still allow a tag that now backs a
+     * *different* cubicle, so checked accesses compare this against
+     * Monitor::keyEpoch() and recompute the register on mismatch —
+     * the simulated equivalent of the PKRU-update IPI a real kernel
+     * would broadcast (see DESIGN.md §14).
+     */
+    uint64_t keyEpoch = 0;
 };
 
 /**

@@ -27,12 +27,90 @@
 #include "core/errors.h"
 #include "core/ids.h"
 #include "core/locking.h"
+#include "hw/relaxed_atomic.h"
 #include "mem/page_meta.h"
 
 namespace cubicleos::core {
 
-/** ACL bitmask over cubicle IDs (bit i = cubicle i may access). */
-using AclMask = uint64_t;
+/**
+ * ACL bitmask over cubicle IDs (bit i = cubicle i may access).
+ *
+ * A 128-bit two-word value type: kMaxCubicles outgrew a single machine
+ * word when tag virtualisation lifted the 16-tag loader ceiling. The
+ * struct keeps the uint64_t ergonomics the code was written against —
+ * implicit construction from integer literals (`AclMask acl = 0`),
+ * bitwise ops, shifts, equality — so call sites read unchanged.
+ */
+struct AclMask {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    constexpr AclMask() = default;
+    constexpr AclMask(uint64_t v) : lo(v) {} // NOLINT: implicit by design
+    constexpr AclMask(uint64_t l, uint64_t h) : lo(l), hi(h) {}
+
+    constexpr bool operator==(const AclMask &) const = default;
+    explicit constexpr operator bool() const { return (lo | hi) != 0; }
+
+    friend constexpr AclMask operator|(AclMask a, AclMask b)
+    {
+        return AclMask{a.lo | b.lo, a.hi | b.hi};
+    }
+    friend constexpr AclMask operator&(AclMask a, AclMask b)
+    {
+        return AclMask{a.lo & b.lo, a.hi & b.hi};
+    }
+    constexpr AclMask operator~() const { return AclMask{~lo, ~hi}; }
+    AclMask &operator|=(AclMask o)
+    {
+        lo |= o.lo;
+        hi |= o.hi;
+        return *this;
+    }
+    AclMask &operator&=(AclMask o)
+    {
+        lo &= o.lo;
+        hi &= o.hi;
+        return *this;
+    }
+    constexpr AclMask operator<<(int n) const
+    {
+        if (n <= 0)
+            return *this;
+        if (n >= 128)
+            return AclMask{};
+        if (n >= 64)
+            return AclMask{0, lo << (n - 64)};
+        return AclMask{lo << n, (hi << n) | (lo >> (64 - n))};
+    }
+};
+
+/**
+ * An AclMask updated atomically word-by-word (relaxed). Used for the
+ * monitor's lock-free usage/prestage tracking; OR-only accumulation
+ * means per-word atomicity is sufficient — a torn read can only miss a
+ * concurrent grant, never invent one.
+ */
+class AtomicAclMask {
+  public:
+    AclMask load() const { return AclMask{lo_.load(), hi_.load()}; }
+    void fetchOr(AclMask m)
+    {
+        if (m.lo != 0)
+            lo_.fetchOr(m.lo);
+        if (m.hi != 0)
+            hi_.fetchOr(m.hi);
+    }
+    void store(AclMask m)
+    {
+        lo_.store(m.lo);
+        hi_.store(m.hi);
+    }
+
+  private:
+    hw::RelaxedAtomic<uint64_t> lo_{0};
+    hw::RelaxedAtomic<uint64_t> hi_{0};
+};
 
 /**
  * Returns the ACL bit for cubicle @p cid.

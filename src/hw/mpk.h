@@ -25,8 +25,19 @@
 
 namespace cubicleos::hw {
 
-/** Number of protection keys supported by MPK hardware. */
-inline constexpr int kNumPkeys = 16;
+/** Number of physical protection keys supported by MPK hardware. */
+inline constexpr int kNumPhysPkeys = 16;
+
+/** Historical alias: the hardware tag count. */
+inline constexpr int kNumPkeys = kNumPhysPkeys;
+
+/**
+ * First logical key id. Logical keys form a separate, unbounded id
+ * space handed out by Mpk::allocLogicalKey(); they never reach the
+ * PKRU (whose bit layout only covers the 16 physical tags) — the
+ * monitor's key table maps them onto physical tags on demand.
+ */
+inline constexpr int kFirstLogicalKey = kNumPhysPkeys;
 
 /**
  * The per-thread PKRU register.
@@ -162,47 +173,90 @@ class AtomicPkru {
  *
  * Hands out the 16 hardware keys (key 0 is reserved for the trusted
  * monitor, mirroring the kernel's default-key convention) and evaluates
- * PKRU checks. With @c virtualizeTags enabled, allocation beyond the
- * hardware limit succeeds and the runtime multiplexes spilled cubicles
- * onto key 15 (documented tag-virtualisation extension, paper §8).
+ * PKRU checks. Beyond the physical tags it also hands out *logical*
+ * keys — an unbounded id space starting at kFirstLogicalKey that the
+ * monitor's key table multiplexes onto physical tags with LRU eviction
+ * (tag virtualisation, BULKHEAD-style; see DESIGN.md §14).
  */
 class Mpk {
   public:
     /** Key reserved for the trusted monitor / TCB. */
     static constexpr int kMonitorKey = 0;
 
-    explicit Mpk(bool modified_exec_semantics = true)
-        : nextKey_(1), modifiedExec_(modified_exec_semantics)
+    /**
+     * @param phys_budget caps physical-tag allocation below the
+     *        hardware limit; used by tag-pressure tests to force
+     *        eviction with as few as 4 tags. Clamped to
+     *        [2, kNumPhysPkeys] (monitor key + at least one more).
+     */
+    explicit Mpk(bool modified_exec_semantics = true,
+                 int phys_budget = kNumPhysPkeys)
+        : nextKey_(1), nextLogicalKey_(kFirstLogicalKey),
+          physBudget_(phys_budget < 2 ? 2
+                      : phys_budget > kNumPhysPkeys ? kNumPhysPkeys
+                                                    : phys_budget),
+          modifiedExec_(modified_exec_semantics)
     {}
 
     /**
-     * Allocates a fresh protection key.
+     * Allocates a fresh physical protection key.
      *
      * Thread-safe: the loader and windowSetHot allocate keys under
      * different locks of the monitor's hierarchy, so the counter
      * advances with a CAS instead of relying on external exclusion.
      *
-     * @param virtualize if true, allocation past the hardware limit
-     *        returns the shared spill key instead of failing.
-     * @return the key, or -1 if the hardware keys are exhausted and
-     *         virtualisation was not requested.
+     * @return the key, or -1 if the physical keys (as capped by the
+     *         budget) are exhausted.
      */
-    int allocKey(bool virtualize = false)
+    int allocKey()
     {
         int cur = nextKey_.load(std::memory_order_relaxed);
-        while (cur < kNumPkeys) {
+        while (cur < physBudget_) {
             if (nextKey_.compare_exchange_weak(
                     cur, cur + 1, std::memory_order_relaxed))
                 return cur;
         }
-        return virtualize ? kNumPkeys - 1 : -1;
+        return -1;
     }
 
-    /** Number of keys handed out so far (excluding the monitor key). */
+    /**
+     * Allocates a fresh logical key (≥ kFirstLogicalKey, unbounded).
+     * Logical keys never appear in a PKRU or a page-table entry; they
+     * only identify a cubicle in the monitor's key table.
+     */
+    int allocLogicalKey()
+    {
+        return nextLogicalKey_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** True if @p key is a logical (virtualised) key id. */
+    static constexpr bool isLogicalKey(int key)
+    {
+        return key >= kFirstLogicalKey;
+    }
+
+    /** Physical keys still allocatable under the budget. */
+    int remainingKeys() const
+    {
+        const int next = nextKey_.load(std::memory_order_relaxed);
+        return next < physBudget_ ? physBudget_ - next : 0;
+    }
+
+    /** Physical keys handed out so far (excluding the monitor key). */
     int allocatedKeys() const
     {
         return nextKey_.load(std::memory_order_relaxed) - 1;
     }
+
+    /** Logical keys handed out so far. */
+    int allocatedLogicalKeys() const
+    {
+        return nextLogicalKey_.load(std::memory_order_relaxed) -
+               kFirstLogicalKey;
+    }
+
+    /** The physical-tag budget this allocator enforces. */
+    int physBudget() const { return physBudget_; }
 
     /** True when the modified-MPK execute semantics are modelled. */
     bool modifiedExecSemantics() const { return modifiedExec_; }
@@ -235,6 +289,8 @@ class Mpk {
 
   private:
     std::atomic<int> nextKey_;
+    std::atomic<int> nextLogicalKey_;
+    int physBudget_;
     bool modifiedExec_;
 };
 

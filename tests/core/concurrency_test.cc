@@ -162,5 +162,166 @@ TEST(Concurrency, ViolationInOneThreadDoesNotPoisonOthers)
     EXPECT_EQ(worker_errors.load(), 0);
 }
 
+// Virtual-key eviction must invalidate cached grants (DESIGN.md §14):
+// evicting a cubicle sweeps every page carrying its physical tag — the
+// pages it was *granted* included — to the parked tag, then rebinds the
+// tag to another cubicle. A grant-cache entry that survived the
+// eviction would absorb the fault and let the thread touch a parked
+// page whose tag now belongs to someone else. The eviction therefore
+// bumps the revocation epoch, unlike PR 8's widening retags which
+// deliberately do not.
+TEST(Concurrency, EvictionInvalidatesCachedGrantsDeterministically)
+{
+    SystemConfig cfg;
+    cfg.numPages = 8192;
+    cfg.stackPages = 2;
+    cfg.virtualizeTags = true;
+    cfg.physTagBudget = 5; // monitor, shared, parked + 2 dynamic
+    cfg.dynamicTags = 2;
+    System sys(cfg);
+    addToy(sys, "reader").onExports(
+        [](Exporter &exp, ToyComponent &me) {
+            exp.fn<int(const char *, std::size_t)>(
+                "sum", [&me](const char *p, std::size_t n) {
+                    me.sys()->touch(p, n, hw::Access::kRead);
+                    int s = 0;
+                    for (std::size_t i = 0; i < n; ++i)
+                        s += p[i];
+                    return s;
+                });
+        });
+    addToy(sys, "owner");
+    for (int i = 0; i < 3; ++i)
+        addToy(sys, "filler" + std::to_string(i));
+    sys.boot();
+    auto sum = sys.resolve<int(const char *, std::size_t)>("reader",
+                                                           "sum");
+    const Cid reader = sys.cidOf("reader");
+    const Cid owner = sys.cidOf("owner");
+    const int parked = sys.monitor().parkedKey();
+    ASSERT_GE(parked, 0);
+
+    char *buf = nullptr;
+    sys.runAs(owner, [&] {
+        buf = reinterpret_cast<char *>(
+            sys.monitor()
+                .allocPagesFor(owner, 1, mem::PageType::kHeap)
+                .ptr);
+        std::memset(buf, 3, 64);
+        const Wid wid = sys.windowInit();
+        sys.windowAdd(wid, buf, 64);
+        sys.windowOpen(wid, reader);
+        // First call trap-and-maps and fills the grant cache; after
+        // the owner reclaims the tag, the repeat is absorbed by it.
+        ASSERT_EQ(sum(buf, 64), 3 * 64);
+        sys.touch(buf, 64, hw::Access::kWrite); // reclaim the tag
+        const uint64_t hits0 = sys.stats().grantCacheHits();
+        ASSERT_EQ(sum(buf, 64), 3 * 64);
+        EXPECT_GT(sys.stats().grantCacheHits(), hits0)
+            << "grant cache must absorb the repeat access";
+    });
+
+    // Force the reader (and owner) out of the dynamic pool: cycling
+    // three fillers through two dynamic tags evicts everyone else.
+    for (int round = 0; round < 3 &&
+                        sys.monitor().cubicle(reader).pkey != parked;
+         ++round) {
+        for (int i = 0; i < 3; ++i) {
+            const Cid f = sys.cidOf("filler" + std::to_string(i));
+            auto &own = sys.monitor().cubicle(f).globalRange;
+            sys.runAs(f, [&] {
+                sys.touch(own.ptr, 16, hw::Access::kWrite);
+            });
+        }
+    }
+    ASSERT_EQ(sys.monitor().cubicle(reader).pkey.load(), parked);
+    EXPECT_GT(sys.stats().evictions(), 0u);
+    // The granted page was swept along with the reader's tag.
+    const std::size_t page = sys.monitor().space().pageIndexOf(buf);
+    ASSERT_EQ(sys.monitor().space().entryAt(page).pkey.load(),
+              static_cast<uint8_t>(parked));
+
+    // The cached grant is dead: the next access must take a full
+    // trap-and-map (re-checking the window ACL), not a cache hit.
+    sys.runAs(owner, [&] {
+        const uint64_t hits1 = sys.stats().grantCacheHits();
+        const uint64_t traps1 = sys.stats().traps();
+        EXPECT_EQ(sum(buf, 64), 3 * 64);
+        EXPECT_EQ(sys.stats().grantCacheHits(), hits1)
+            << "a cached grant must not absorb a parked page";
+        EXPECT_GT(sys.stats().traps(), traps1)
+            << "parked page must re-trap through handleFault";
+    });
+}
+
+TEST(Concurrency, GrantsStayCoherentUnderConcurrentEvictions)
+{
+    SystemConfig cfg;
+    cfg.numPages = 16384;
+    cfg.stackPages = 2;
+    cfg.virtualizeTags = true;
+    cfg.physTagBudget = 5;
+    cfg.dynamicTags = 2;
+    System sys(cfg);
+    addToy(sys, "reader").onExports(
+        [](Exporter &exp, ToyComponent &me) {
+            exp.fn<int(const char *, std::size_t)>(
+                "sum", [&me](const char *p, std::size_t n) {
+                    me.sys()->touch(p, n, hw::Access::kRead);
+                    int s = 0;
+                    for (std::size_t i = 0; i < n; ++i)
+                        s += p[i];
+                    return s;
+                });
+        });
+    addToy(sys, "owner");
+    for (int i = 0; i < 3; ++i)
+        addToy(sys, "filler" + std::to_string(i));
+    sys.boot();
+    auto sum = sys.resolve<int(const char *, std::size_t)>("reader",
+                                                           "sum");
+    const Cid owner = sys.cidOf("owner");
+    const Cid reader = sys.cidOf("reader");
+
+    char *buf = nullptr;
+    sys.runAs(owner, [&] {
+        buf = reinterpret_cast<char *>(
+            sys.monitor()
+                .allocPagesFor(owner, 1, mem::PageType::kHeap)
+                .ptr);
+        std::memset(buf, 5, 64);
+        const Wid wid = sys.windowInit();
+        sys.windowAdd(wid, buf, 64);
+        sys.windowOpen(wid, reader);
+    });
+
+    std::atomic<int> failures{0};
+    std::thread caller([&] {
+        sys.runAs(owner, [&] {
+            for (int i = 0; i < 1500; ++i) {
+                if (sum(buf, 64) != 5 * 64)
+                    ++failures;
+            }
+        });
+    });
+    std::thread evictor([&] {
+        for (int round = 0; round < 100; ++round) {
+            for (int i = 0; i < 3; ++i) {
+                const Cid f =
+                    sys.cidOf("filler" + std::to_string(i));
+                auto &own = sys.monitor().cubicle(f).globalRange;
+                sys.runAs(f, [&] {
+                    sys.touch(own.ptr, 16, hw::Access::kWrite);
+                });
+            }
+        }
+    });
+    caller.join();
+    evictor.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GT(sys.stats().evictions(), 0u);
+    EXPECT_GT(sys.stats().faultIns(), 0u);
+}
+
 } // namespace
 } // namespace cubicleos::core

@@ -413,11 +413,96 @@ TEST(MonitorTest, TagVirtualisationAllowsMoreCubicles)
     for (int i = 0; i < 20; ++i)
         addToy(sys, "c" + std::to_string(i));
     EXPECT_NO_THROW(sys.boot());
-    // Spilled cubicles share the last hardware key.
-    EXPECT_EQ(sys.monitor().cubicle(sys.cidOf("c19")).pkey,
-              hw::kNumPkeys - 1);
-    EXPECT_EQ(sys.monitor().cubicle(sys.cidOf("c18")).pkey,
-              hw::kNumPkeys - 1);
+    const int parked = sys.monitor().parkedKey();
+    ASSERT_GE(parked, 0);
+    // Overflow cubicles hold a logical key and boot parked; no cubicle
+    // ever owns a physical tag outside the hardware range.
+    std::size_t n_parked = 0;
+    for (int i = 0; i < 20; ++i) {
+        const Cubicle &c = sys.monitor().cubicle(sys.cidOf(
+            "c" + std::to_string(i)));
+        EXPECT_LT(c.pkey.load(), hw::kNumPhysPkeys);
+        if (c.pkey == parked) {
+            ++n_parked;
+            EXPECT_GE(c.lkey, hw::kFirstLogicalKey);
+        }
+    }
+    EXPECT_GT(n_parked, 0u) << "20 cubicles must overflow 16 tags";
+
+    // Touching a parked cubicle's own memory faults it back in,
+    // transparently binding a dynamic physical tag. Boot init calls
+    // already cycled every cubicle through the dynamic pool, so pick
+    // two that ended up parked.
+    ASSERT_GE(n_parked, 2u);
+    Cid late = kNoCubicle, other = kNoCubicle;
+    for (int i = 19; i >= 0; --i) {
+        const Cid cid = sys.cidOf("c" + std::to_string(i));
+        if (sys.monitor().cubicle(cid).pkey != parked)
+            continue;
+        if (late == kNoCubicle)
+            late = cid;
+        else if (other == kNoCubicle)
+            other = cid;
+    }
+    ASSERT_NE(late, kNoCubicle);
+    ASSERT_NE(other, kNoCubicle);
+    auto &own = sys.monitor().cubicle(late).globalRange;
+    sys.runAs(late, [&] {
+        EXPECT_NO_THROW(sys.touch(own.ptr, 16, hw::Access::kWrite));
+    });
+    EXPECT_NE(sys.monitor().cubicle(late).pkey.load(), parked);
+    EXPECT_LT(sys.monitor().cubicle(late).pkey.load(),
+              hw::kNumPhysPkeys);
+    EXPECT_GE(sys.monitor().cubicle(late).faultIns.load(), 1u);
+
+    // Isolation survives virtualisation: another parked cubicle's
+    // pages stay unreachable from the resident one.
+    ASSERT_EQ(sys.monitor().cubicle(other).pkey.load(), parked);
+    auto &foreign = sys.monitor().cubicle(other).globalRange;
+    sys.runAs(late, [&] {
+        EXPECT_THROW(sys.touch(foreign.ptr, 16, hw::Access::kRead),
+                     hw::CubicleFault);
+    });
+}
+
+TEST(MonitorTest, TagPressureEvictsLeastRecentlyUsedCubicle)
+{
+    SystemConfig cfg;
+    cfg.numPages = 8192;
+    cfg.stackPages = 2;
+    cfg.virtualizeTags = true;
+    cfg.physTagBudget = 6; // monitor, shared, parked + 3 dynamic
+    cfg.dynamicTags = 3;
+    System sys(cfg);
+    for (int i = 0; i < 8; ++i)
+        addToy(sys, "c" + std::to_string(i));
+    EXPECT_NO_THROW(sys.boot());
+    const int parked = sys.monitor().parkedKey();
+    // With a budget of 6 every cubicle overflows into the logical
+    // namespace; cycling through more cubicles than dynamic tags
+    // forces LRU evictions yet every touch succeeds.
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            const Cid cid = sys.cidOf("c" + std::to_string(i));
+            auto &own = sys.monitor().cubicle(cid).globalRange;
+            sys.runAs(cid, [&] {
+                EXPECT_NO_THROW(
+                    sys.touch(own.ptr, 16, hw::Access::kWrite));
+            });
+            EXPECT_NE(sys.monitor().cubicle(cid).pkey.load(), parked);
+        }
+    }
+    EXPECT_GT(sys.stats().evictions(), 0u);
+    EXPECT_GT(sys.stats().faultIns(), 0u);
+    // Exactly dynamicTags cubicles can be resident at once.
+    std::size_t resident = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (sys.monitor()
+                .cubicle(sys.cidOf("c" + std::to_string(i)))
+                .pkey != parked)
+            ++resident;
+    }
+    EXPECT_LE(resident, cfg.dynamicTags);
 }
 
 TEST(MonitorTest, SharedCubicleDataReadableEverywhere)

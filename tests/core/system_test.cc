@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "core/system.h"
 #include "tests/core/toy_components.h"
@@ -531,6 +533,92 @@ TEST(Prestage, EagerlyRetagsStagedRangeAndSkipsTaggedPages)
         sys.touch(buf, kPages * hw::kPageSize, hw::Access::kRead);
     });
     EXPECT_EQ(sys.stats().traps(), traps0);
+}
+
+TEST(Prestage, HintSurvivesEvictionAndReplaysOnFaultIn)
+{
+    // A Prestage declaration is standing state, not a one-shot retag:
+    // evicting the peer parks the prestaged pages, and the peer's
+    // fault-back-in must replay the sweep (DESIGN.md §14) so its next
+    // access is still trap-free instead of decaying to first-touch
+    // faults.
+    SystemConfig cfg;
+    cfg.numPages = 1024;
+    cfg.virtualizeTags = true;
+    cfg.physTagBudget = 6; // monitor + shared + parked + 3-tag pool
+    cfg.dynamicTags = 3;
+    System sys(cfg);
+    addToy(sys, "owner");
+    addToy(sys, "peer").onExports([](Exporter &exp, ToyComponent &toy) {
+        exp.fn<int64_t(const char *, int64_t)>(
+            "sum", [&toy](const char *p, int64_t n) {
+                toy.sys()->touch(p, static_cast<std::size_t>(n),
+                                 hw::Access::kRead);
+                int64_t acc = 0;
+                for (int64_t i = 0; i < n; ++i)
+                    acc += static_cast<unsigned char>(p[i]);
+                return acc;
+            });
+    });
+    for (int i = 0; i < 3; ++i) {
+        addToy(sys, "f" + std::to_string(i))
+            .onExports([](Exporter &exp, ToyComponent &) {
+                exp.fn<int(int)>("ping", [](int x) { return x + 1; });
+            });
+    }
+    sys.boot();
+    const Cid owner = sys.cidOf("owner");
+    const Cid peer = sys.cidOf("peer");
+    auto sum = sys.resolve<int64_t(const char *, int64_t)>("peer", "sum");
+    std::vector<CrossFn<int(int)>> fill;
+    for (int i = 0; i < 3; ++i) {
+        fill.push_back(
+            sys.resolve<int(int)>("f" + std::to_string(i), "ping"));
+    }
+
+    constexpr std::size_t kPages = 4;
+    char *buf = nullptr;
+    sys.runAs(owner, [&] {
+        buf = reinterpret_cast<char *>(
+            sys.monitor()
+                .allocPagesFor(owner, kPages, mem::PageType::kHeap)
+                .ptr);
+        sys.touch(buf, kPages * hw::kPageSize, hw::Access::kWrite);
+        std::memset(buf, 1, kPages * hw::kPageSize);
+        const Wid wid = sys.windowInit();
+        sys.windowAdd(wid, buf, kPages * hw::kPageSize);
+        sys.windowOpen(wid, peer);
+        sum(buf, 1); // bind the peer so the prestage sweeps for real
+        // The range fault above already granted the staged range, so
+        // the eager sweep may find nothing left to retag — what this
+        // test needs is the *standing hint* the call records.
+        sys.windowPrestage(wid, peer, hw::Access::kRead);
+    });
+
+    // Cycle every filler through the 3-tag dynamic pool: the peer is
+    // evicted and its prestaged pages are swept to the parked tag.
+    sys.runAs(owner, [&] {
+        for (auto &f : fill)
+            f(0);
+    });
+    const int parked = sys.monitor().parkedKey();
+    ASSERT_EQ(sys.monitor().cubicle(peer).pkey, parked);
+    const std::size_t page = sys.monitor().space().pageIndexOf(buf);
+    ASSERT_EQ(sys.monitor().space().entryAt(page).pkey,
+              static_cast<uint8_t>(parked));
+
+    // Fault back in via the cross-call: noteSwitch re-binds the peer
+    // and the fault-in replays the standing hint, so the peer's read
+    // of the whole staged range costs zero traps.
+    const uint64_t traps0 = sys.stats().traps();
+    const uint64_t faultins0 = sys.stats().faultIns();
+    int64_t got = 0;
+    sys.runAs(owner, [&] {
+        got = sum(buf, static_cast<int64_t>(kPages * hw::kPageSize));
+    });
+    EXPECT_EQ(got, static_cast<int64_t>(kPages * hw::kPageSize));
+    EXPECT_EQ(sys.stats().traps(), traps0);
+    EXPECT_GT(sys.stats().faultIns(), faultins0);
 }
 
 TEST(CallRingTest, FlushRunsBatchUnderOneCrossing)

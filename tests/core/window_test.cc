@@ -30,6 +30,35 @@ TEST(AclMask, OutOfRangeCubicleThrowsInsteadOfAliasing)
     EXPECT_THROW(aclBit(kNoCubicle), WindowError);
 }
 
+TEST(AclMask, OldSixtyFourCubicleBoundaryIsNoLongerACeiling)
+{
+    // Regression guard for the 64 -> 128 cid widening: the mask used
+    // to be a bare uint64_t, so cid 64 was the first unrepresentable
+    // cubicle. Bits on both sides of the old boundary must now be
+    // distinct, usable, and must not alias into the low word.
+    static_assert(kMaxCubicles >= 128,
+                  "tag virtualisation needs headroom past 64 cubicles");
+    const AclMask below = aclBit(static_cast<Cid>(63));
+    const AclMask at = aclBit(static_cast<Cid>(64));
+    const AclMask above = aclBit(static_cast<Cid>(127));
+    EXPECT_TRUE(static_cast<bool>(at));
+    EXPECT_TRUE(static_cast<bool>(above));
+    EXPECT_FALSE(static_cast<bool>(below & at));
+    EXPECT_FALSE(static_cast<bool>(at & above));
+    // Bit 64 must live in the high word, not wrap onto cubicle 0.
+    EXPECT_FALSE(static_cast<bool>(at & aclBit(0)));
+    EXPECT_EQ(at.lo, 0u);
+    EXPECT_EQ(at.hi, 1u);
+    EXPECT_EQ(below.lo, uint64_t{1} << 63);
+    EXPECT_EQ(below.hi, 0u);
+    // Set-union and clearing work across the word boundary.
+    AclMask acl = below | at | above;
+    acl &= ~at;
+    EXPECT_TRUE(static_cast<bool>(acl & below));
+    EXPECT_FALSE(static_cast<bool>(acl & at));
+    EXPECT_TRUE(static_cast<bool>(acl & above));
+}
+
 TEST(WindowRange, ContainsIsHalfOpen)
 {
     char buf[64];

@@ -86,13 +86,29 @@ TEST(Mpk, AllocatesFifteenKeysAfterMonitorKey)
     EXPECT_EQ(mpk.allocKey(), -1) << "16th allocation must fail";
 }
 
-TEST(Mpk, VirtualizedAllocationSpillsToLastKey)
+TEST(Mpk, LogicalKeysAreUnboundedAndDisjointFromPhysical)
 {
     Mpk mpk;
-    for (int i = 1; i < kNumPkeys; ++i)
+    for (int i = 1; i < kNumPhysPkeys; ++i)
         mpk.allocKey();
-    EXPECT_EQ(mpk.allocKey(true), kNumPkeys - 1);
-    EXPECT_EQ(mpk.allocKey(true), kNumPkeys - 1);
+    EXPECT_EQ(mpk.allocKey(), -1) << "physical pool is exhausted";
+    // Logical keys come from a separate, unbounded namespace that
+    // never reaches PKRU.
+    EXPECT_EQ(mpk.allocLogicalKey(), kFirstLogicalKey);
+    EXPECT_EQ(mpk.allocLogicalKey(), kFirstLogicalKey + 1);
+    EXPECT_TRUE(Mpk::isLogicalKey(kFirstLogicalKey));
+    EXPECT_FALSE(Mpk::isLogicalKey(kNumPhysPkeys - 1));
+    EXPECT_EQ(mpk.allocatedLogicalKeys(), 2u);
+}
+
+TEST(Mpk, PhysBudgetCapsAllocation)
+{
+    Mpk mpk(/*modified_exec_semantics=*/true, /*phys_budget=*/4);
+    EXPECT_EQ(mpk.physBudget(), 4);
+    EXPECT_EQ(mpk.allocKey(), 1);
+    EXPECT_EQ(mpk.allocKey(), 2);
+    EXPECT_EQ(mpk.allocKey(), 3);
+    EXPECT_EQ(mpk.allocKey(), -1) << "budget of 4 leaves 3 allocatable";
 }
 
 TEST(Mpk, CheckReadWrite)
