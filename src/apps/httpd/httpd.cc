@@ -102,8 +102,18 @@ NginxComponent::poll(uint64_t now_ns)
         if (!logFn_)
             logFn_ = sys()->resolve<int64_t(int64_t)>(logTo_,
                                                       "log_requests");
-        logFn_(static_cast<int64_t>(stats_.requests - loggedRequests_));
-        loggedRequests_ = stats_.requests;
+        try {
+            logFn_(
+                static_cast<int64_t>(stats_.requests - loggedRequests_));
+            loggedRequests_ = stats_.requests;
+        } catch (const core::PeerFault &) {
+            // Log cubicle destroyed mid-deployment: keep serving. A
+            // restarted log rebuilds its counters from zero (its old
+            // heap died with it), so drop the high-water mark too —
+            // the next successful call re-delivers the full running
+            // total and the log converges to the truth.
+            loggedRequests_ = 0;
+        }
     }
     return active;
 }
@@ -171,6 +181,10 @@ NginxComponent::progress(Conn &conn)
                     chunk);
         sys()->stats().countDataCopy(chunk); // header → staging buffer
         const int64_t n = sock_->send(conn.fd, conn.buf, chunk);
+        if (n == NetErr::kNetPeerFault) {
+            dropConn(conn);
+            break;
+        }
         if (n > 0)
             conn.headerSent += static_cast<std::size_t>(n);
         if (conn.headerSent == conn.header.size()) {
@@ -225,6 +239,8 @@ NginxComponent::progress(Conn &conn)
                 stats_.bytesSent += conn.span.len;
                 conn.zcTokens.push_back(conn.span.token);
                 conn.spanPending = false;
+            } else if (n == NetErr::kNetPeerFault) {
+                dropConn(conn);
             } else if (n != NetErr::kNetAgain) {
                 conn.state = Conn::kClosing;
             }
@@ -254,6 +270,10 @@ NginxComponent::progress(Conn &conn)
         const int64_t n = sock_->send(conn.fd,
                                       conn.buf + conn.chunkSent,
                                       conn.chunkLen - conn.chunkSent);
+        if (n == NetErr::kNetPeerFault) {
+            dropConn(conn);
+            break;
+        }
         if (n > 0) {
             conn.chunkSent += static_cast<std::size_t>(n);
             stats_.bytesSent += static_cast<uint64_t>(n);
@@ -261,6 +281,13 @@ NginxComponent::progress(Conn &conn)
         break;
       }
       case Conn::kClosing: {
+        // A dead network stack can never drain its send queue or
+        // acknowledge outstanding spans: the orderly close would spin
+        // forever. Drop the connection instead.
+        if (!sys()->monitor().cubicleAlive(lwipCid_)) {
+            dropConn(conn);
+            break;
+        }
         if (conn.spanPending && conn.fileFd >= 0) {
             // Borrowed but never queued (connection died first): give
             // it straight back.
@@ -281,6 +308,32 @@ NginxComponent::progress(Conn &conn)
         break;
       }
     }
+}
+
+void
+NginxComponent::dropConn(Conn &conn)
+{
+    // Best-effort cleanup: any of these peers may be the one that
+    // died, and each call below already degrades to an error return
+    // (never an exception) in that case.
+    if (conn.spanPending && conn.fileFd >= 0) {
+        fs_->release(conn.fileFd, conn.span.token);
+        conn.spanPending = false;
+    }
+    while (!conn.zcTokens.empty()) {
+        if (conn.fileFd >= 0)
+            fs_->release(conn.fileFd, conn.zcTokens.front());
+        conn.zcTokens.pop_front();
+    }
+    if (conn.fileFd >= 0) {
+        fs_->close(conn.fileFd);
+        conn.fileFd = -1;
+    }
+    sock_->close(conn.fd);
+    sys()->heapFree(conn.buf);
+    conn.buf = nullptr;
+    conn.fd = -1;
+    ++stats_.errors;
 }
 
 void

@@ -147,6 +147,13 @@ class NginxComponent : public core::Component {
     int64_t poll(uint64_t now_ns);
     void progress(Conn &conn);
     void handleRequest(Conn &conn);
+    /**
+     * Drops a connection whose peer cubicle died mid-request
+     * (kNetPeerFault / kErrPeerFault): releases whatever this side
+     * still holds, counts one error, and keeps the server loop
+     * running — other connections and future accepts are unaffected.
+     */
+    void dropConn(Conn &conn);
     /** Releases every span the stack has fully acknowledged. */
     void releaseCompleted(Conn &conn);
     /** Releases @p done oldest acknowledged spans (FIFO order). */
@@ -209,6 +216,13 @@ class TenantLogComponent : public core::Component {
         counters_ = static_cast<uint64_t *>(
             sys()->heapAlloc(sizeof(uint64_t) * 2));
         counters_[0] = counters_[1] = 0;
+    }
+
+    void teardown() override
+    {
+        // The pre-crash counters died with the old heap; init() will
+        // allocate fresh ones in the restarted cubicle.
+        counters_ = nullptr;
     }
 
     /** Total requests this tenant has served (host-side readback). */

@@ -110,6 +110,21 @@ class Pager {
     /** Flushes every dirty page to the file. */
     int flushAll();
 
+    /**
+     * Crash teardown: forgets the open file descriptors and any
+     * in-flight transaction WITHOUT flushing or closing. After the
+     * owning cubicle crashed, the fds are stale and the on-file state
+     * is whatever the last completed write left — including a hot
+     * journal, which the next open() rolls back (crash recovery). The
+     * destructor then only frees buffers.
+     */
+    void abandon()
+    {
+        fd_ = -1;
+        journalFd_ = -1;
+        inTxn_ = false;
+    }
+
     // Header slots usable by the database layer (persisted in page 1).
     uint32_t schemaRoot() const;
     void setSchemaRoot(uint32_t pgno);

@@ -142,6 +142,17 @@ class Component {
      */
     virtual void init() {}
 
+    /**
+     * Releases component-held state before a hot-restart re-runs
+     * init() (System::restartComponent). Runs inside the *fresh*
+     * cubicle, after the monitor swapped the image and heap — a
+     * crashed cubicle cannot run code, so pre-crash handles are
+     * released best-effort here: stale heap pointers are ignored by
+     * the new allocator, and cross-calls into still-live peers work
+     * normally. Never called at system shutdown.
+     */
+    virtual void teardown() {}
+
     /** The cubicle this component was loaded into. */
     Cid self() const { return self_; }
 

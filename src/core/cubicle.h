@@ -12,11 +12,13 @@
 #ifndef CUBICLEOS_CORE_CUBICLE_H_
 #define CUBICLEOS_CORE_CUBICLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/ids.h"
+#include "core/lifecycle.h"
 #include "core/locking.h"
 #include "core/window.h"
 #include "hw/mpk.h"
@@ -64,6 +66,28 @@ struct Cubicle {
      * tagged cubicles. Immutable after load.
      */
     int lkey = -1;
+
+    /**
+     * Lifecycle state (DESIGN.md §15). kLive from publication until
+     * destroyCubicle marks it kDraining; kDead once reclaimed;
+     * restartCubicle flips it back to kLive. Deliberately std::atomic
+     * (seq_cst), not RelaxedAtomic: the quiesce handshake — an
+     * entering thread increments inFlight *then* checks life, the
+     * destroyer stores kDraining *then* reads inFlight — relies on a
+     * total order over the four operations; with relaxed ordering both
+     * sides could miss each other (store-buffering) and a thread would
+     * enter a cubicle being reclaimed.
+     */
+    std::atomic<uint8_t> life{static_cast<uint8_t>(LifeState::kLive)};
+
+    /**
+     * Threads currently executing *inside* this cubicle via a
+     * cross-call (CrossCallGuard increments on entry, decrements on
+     * exit). destroyCubicle quiesces by waiting for this to reach 0
+     * after marking the cubicle kDraining. seq_cst, paired with life
+     * (see above).
+     */
+    std::atomic<uint32_t> inFlight{0};
 
     /** LRU clock value of the last cross-call into this cubicle. */
     hw::RelaxedAtomic<uint64_t> lastUse{0};

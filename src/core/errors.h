@@ -6,10 +6,22 @@
 #ifndef CUBICLEOS_CORE_ERRORS_H_
 #define CUBICLEOS_CORE_ERRORS_H_
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
+#include "core/ids.h"
+
 namespace cubicleos::core {
+
+/**
+ * Verdict value delivered to a caller whose cross-call (or batched
+ * CallRing slot) was unwound because the callee cubicle died. Mirrored
+ * by the porting layers as libos::VfsErr::kErrPeerFault and
+ * libos::NetErr::kNetPeerFault; -131 (ENOTRECOVERABLE) collides with
+ * neither error range.
+ */
+inline constexpr int64_t kPeerFaultVerdict = -131;
 
 /** Misuse of the window API (non-owner management, bad wid, ...). */
 class WindowError : public std::runtime_error {
@@ -48,6 +60,27 @@ class CfiError : public std::runtime_error {
   public:
     explicit CfiError(const std::string &what)
         : std::runtime_error("CFI violation: " + what) {}
+};
+
+/**
+ * A cross-call's callee cubicle is dead or draining (lifecycle
+ * subsystem, DESIGN.md §15). Thrown by CrossCallGuard on entry to a
+ * non-live cubicle and by the fault/heap paths when a victim thread is
+ * being unwound; porting layers catch it and return kPeerFaultVerdict
+ * to their callers instead of crashing the deployment.
+ */
+class PeerFault : public std::runtime_error {
+  public:
+    PeerFault(Cid peer, const std::string &what)
+        : std::runtime_error("peer fault: " + what), peer_(peer)
+    {
+    }
+
+    /** The dead/draining cubicle the call was headed into. */
+    Cid peer() const { return peer_; }
+
+  private:
+    Cid peer_;
 };
 
 /** Out of memory in the monitor's page pool or a cubicle heap. */

@@ -1,0 +1,48 @@
+#include "core/lifecycle.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cubicleos::core {
+
+const char *
+lifeStateName(LifeState state)
+{
+    switch (state) {
+    case LifeState::kLive:
+        return "live";
+    case LifeState::kDraining:
+        return "draining";
+    case LifeState::kDead:
+        return "dead";
+    }
+    return "?";
+}
+
+namespace lifecycle {
+
+bool
+traceEnabled()
+{
+    static const bool trace =
+        std::getenv("CUBICLEOS_TRACE_LIFECYCLE") != nullptr;
+    return trace;
+}
+
+void
+trace(const char *fmt, ...)
+{
+    if (!traceEnabled())
+        return;
+    std::fprintf(stderr, "[lifecycle] ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace lifecycle
+
+} // namespace cubicleos::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cubicle lifecycle: crash isolation, resource reclaim, hot-restart
+ * (DESIGN.md §15).
+ *
+ * The paper's pitch is that a faulty component must not take down the
+ * library OS — this header holds the vocabulary for what happens
+ * *after* the fault. A cubicle moves through three states:
+ *
+ *   kLive ──destroyCubicle──▶ kDraining ──reclaim──▶ kDead
+ *     ▲                                                │
+ *     └────────────────restartCubicle─────────────────┘
+ *
+ * kDraining quiesces in-flight cross-calls: CrossCallGuard refuses new
+ * entries with core::PeerFault, and threads already inside are unwound
+ * by the next checked access (System::touchSlow / heapAlloc) throwing
+ * the same. Once Cubicle::inFlight reaches zero the monitor reclaims
+ * windows, grants, pages and the logical key, then marks the cubicle
+ * kDead. restartCubicle reloads the image through the verify cache and
+ * replays the grants recorded at destroy time (RevokedGrant).
+ *
+ * Tracing: set CUBICLEOS_TRACE_LIFECYCLE to log destroy/restart/unwind
+ * events to stderr (same pattern as CUBICLEOS_TRACE_FAULTS and
+ * CUBICLEOS_TRACE_EVICTIONS).
+ */
+
+#ifndef CUBICLEOS_CORE_LIFECYCLE_H_
+#define CUBICLEOS_CORE_LIFECYCLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace cubicleos::core {
+
+/** Lifecycle state of one cubicle (stored in Cubicle::life). */
+enum class LifeState : uint8_t {
+    kLive = 0,   ///< serving; cross-calls enter normally
+    kDraining,   ///< destroy in progress; entries refused, insiders unwound
+    kDead,       ///< reclaimed; only restartCubicle may touch it
+};
+
+/** Human-readable state name for traces and errors. */
+const char *lifeStateName(LifeState state);
+
+/**
+ * One grant a dying cubicle held on somebody else's window, recorded
+ * by destroyCubicle so restartCubicle can replay it. Destroy clears
+ * the victim's ACL bit (plus its usage/prestage mask bits — the audit
+ * must not credit a dead peer) from every live window of every other
+ * owner; restart re-opens exactly the recorded set, restores the
+ * recorded masks, and re-runs the prestage sweep for windows that had
+ * a standing hint. Windows *owned* by the victim are not recorded:
+ * they are destroyed outright and the component's init() re-creates
+ * them, exactly as at first boot.
+ */
+struct RevokedGrant {
+    Wid wid = kInvalidWindow;
+    Cid owner = kNoCubicle; ///< window owner (sanity check at replay)
+    bool usedRead = false;  ///< audit usage mask bits held at destroy
+    bool usedWrite = false;
+    bool prestagedRead = false;  ///< standing prestage hints to replay
+    bool prestagedWrite = false;
+    bool hot = false; ///< window had a dedicated hot key at destroy
+};
+
+/**
+ * Per-cubicle lifecycle bookkeeping, owned by the monitor and guarded
+ * by its lifecycleMutex_ (LockRank::kLifecycle — above every other
+ * monitor lock, so destroy/restart can take the rest of the hierarchy
+ * underneath it).
+ */
+struct LifecycleRecord {
+    /**
+     * The static physical tag the cubicle held before death, or -1
+     * for dynamically-tagged cubicles. Physical keys can never be
+     * returned to hw::Mpk (the allocator is monotonic, mirroring how
+     * scarce real pkeys are), so a restart reuses the saved key
+     * instead of allocating a fresh one.
+     */
+    int staticKey = -1;
+    /** Completed destroy/restart cycles (trace + test introspection). */
+    uint64_t generation = 0;
+    /** Grants on other owners' windows to replay at restart. */
+    std::vector<RevokedGrant> revoked;
+};
+
+namespace lifecycle {
+
+/** True when CUBICLEOS_TRACE_LIFECYCLE is set (checked once). */
+bool traceEnabled();
+
+/** printf-style trace line, prefixed "[lifecycle] " (stderr). */
+void trace(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace lifecycle
+
+} // namespace cubicleos::core
+
+#endif // CUBICLEOS_CORE_LIFECYCLE_H_

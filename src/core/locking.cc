@@ -53,6 +53,8 @@ const char *
 lockRankName(LockRank rank)
 {
     switch (rank) {
+    case LockRank::kLifecycle:
+        return "lifecycle";
     case LockRank::kLoader:
         return "loader";
     case LockRank::kVerifyCache:

@@ -36,6 +36,7 @@
  * Ranks mirror the monitor's documented acquisition order; gaps leave
  * room for future levels (vkey eviction, per-core sharding):
  *
+ *   kLifecycle   (5)   Monitor::lifecycleMutex_     (destroy/restart)
  *   kLoader      (10)  Monitor::loaderMutex_
  *   kVerifyCache (20)  verifier::VerifyCache::mu_   (under the loader)
  *   kWindow      (30)  Monitor::windowMutex_
@@ -105,6 +106,7 @@ namespace cubicleos::core {
 
 /** Static lock ranks, in the only legal acquisition order. */
 enum class LockRank : uint16_t {
+    kLifecycle = 5,    ///< Monitor::lifecycleMutex_ (destroy/restart)
     kLoader = 10,      ///< Monitor::loaderMutex_
     kVerifyCache = 20, ///< verifier::VerifyCache::mu_
     kWindow = 30,      ///< Monitor::windowMutex_

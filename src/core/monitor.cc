@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "core/codescan.h"
+#include "core/lifecycle.h"
 #include "core/verifier/cache.h"
 
 namespace cubicleos::core {
@@ -56,6 +58,7 @@ Monitor::Monitor(const SystemConfig &cfg, Stats *stats)
     // index them without holding any lock.
     cubicles_.reserve(kMaxCubicles);
     loadReports_.reserve(kMaxCubicles);
+    lifeRecords_.reserve(kMaxCubicles);
 }
 
 Cid
@@ -79,46 +82,7 @@ Monitor::loadComponent(const ComponentSpec &spec)
         ? makeBenignImage(spec.codePages * hw::kPageSize,
                           cubicles_.size() + 1)
         : spec.image;
-    for (const std::size_t e : spec.entryPoints) {
-        if (e >= image.size()) {
-            throw VerifierError(
-                "component '" + spec.name + "' exports entry point " +
-                std::to_string(e) + " outside its " +
-                std::to_string(image.size()) + "-byte image");
-        }
-    }
-    for (const verifier::EntryTable &t : spec.indirectTables) {
-        if (t.offset >= image.size() ||
-            t.count > (image.size() - t.offset) / 4) {
-            throw VerifierError(
-                "component '" + spec.name +
-                "' declares an indirect-target table at offset " +
-                std::to_string(t.offset) + " (" + std::to_string(t.count) +
-                " entries) outside its " + std::to_string(image.size()) +
-                "-byte image");
-        }
-    }
-    bool cacheHit = false;
-    verifier::VerifierReport report =
-        verifier::VerifyCache::instance().verify(image, spec.entryPoints,
-                                                 spec.indirectTables,
-                                                 &cacheHit);
-    if (cacheHit)
-        stats_->countVerifyCacheHit();
-    else
-        stats_->countVerifyCacheMiss();
-    // Counted per load, hit or miss: imagesVerified tracks verified
-    // loads, the hit/miss counters tell how many ran the passes.
-    stats_->countVerifiedImage(report.imageBytes, report.decodedBytes,
-                               report.insnCount, report.rejectingCount(),
-                               report.embeddedCount());
-    if (const verifier::CodeFinding *f = report.firstRejecting()) {
-        throw VerifierError(
-            "component '" + spec.name +
-            "' contains forbidden instruction '" + f->mnemonic +
-            "' at offset " + std::to_string(f->offset) + " (" +
-            verifier::findingClassName(f->cls) + ")");
-    }
+    verifier::VerifierReport report = verifyImage(spec, image);
 
     auto cub = std::make_unique<Cubicle>();
     cub->id = static_cast<Cid>(cubicles_.size());
@@ -161,63 +125,8 @@ Monitor::loadComponent(const ComponentSpec &spec)
     } else {
         cub->pkey = sharedKey_;
     }
-    const auto pkey = static_cast<uint8_t>(cub->pkey);
     const Cid cid = cub->id;
-
-    // Code pages: map writable to copy the image, then execute-only
-    // (rule 1, §5.4: cubicles cannot change execute permissions later).
-    const std::size_t code_pages = hw::pagesFor(image.size());
-    {
-        MutexLock pages(pageMutex_);
-        cub->codeRange = pageAlloc_.allocPages(code_pages, cid,
-                                               mem::PageType::kCode,
-                                               hw::kPermWrite, pkey);
-    }
-    if (!cub->codeRange.valid())
-        throw OutOfMemory("code pages for '" + spec.name + "'");
-    std::memcpy(cub->codeRange.ptr, image.data(), image.size());
-    space_.setPerms(cub->codeRange.first, cub->codeRange.count,
-                    hw::kPermExec);
-
-    // Global data pages.
-    if (spec.globalPages > 0) {
-        MutexLock pages(pageMutex_);
-        cub->globalRange = pageAlloc_.allocPages(
-            spec.globalPages, cid, mem::PageType::kGlobal,
-            hw::kPermRead | hw::kPermWrite, pkey);
-        if (!cub->globalRange.valid())
-            throw OutOfMemory("global pages for '" + spec.name + "'");
-    }
-
-    // Per-cubicle stack arena.
-    const std::size_t stack_pages =
-        spec.stackPages ? spec.stackPages : cfg_.stackPages;
-    {
-        MutexLock pages(pageMutex_);
-        cub->stackRange = pageAlloc_.allocPages(
-            stack_pages, cid, mem::PageType::kStack,
-            hw::kPermRead | hw::kPermWrite, pkey);
-    }
-    if (!cub->stackRange.valid())
-        throw OutOfMemory("stack pages for '" + spec.name + "'");
-
-    // Heap: default page source is the monitor's pool. The boot code may
-    // rewire it to cross-call the ALLOC component (see System::boot).
-    // The callbacks run under the owning cubicle's heapMu and take only
-    // the leaf pageMutex_, per the lock hierarchy.
-    const std::size_t chunk_pages =
-        spec.heapChunkPages ? spec.heapChunkPages : cfg_.heapChunkPages;
-    cub->heap = std::make_unique<mem::HeapAllocator>(
-        [this, cid](std::size_t pages) {
-            // Through allocPagesFor: reads the cubicle's current tag
-            // and re-parks the fresh pages if an eviction raced it.
-            return allocPagesFor(cid, pages, mem::PageType::kHeap);
-        },
-        [this](const mem::PageRange &r) {
-            MutexLock l(pageMutex_);
-            pageAlloc_.freePages(r);
-        },
-        chunk_pages);
+    provisionCubicle(*cub, spec, image);
 
     // Publish: the release store pairs with cubicleCount()'s acquire
     // load, making the fully constructed cubicle (and its parallel
@@ -231,8 +140,119 @@ Monitor::loadComponent(const ComponentSpec &spec)
     }
     cubicles_.push_back(std::move(cub));
     loadReports_.push_back(std::move(report));
+    lifeRecords_.emplace_back();
     cubicleCount_.store(cubicles_.size(), std::memory_order_release);
     return cid;
+}
+
+verifier::VerifierReport
+Monitor::verifyImage(const ComponentSpec &spec,
+                     const std::vector<uint8_t> &image)
+{
+    for (const std::size_t e : spec.entryPoints) {
+        if (e >= image.size()) {
+            throw VerifierError(
+                "component '" + spec.name + "' exports entry point " +
+                std::to_string(e) + " outside its " +
+                std::to_string(image.size()) + "-byte image");
+        }
+    }
+    for (const verifier::EntryTable &t : spec.indirectTables) {
+        if (t.offset >= image.size() ||
+            t.count > (image.size() - t.offset) / 4) {
+            throw VerifierError(
+                "component '" + spec.name +
+                "' declares an indirect-target table at offset " +
+                std::to_string(t.offset) + " (" + std::to_string(t.count) +
+                " entries) outside its " + std::to_string(image.size()) +
+                "-byte image");
+        }
+    }
+    bool cacheHit = false;
+    verifier::VerifierReport report =
+        verifier::VerifyCache::instance().verify(image, spec.entryPoints,
+                                                 spec.indirectTables,
+                                                 &cacheHit);
+    if (cacheHit)
+        stats_->countVerifyCacheHit();
+    else
+        stats_->countVerifyCacheMiss();
+    // Counted per load, hit or miss: imagesVerified tracks verified
+    // loads, the hit/miss counters tell how many ran the passes.
+    stats_->countVerifiedImage(report.imageBytes, report.decodedBytes,
+                               report.insnCount, report.rejectingCount(),
+                               report.embeddedCount());
+    if (const verifier::CodeFinding *f = report.firstRejecting()) {
+        throw VerifierError(
+            "component '" + spec.name +
+            "' contains forbidden instruction '" + f->mnemonic +
+            "' at offset " + std::to_string(f->offset) + " (" +
+            verifier::findingClassName(f->cls) + ")");
+    }
+    return report;
+}
+
+void
+Monitor::provisionCubicle(Cubicle &cub, const ComponentSpec &spec,
+                          const std::vector<uint8_t> &image)
+{
+    const auto pkey = static_cast<uint8_t>(cub.pkey);
+    const Cid cid = cub.id;
+
+    // Code pages: map writable to copy the image, then execute-only
+    // (rule 1, §5.4: cubicles cannot change execute permissions later).
+    const std::size_t code_pages = hw::pagesFor(image.size());
+    {
+        MutexLock pages(pageMutex_);
+        cub.codeRange = pageAlloc_.allocPages(code_pages, cid,
+                                              mem::PageType::kCode,
+                                              hw::kPermWrite, pkey);
+    }
+    if (!cub.codeRange.valid())
+        throw OutOfMemory("code pages for '" + spec.name + "'");
+    std::memcpy(cub.codeRange.ptr, image.data(), image.size());
+    space_.setPerms(cub.codeRange.first, cub.codeRange.count,
+                    hw::kPermExec);
+
+    // Global data pages.
+    if (spec.globalPages > 0) {
+        MutexLock pages(pageMutex_);
+        cub.globalRange = pageAlloc_.allocPages(
+            spec.globalPages, cid, mem::PageType::kGlobal,
+            hw::kPermRead | hw::kPermWrite, pkey);
+        if (!cub.globalRange.valid())
+            throw OutOfMemory("global pages for '" + spec.name + "'");
+    }
+
+    // Per-cubicle stack arena.
+    const std::size_t stack_pages =
+        spec.stackPages ? spec.stackPages : cfg_.stackPages;
+    {
+        MutexLock pages(pageMutex_);
+        cub.stackRange = pageAlloc_.allocPages(
+            stack_pages, cid, mem::PageType::kStack,
+            hw::kPermRead | hw::kPermWrite, pkey);
+    }
+    if (!cub.stackRange.valid())
+        throw OutOfMemory("stack pages for '" + spec.name + "'");
+
+    // Heap: default page source is the monitor's pool. The boot code may
+    // rewire it to cross-call the ALLOC component (see System::boot).
+    // The callbacks run under the owning cubicle's heapMu and take only
+    // the leaf pageMutex_, per the lock hierarchy.
+    const std::size_t chunk_pages =
+        spec.heapChunkPages ? spec.heapChunkPages : cfg_.heapChunkPages;
+    cub.heap = std::make_unique<mem::HeapAllocator>(
+        [this, cid](std::size_t pages) {
+            // Through allocPagesFor: reads the cubicle's current tag
+            // and re-parks the fresh pages if an eviction raced it.
+            return allocPagesFor(cid, pages, mem::PageType::kHeap);
+        },
+        [this](const mem::PageRange &r) {
+            MutexLock l(pageMutex_);
+            pageAlloc_.freePages(r);
+        },
+        chunk_pages);
 }
 
 const verifier::VerifierReport &
@@ -292,8 +312,10 @@ Monitor::pkruFor(Cid cid) const
         // Never allow the parked tag: every parked cubicle shares it,
         // so allowing it would cross-expose all of them. A parked
         // cubicle's accesses fault and re-bind via ensureResident.
+        // A dead cubicle without tag virtualisation has pkey == -1
+        // (its static tag is saved for restart): allow nothing.
         const int k = cubicles_[cid]->pkey;
-        if (k != parkedKey_)
+        if (k >= 0 && k != parkedKey_)
             pkru.allow(k);
         // Hot-window keys granted to this cubicle (paper §8).
         pkru.mergeAllow(cubicles_[cid]->extraAllow.load());
@@ -430,7 +452,14 @@ Monitor::windowDestroy(Cid caller, Wid wid)
 {
     WriterLock lock(windowMutex_);
     stats_->countWindowOp();
-    Window &w = windowChecked(caller, wid, "window_destroy");
+    windowChecked(caller, wid, "window_destroy");
+    destroyWindowLocked(caller, wid);
+}
+
+void
+Monitor::destroyWindowLocked(Cid owner, Wid wid)
+{
+    Window &w = windows_[wid];
     if (w.hotKey >= 0) {
         // Return the window's pages to the owner's tag and revoke the
         // key from every PKRU mask. (The key itself is not recycled;
@@ -444,13 +473,13 @@ Monitor::windowDestroy(Cid caller, Wid wid)
                 space_.entryAt(page).pkey == w.hotKey) {
                 space_.setKey(page, 1,
                               static_cast<uint8_t>(
-                                  cubicles_[caller]->pkey));
+                                  cubicles_[owner]->pkey));
             }
         }
         for (std::size_t i = 0; i < cubicleCount(); ++i)
             cubicles_[i]->extraAllow.deny(w.hotKey);
     }
-    cubicles_[caller]->windows.removeAll(wid);
+    cubicles_[owner]->windows.removeAll(wid);
     w = Window{}; // live = false; slot reusable
     bumpEpoch();
 }
@@ -946,6 +975,287 @@ Monitor::sweepTag(std::size_t first, std::size_t end, int from, int to)
         i = run;
     }
     return total;
+}
+
+// ----------------------------------------------------------------------
+// Lifecycle (DESIGN.md §15)
+// ----------------------------------------------------------------------
+
+std::size_t
+Monitor::destroyCubicle(Cid cid)
+{
+    MutexLock life(lifecycleMutex_);
+    if (cid >= cubicleCount())
+        throw LoaderError("destroyCubicle: unknown cubicle " +
+                          std::to_string(cid));
+    Cubicle &cub = *cubicles_[cid];
+    if (!cub.isolated()) {
+        throw LoaderError("destroyCubicle: '" + cub.name +
+                          "' is a shared cubicle (its static data is "
+                          "mapped into every other cubicle)");
+    }
+    if (static_cast<LifeState>(cub.life.load()) != LifeState::kLive) {
+        throw LoaderError(
+            "destroyCubicle: '" + cub.name + "' is " +
+            lifeStateName(static_cast<LifeState>(cub.life.load())));
+    }
+    lifecycle::trace("destroy %s (cid=%u): draining",
+                     cub.name.c_str(), static_cast<unsigned>(cid));
+
+    // 1. Refuse new entries (CrossCallGuard checks life before
+    // charging) and unwind threads already inside: their next checked
+    // access — System::touchSlow, heapAlloc — throws PeerFault.
+    cub.life.store(static_cast<uint8_t>(LifeState::kDraining));
+
+    // 2. Quiesce. We hold only lifecycleMutex_ (above the whole
+    // hierarchy), so draining threads are free to fault, allocate and
+    // unwind underneath us.
+    while (cub.inFlight.load() != 0)
+        std::this_thread::yield();
+
+    // Everything the cubicle owns right now is what destroy reclaims.
+    const std::size_t reclaimed = meta_.countOwnedBy(cid);
+    LifecycleRecord &rec = lifeRecords_[cid];
+    rec.revoked.clear();
+
+    {
+        WriterLock windows(windowMutex_);
+
+        // 3a. Windows the victim owns die outright (init re-creates
+        // them at restart, exactly as at first boot).
+        for (Wid wid = 0; wid < windows_.size(); ++wid) {
+            if (windows_[wid].live && windows_[wid].owner == cid)
+                destroyWindowLocked(cid, wid);
+        }
+
+        // 3b. Revoke the victim's grants on every other owner's
+        // window, recording them for restart replay. The usage and
+        // prestage masks are scrubbed too: the least-privilege audit
+        // must not credit a dead peer with exercised access.
+        const AclMask bit = aclBit(cid);
+        const AclMask keep = ~bit;
+        for (Wid wid = 0; wid < windows_.size(); ++wid) {
+            Window &w = windows_[wid];
+            if (!w.live || (w.acl & bit) == AclMask{})
+                continue;
+            RevokedGrant g;
+            g.wid = wid;
+            g.owner = w.owner;
+            g.usedRead =
+                (windowUsage_[wid].usedRead.load() & bit) != AclMask{};
+            g.usedWrite =
+                (windowUsage_[wid].usedWrite.load() & bit) != AclMask{};
+            g.prestagedRead =
+                (windowUsage_[wid].prestagedRead.load() & bit) !=
+                AclMask{};
+            g.prestagedWrite =
+                (windowUsage_[wid].prestagedWrite.load() & bit) !=
+                AclMask{};
+            g.hot = w.hotKey >= 0;
+            rec.revoked.push_back(g);
+            w.acl &= keep;
+            windowUsage_[wid].usedRead.store(
+                windowUsage_[wid].usedRead.load() & keep);
+            windowUsage_[wid].usedWrite.store(
+                windowUsage_[wid].usedWrite.load() & keep);
+            windowUsage_[wid].prestagedRead.store(
+                windowUsage_[wid].prestagedRead.load() & keep);
+            windowUsage_[wid].prestagedWrite.store(
+                windowUsage_[wid].prestagedWrite.load() & keep);
+        }
+
+        // 3c. Pages of OTHER owners still carrying the victim's tag
+        // (granted through windows; §5.6 laziness let the tag outlive
+        // the grant) go back to their owner's current tag, so a
+        // recycled dynamic tag cannot leak foreign pages to its next
+        // holder. The victim's own pages keep their tag: they are
+        // unmapped below, and reallocation retags. A parked victim's
+        // tag backs nothing — the eviction already swept it — so the
+        // scan finds no pages and the destroy never faults the victim
+        // back in.
+        const int victim_tag = cub.pkey;
+        if (victim_tag >= 0 && victim_tag != parkedKey_) {
+            const auto vkey = static_cast<uint8_t>(victim_tag);
+            std::size_t returned = 0;
+            for (std::size_t p = 0; p < space_.numPages(); ++p) {
+                if (!space_.entryAt(p).present ||
+                    space_.entryAt(p).pkey != vkey)
+                    continue;
+                const Cid own = meta_.at(p).owner;
+                if (own == cid || own >= cubicleCount())
+                    continue;
+                space_.setKey(p, 1,
+                              static_cast<uint8_t>(cubicles_[own]->pkey));
+                ++returned;
+            }
+            if (returned > 0)
+                stats_->countRetag(returned);
+        }
+
+        // 3d. Hot-window keys granted TO the victim die with it.
+        cub.extraAllow.reset();
+
+        // 3e. Cached grants over anything revoked above are now stale.
+        bumpEpoch();
+
+        // 4. Release the physical tag. A bound dynamic tag returns to
+        // the pool for other logical cubicles; a static tag is saved —
+        // hw::Mpk's allocator is monotonic, so restart must reuse it.
+        {
+            MutexLock keys(keyMutex_);
+            if (cub.lkey >= 0) {
+                rec.staticKey = -1;
+                if (victim_tag >= 0 && victim_tag != parkedKey_)
+                    keys_.release(victim_tag);
+            } else {
+                rec.staticKey = victim_tag;
+            }
+            cub.pkey = parkedKey_; // -1 without tag virtualisation
+        }
+    }
+    keyEpoch_.fetch_add(1, std::memory_order_seq_cst);
+
+    // 5. Return the memory. Heap chunks go straight to the pool: boot
+    // may have routed this heap's growth through another component,
+    // and a cross-call from the destroyer's (host) context is not
+    // possible — per the suballoc contract, chunks already held are
+    // returned through the new PageReturn.
+    {
+        MutexLock heap(cub.heapMu);
+        if (cub.heap) {
+            cub.heap->setSource(
+                [](std::size_t) { return mem::PageRange{}; },
+                [this](const mem::PageRange &r) {
+                    MutexLock l(pageMutex_);
+                    pageAlloc_.freePages(r);
+                });
+            cub.heap.reset();
+        }
+    }
+    freePages(cub.codeRange);
+    cub.codeRange = mem::PageRange{};
+    freePages(cub.globalRange);
+    cub.globalRange = mem::PageRange{};
+    {
+        MutexLock stack(cub.stackMu);
+        freePages(cub.stackRange);
+        cub.stackRange = mem::PageRange{};
+        cub.stackUsed = 0;
+    }
+    assert(meta_.countOwnedBy(cid) == 0);
+
+    cub.life.store(static_cast<uint8_t>(LifeState::kDead));
+    stats_->countDestroy(reclaimed);
+    lifecycle::trace("destroy %s: %zu pages reclaimed, %zu grants "
+                     "revoked, static key %d saved",
+                     cub.name.c_str(), reclaimed, rec.revoked.size(),
+                     rec.staticKey);
+    return reclaimed;
+}
+
+void
+Monitor::restartCubicle(Cid cid, const ComponentSpec &spec)
+{
+    MutexLock life(lifecycleMutex_);
+    if (cid >= cubicleCount())
+        throw LoaderError("restartCubicle: unknown cubicle " +
+                          std::to_string(cid));
+    Cubicle &cub = *cubicles_[cid];
+    if (static_cast<LifeState>(cub.life.load()) != LifeState::kDead) {
+        throw LoaderError(
+            "restartCubicle: '" + cub.name + "' is " +
+            lifeStateName(static_cast<LifeState>(cub.life.load())) +
+            ", not dead");
+    }
+    LifecycleRecord &rec = lifeRecords_[cid];
+
+    {
+        MutexLock loader(loaderMutex_);
+        // Same image synthesis as the original load (the seed was this
+        // cubicle's table position), so an unchanged spec re-verifies
+        // as a content hit in the verify cache — the cheap path the
+        // restart benchmark measures.
+        std::vector<uint8_t> image = spec.image.empty()
+            ? makeBenignImage(spec.codePages * hw::kPageSize,
+                              static_cast<std::size_t>(cid) + 1)
+            : spec.image;
+        verifier::VerifierReport report = verifyImage(spec, image);
+
+        // Tag restore: dynamically-tagged cubicles come back parked
+        // and re-bind on first touch; statically-tagged ones reuse the
+        // key saved at destroy (the hardware allocator is monotonic).
+        if (cub.lkey >= 0) {
+            cub.pkey = parkedKey_;
+        } else {
+            assert(rec.staticKey >= 0 &&
+                   "static cubicle died without a saved key");
+            cub.pkey = rec.staticKey;
+        }
+        provisionCubicle(cub, spec, image);
+        loadReports_[cid] = std::move(report);
+    }
+
+    // Replay the grants peers had given the dying cubicle, so wiring
+    // that survived the crash (the peers' windows) does not need the
+    // peers' cooperation to resume. Windows that died or were recycled
+    // since are skipped — their owner re-opens on its own schedule.
+    {
+        WriterLock windows(windowMutex_);
+        const AclMask bit = aclBit(cid);
+        const int pk = cub.pkey;
+        std::size_t replayed = 0;
+        for (const RevokedGrant &g : rec.revoked) {
+            if (g.wid >= windows_.size())
+                continue;
+            Window &w = windows_[g.wid];
+            if (!w.live || w.owner != g.owner)
+                continue;
+            w.acl |= bit;
+            if (g.usedRead)
+                windowUsage_[g.wid].usedRead.fetchOr(bit);
+            if (g.usedWrite)
+                windowUsage_[g.wid].usedWrite.fetchOr(bit);
+            if (g.prestagedRead)
+                windowUsage_[g.wid].prestagedRead.fetchOr(bit);
+            if (g.prestagedWrite)
+                windowUsage_[g.wid].prestagedWrite.fetchOr(bit);
+            if (w.hotKey >= 0)
+                cub.extraAllow.allow(w.hotKey);
+            if ((g.prestagedRead || g.prestagedWrite) &&
+                pk != parkedKey_) {
+                // Resident restart: replay the eager sweep now. A
+                // parked restart leaves it to fault-in (as after an
+                // eviction).
+                replayed += prestageSweep(g.owner, g.wid,
+                                          static_cast<uint8_t>(pk),
+                                          /*only_parked=*/false);
+            }
+        }
+        if (replayed > 0)
+            stats_->countPrestage(replayed);
+        rec.revoked.clear();
+        // No epoch bump needed: a restart only widens grants.
+    }
+
+    // New tag binding (parked or restored static key): cached PKRUs
+    // must recompute, same as after an eviction.
+    keyEpoch_.fetch_add(1, std::memory_order_seq_cst);
+
+    cub.life.store(static_cast<uint8_t>(LifeState::kLive));
+    ++rec.generation;
+    stats_->countRestart();
+    lifecycle::trace("restart %s (cid=%u): generation %llu, pkey=%d",
+                     cub.name.c_str(), static_cast<unsigned>(cid),
+                     static_cast<unsigned long long>(rec.generation),
+                     static_cast<int>(cub.pkey));
+}
+
+uint64_t
+Monitor::lifeGeneration(Cid cid) const
+{
+    MutexLock life(lifecycleMutex_);
+    assert(cid < cubicleCount());
+    return lifeRecords_[cid].generation;
 }
 
 // ----------------------------------------------------------------------

@@ -249,6 +249,76 @@ class Monitor {
      */
     Cid loadComponent(const ComponentSpec &spec);
 
+    // ------------------------------------------------------------------
+    // Lifecycle (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /**
+     * Kills cubicle @p cid and reclaims everything it held, while the
+     * rest of the deployment keeps serving.
+     *
+     * Crash semantics: no component teardown hook runs here — the
+     * cubicle is treated exactly like a crashed process. The sequence:
+     *
+     *   1. mark kDraining: CrossCallGuard refuses new entries with
+     *      PeerFault, and every checked access (touch/heap) by a
+     *      thread already inside throws PeerFault, unwinding it;
+     *   2. quiesce: wait for Cubicle::inFlight to drain to zero;
+     *   3. close every window it owns and revoke its ACL bit (plus
+     *      usage/prestage mask bits) from every other live window,
+     *      recording the revoked set for restart replay; sweep every
+     *      page still carrying its tag back to the page owner's tag;
+     *      bump the revocation epoch so no grant cache or prestage
+     *      hint can touch the reclaimed pages;
+     *   4. release its physical tag: a bound dynamic tag returns to
+     *      the key table's free pool, a static tag is saved for
+     *      restart (hw::Mpk cannot recycle physical keys); bump the
+     *      key epoch (the PKRU-refresh IPI analogue);
+     *   5. return its heap chunks and code/global/stack pages to the
+     *      page allocator; mark kDead.
+     *
+     * Parked (tag-evicted) cubicles are destroyed in place: their
+     * pages are reclaimed under the parked tag without faulting the
+     * cubicle back in.
+     *
+     * @return pages reclaimed (also counted in Stats::reclaimedPages).
+     * @throws LoaderError on an unknown, shared, or non-live cubicle.
+     */
+    std::size_t destroyCubicle(Cid cid);
+
+    /**
+     * Relaunches a destroyed cubicle in place: re-verifies the image
+     * through the process-wide verify cache (a content-identical image
+     * hits and skips the sweep + CFG walk, which is what makes restart
+     * cheap), reallocates code/global/stack/heap under the saved
+     * static tag (or re-parks a dynamically-tagged cubicle until first
+     * touch), and replays the grants recorded at destroy time —
+     * including standing prestage hints. The caller is responsible for
+     * re-running the component's init() and any boot-time audit (see
+     * System::restartComponent).
+     * @throws LoaderError unless the cubicle is kDead; VerifierError
+     *         as in loadComponent.
+     */
+    void restartCubicle(Cid cid, const ComponentSpec &spec);
+
+    /** Lock-free: true while @p cid is kLive (unknown cids are not). */
+    bool cubicleAlive(Cid cid) const
+    {
+        if (cid >= cubicleCount())
+            return false;
+        return static_cast<LifeState>(cubicles_[cid]->life.load()) ==
+               LifeState::kLive;
+    }
+
+    /** Lifecycle state of @p cid (lock-free snapshot). */
+    LifeState lifeState(Cid cid) const
+    {
+        return static_cast<LifeState>(cubicles_[cid]->life.load());
+    }
+
+    /** Completed destroy/restart cycles of @p cid. */
+    uint64_t lifeGeneration(Cid cid) const;
+
     Cubicle &cubicle(Cid cid);
     const Cubicle &cubicle(Cid cid) const;
     std::size_t cubicleCount() const
@@ -400,6 +470,21 @@ class Monitor {
   private:
     Window &windowChecked(Cid caller, Wid wid, const char *op)
         REQUIRES(windowMutex_);
+
+    /**
+     * windowDestroy's body without the lock: hot-key sweep back to the
+     * owner's tag, extraAllow revocation, range removal, slot free.
+     * Shared between the public windowDestroy and destroyCubicle.
+     */
+    void destroyWindowLocked(Cid owner, Wid wid) REQUIRES(windowMutex_);
+
+    /** Image validation + verify-cache run shared by load and restart. */
+    verifier::VerifierReport verifyImage(const ComponentSpec &spec,
+                                         const std::vector<uint8_t> &image);
+
+    /** Allocates code/global/stack + heap for @p cub (load/restart). */
+    void provisionCubicle(Cubicle &cub, const ComponentSpec &spec,
+                          const std::vector<uint8_t> &image);
     void bumpEpoch() REQUIRES(windowMutex_)
     {
         windowEpoch_.fetch_add(1, std::memory_order_seq_cst);
@@ -457,7 +542,17 @@ class Monitor {
     // Declared before the cubicle table: cubicle heap destructors
     // return chunks through callbacks that lock pageMutex_, so it must
     // outlive them.
-    mutable Mutex loaderMutex_{LockRank::kLoader, "monitor.loader"};
+    /**
+     * Serialises destroy/restart against each other. Rank kLifecycle
+     * sits above the whole hierarchy: a lifecycle operation walks
+     * loader → window → key → cubicle → page underneath it, and no
+     * code path ever acquires it while holding another monitor lock.
+     */
+    mutable Mutex lifecycleMutex_{LockRank::kLifecycle,
+                                  "monitor.lifecycle"};
+    mutable Mutex loaderMutex_
+        ACQUIRED_AFTER(lifecycleMutex_){LockRank::kLoader,
+                                        "monitor.loader"};
     mutable SharedMutex windowMutex_
         ACQUIRED_AFTER(loaderMutex_){LockRank::kWindow, "monitor.window"};
     /**
@@ -514,6 +609,14 @@ class Monitor {
     /** Load-time verifier reports, parallel to cubicles_ (same
      *  pre-reserved append-only publication scheme). */
     std::vector<verifier::VerifierReport> loadReports_;
+
+    /**
+     * Per-cubicle lifecycle bookkeeping (saved static key, revoked
+     * grants to replay, generation), parallel to cubicles_. Grown at
+     * load under loaderMutex_; the record contents are only touched by
+     * destroy/restart under lifecycleMutex_.
+     */
+    std::vector<LifecycleRecord> lifeRecords_;
 };
 
 } // namespace cubicleos::core

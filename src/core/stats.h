@@ -125,6 +125,23 @@ class Stats {
         faultInPages_.fetchAdd(pages);
     }
 
+    /**
+     * One cubicle destroyed (lifecycle subsystem): @p pages of its
+     * code/global/stack/heap pages were returned to the allocator.
+     */
+    void countDestroy(uint64_t pages)
+    {
+        destroys_.fetchAdd(1);
+        reclaimedPages_.fetchAdd(pages);
+    }
+    /** One cubicle relaunched through Monitor::restartCubicle. */
+    void countRestart() { restarts_.fetchAdd(1); }
+    /**
+     * @p calls in-flight or queued cross-calls unwound with a
+     * kPeerFaultVerdict because their callee died.
+     */
+    void countUnwound(uint64_t calls = 1) { unwoundCalls_.fetchAdd(calls); }
+
     /** Records one load-time verifier run over a component image. */
     void countVerifiedImage(uint64_t imageBytes, uint64_t decodedBytes,
                             uint64_t insns, uint64_t rejecting,
@@ -187,6 +204,10 @@ class Stats {
     uint64_t evictionPages() const { return evictionPages_; }
     uint64_t faultIns() const { return faultIns_; }
     uint64_t faultInPages() const { return faultInPages_; }
+    uint64_t destroys() const { return destroys_; }
+    uint64_t restarts() const { return restarts_; }
+    uint64_t reclaimedPages() const { return reclaimedPages_; }
+    uint64_t unwoundCalls() const { return unwoundCalls_; }
 
     /**
      * Physical-tag hit rate over all cross-calls into virtual-key
@@ -272,6 +293,10 @@ class Stats {
         evictionPages_ = 0;
         faultIns_ = 0;
         faultInPages_ = 0;
+        destroys_ = 0;
+        restarts_ = 0;
+        reclaimedPages_ = 0;
+        unwoundCalls_ = 0;
         imagesVerified_ = 0;
         verifierBytesScanned_ = 0;
         verifierBytesDecoded_ = 0;
@@ -325,6 +350,10 @@ class Stats {
     Counter evictionPages_;
     Counter faultIns_;
     Counter faultInPages_;
+    Counter destroys_;
+    Counter restarts_;
+    Counter reclaimedPages_;
+    Counter unwoundCalls_;
     Counter imagesVerified_;
     Counter verifierBytesScanned_;
     Counter verifierBytesDecoded_;

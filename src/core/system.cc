@@ -1,8 +1,10 @@
 #include "core/system.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
+#include "core/lifecycle.h"
 #include "core/verifier/audit.h"
 
 namespace cubicleos::core {
@@ -30,6 +32,29 @@ thread_local ThreadCtx *tls_cached_ctx = nullptr;
 CrossCallGuard::CrossCallGuard(System &sys, ThreadCtx &ctx, Cid callee)
     : sys_(sys), ctx_(ctx), caller_(ctx.current), savedPkru_(ctx.pkru)
 {
+    // Lifecycle gate (DESIGN.md §15): increment-then-check pairs with
+    // destroyCubicle's mark-then-wait. Both sides are seq_cst, so in
+    // the total order either the destroyer's kDraining store precedes
+    // our life load (we back out and refuse), or our increment
+    // precedes the destroyer's in-flight read (it waits for us).
+    // Relaxed ordering would admit the store-buffering interleaving
+    // where the destroyer reads 0 while we read kLive.
+    if (callee < sys.monitor().cubicleCount()) {
+        Cubicle &cub = sys.monitor().cubicle(callee);
+        cub.inFlight.fetch_add(1);
+        const auto state = static_cast<LifeState>(cub.life.load());
+        if (state != LifeState::kLive) {
+            cub.inFlight.fetch_sub(1);
+            sys.stats().countUnwound();
+            lifecycle::trace("refused entry into %s cubicle %s",
+                             lifeStateName(state), cub.name.c_str());
+            throw PeerFault(callee, "cross-call into " +
+                                        std::string(lifeStateName(state)) +
+                                        " cubicle '" + cub.name + "'");
+        }
+        tracked_ = true;
+    }
+
     const IsolationMode mode = sys.mode();
     if (mode >= IsolationMode::kNoMpk) {
         // Trampoline bookkeeping + per-cubicle stack switch.
@@ -53,6 +78,8 @@ CrossCallGuard::CrossCallGuard(System &sys, ThreadCtx &ctx, Cid callee)
 
 CrossCallGuard::~CrossCallGuard()
 {
+    const Cid callee = ctx_.current;
+
     // Return CFI: returns must unwind through the trampoline that made
     // the call, back to the recorded caller.
     assert(!ctx_.callStack.empty() && ctx_.callStack.back() == caller_ &&
@@ -70,6 +97,11 @@ CrossCallGuard::~CrossCallGuard()
         sys_.clock().charge(hw::cost::kTrampoline +
                             hw::cost::kStackSwitch);
     }
+
+    // Drop the in-flight ref last: once the counter reads zero the
+    // destroyer may reclaim, so this thread must be fully out first.
+    if (tracked_)
+        sys_.monitor().cubicle(callee).inFlight.fetch_sub(1);
 }
 
 // ----------------------------------------------------------------------
@@ -94,13 +126,28 @@ CallRing::flush()
         runAll();
         return n;
     }
+    // Dead callee: fail the whole batch as verdicts without paying for
+    // a doomed switch. The guard would refuse anyway; this is the
+    // cheap path when the submitter races a destroy.
+    if (!sys_.monitor().cubicleAlive(callee_)) {
+        faultAll();
+        return n;
+    }
     // Edge accounting stays per logical call — Fig. 5 counts calls,
     // not switches. Only the switch itself is amortised.
     for (std::size_t i = 0; i < n; ++i)
         sys_.stats().countCall(ctx.current, callee_);
     sys_.stats().countRingFlush(n);
-    CrossCallGuard guard(sys_, ctx, callee_);
-    runAll();
+    try {
+        CrossCallGuard guard(sys_, ctx, callee_);
+        runAll();
+    } catch (const PeerFault &) {
+        // The guard refused entry (callee died between the pre-check
+        // and the switch): the batch never ran, so every slot gets a
+        // fault verdict. The guard's throw site already counted one
+        // unwound call for itself.
+        faultAll();
+    }
     return n;
 }
 
@@ -361,6 +408,17 @@ System::touchSlow(ThreadCtx &ctx, const void *ptr, std::size_t len,
                   hw::Access access)
 {
     for (;;) {
+        // Lifecycle: a destroy may have marked this thread's own
+        // cubicle kDraining while it was computing. Unwind at the next
+        // memory touch so the destroyer's quiesce wait terminates.
+        if (ctx.current < monitor_.cubicleCount() &&
+            !monitor_.cubicleAlive(ctx.current)) {
+            stats_.countUnwound();
+            throw PeerFault(ctx.current,
+                            "cubicle '" +
+                                monitor_.cubicle(ctx.current).name +
+                                "' destroyed while running");
+        }
         // Tag virtualisation: an eviction (or fault-in) since this
         // thread last loaded PKRU may have rebound a physical tag to a
         // different cubicle; a stale PKRU allowing that tag would now
@@ -484,6 +542,13 @@ System::heapAlloc(std::size_t size)
     if (cid == kNoCubicle)
         throw LoaderError("heapAlloc outside any cubicle");
     Cubicle &cub = monitor_.cubicle(cid);
+    // Lifecycle: the heap dies with its cubicle, and a destroyed
+    // cubicle has cub.heap == nullptr until a restart rebuilds it.
+    if (static_cast<LifeState>(cub.life.load()) != LifeState::kLive) {
+        stats_.countUnwound();
+        throw PeerFault(cid, "heapAlloc in destroyed cubicle '" +
+                                 cub.name + "'");
+    }
     void *p;
     {
         // Per-cubicle heap lock: threads in different cubicles allocate
@@ -504,6 +569,11 @@ System::heapAllocZeroed(std::size_t size)
     if (cid == kNoCubicle)
         throw LoaderError("heapAlloc outside any cubicle");
     Cubicle &cub = monitor_.cubicle(cid);
+    if (static_cast<LifeState>(cub.life.load()) != LifeState::kLive) {
+        stats_.countUnwound();
+        throw PeerFault(cid, "heapAlloc in destroyed cubicle '" +
+                                 cub.name + "'");
+    }
     void *p;
     {
         MutexLock lock(cub.heapMu);
@@ -521,6 +591,11 @@ System::heapFree(void *ptr)
     if (cid == kNoCubicle)
         throw LoaderError("heapFree outside any cubicle");
     Cubicle &cub = monitor_.cubicle(cid);
+    if (static_cast<LifeState>(cub.life.load()) != LifeState::kLive) {
+        stats_.countUnwound();
+        throw PeerFault(cid, "heapFree in destroyed cubicle '" +
+                                 cub.name + "'");
+    }
     MutexLock lock(cub.heapMu);
     cub.heap->free(ptr);
 }
@@ -532,6 +607,69 @@ System::setHeapSource(Cid cid, mem::HeapAllocator::PageSource source,
     Cubicle &cub = monitor_.cubicle(cid);
     MutexLock lock(cub.heapMu);
     cub.heap->setSource(std::move(source), std::move(ret));
+}
+
+// ----------------------------------------------------------------------
+// Lifecycle (DESIGN.md §15)
+// ----------------------------------------------------------------------
+
+std::size_t
+System::destroyComponent(std::string_view name)
+{
+    const Cid cid = cidOf(name);
+    // A cubicle cannot destroy itself (or any cubicle on its call
+    // stack): the quiesce wait would count this thread's own in-flight
+    // entry and never terminate. Crash *injection* for such cubicles
+    // runs from a different thread — see the fault-injection tests.
+    ThreadCtx &ctx = currentCtx();
+    if (ctx.current == cid ||
+        std::find(ctx.callStack.begin(), ctx.callStack.end(), cid) !=
+            ctx.callStack.end()) {
+        throw LoaderError("cubicle " + std::to_string(cid) +
+                          " cannot destroy itself (quiesce deadlock)");
+    }
+    return monitor_.destroyCubicle(cid);
+}
+
+void
+System::restartComponent(std::string_view name)
+{
+    const Cid cid = cidOf(name);
+    Component &comp = componentAt(cid);
+    const ComponentSpec spec = comp.spec();
+
+    monitor_.restartCubicle(cid, spec);
+
+    // Teardown runs AFTER the monitor swap, inside the fresh cubicle:
+    // a crashed cubicle cannot execute code, so pre-crash handles are
+    // released best-effort here. Stale heap pointers are absorbed by
+    // HeapAllocator::owns; cross-calls into live peers work normally.
+    runAs(cid, [&] { comp.teardown(); });
+    runAs(cid, [&] { comp.init(); });
+
+    // Scoped re-audit (§12 for one cubicle): re-run the wiring lint
+    // and gate on findings anchored to the restarted cubicle. Other
+    // cubicles' wiring did not change, so a full-deployment gate would
+    // only re-report pre-existing accepted findings.
+    if (config().strictVerify) {
+        std::string msg;
+        for (const verifier::LintFinding &f : lintWiring()) {
+            if (f.cubicle != cid ||
+                f.severity < verifier::LintSeverity::kWarning)
+                continue;
+            msg += "\n  [";
+            msg += verifier::lintSeverityName(f.severity);
+            msg += "] ";
+            msg += verifier::lintRuleName(f.rule);
+            msg += ": ";
+            msg += f.message;
+        }
+        if (!msg.empty()) {
+            throw LoaderError(
+                "strict verify: isolation lint failed after restart "
+                "of '" + std::string(name) + "':" + msg);
+        }
+    }
 }
 
 } // namespace cubicleos::core

@@ -120,9 +120,15 @@ class CrossFn;
 /**
  * RAII trampoline context: performs the cubicle switch on construction
  * and the return switch on destruction (exception-safe).
+ *
+ * The guard is also the lifecycle gate (DESIGN.md §15): entry into a
+ * draining or dead cubicle is refused with core::PeerFault, and every
+ * successful entry is tracked in the callee's in-flight counter so
+ * Monitor::destroyCubicle can quiesce before reclaiming.
  */
 class CrossCallGuard {
   public:
+    /** @throws PeerFault when @p callee is not kLive. */
     CrossCallGuard(System &sys, ThreadCtx &ctx, Cid callee);
     ~CrossCallGuard();
 
@@ -134,6 +140,8 @@ class CrossCallGuard {
     ThreadCtx &ctx_;
     Cid caller_;
     hw::Pkru savedPkru_;
+    /** True once this guard holds an in-flight ref on the callee. */
+    bool tracked_ = false;
 };
 
 /**
@@ -181,6 +189,32 @@ class System {
 
     /** Number of loaded cubicles. */
     std::size_t cubicleCount() const { return monitor_.cubicleCount(); }
+
+    // ------------------------------------------------------------------
+    // Lifecycle (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /**
+     * Kills @p name's cubicle with crash semantics — no teardown hook
+     * runs; the component is treated exactly like a crashed process —
+     * and reclaims its pages, windows, grants and key
+     * (Monitor::destroyCubicle). In-flight cross-calls into it unwind
+     * with PeerFault; the rest of the deployment keeps serving.
+     * @return pages reclaimed.
+     * @throws LoaderError when called from inside the victim (the
+     *         quiesce would wait on the calling thread forever).
+     */
+    std::size_t destroyComponent(std::string_view name);
+
+    /**
+     * Relaunches a destroyed component in place: the monitor reloads
+     * the image through the verify cache and replays recorded grants
+     * (Monitor::restartCubicle), then teardown() releases pre-crash
+     * handles and init() re-runs — both inside the fresh cubicle.
+     * Under strictVerify the restarted cubicle re-earns the boot gate:
+     * warning-or-worse lint findings involving it refuse the restart.
+     */
+    void restartComponent(std::string_view name);
 
     // ------------------------------------------------------------------
     // Dynamic symbol resolution (through trampolines)
@@ -495,7 +529,11 @@ System::resolve(std::string_view comp_name, std::string_view fn_name)
  * stack sees one entry into the callee for the whole batch). A thunk
  * that throws aborts the rest of the batch: remaining entries are
  * discarded unexecuted and the exception propagates through the
- * guard's exception-safe return switch.
+ * guard's exception-safe return switch. The one exception is
+ * core::PeerFault — the callee died mid-batch: the ring absorbs it
+ * and delivers kPeerFaultVerdict through each remaining slot's
+ * verdict pointer (see push), so batched submitters observe a peer
+ * crash as per-call error codes, not an unwinding exception.
  *
  * Thread-compatibility: a ring belongs to one thread, like the
  * ThreadCtx it runs against. This is also the API seam an async
@@ -533,9 +571,16 @@ class CallRing {
     /**
      * Queues one call. @return false when the ring is full — flush()
      * first. @p fn must fit the inline slot (enforced at compile time).
+     *
+     * @p verdict, when given, is the slot's completion word: if the
+     * callee dies mid-batch (or is already dead at flush), every
+     * entry from the failure point on gets kPeerFaultVerdict written
+     * through its verdict pointer instead of running — the submitter
+     * reads per-call outcomes after flush() rather than unwinding.
+     * Entries without a verdict pointer fail silently.
      */
     template <typename Fn>
-    bool push(Fn &&fn)
+    bool push(Fn &&fn, int64_t *verdict = nullptr)
     {
         using Decayed = std::decay_t<Fn>;
         static_assert(sizeof(Decayed) <= kSlotBytes,
@@ -555,6 +600,7 @@ class CallRing {
         s.destroy = [](std::byte *p) {
             reinterpret_cast<Decayed *>(p)->~Decayed();
         };
+        s.verdict = verdict;
         ++count_;
         return true;
     }
@@ -570,21 +616,54 @@ class CallRing {
         alignas(std::max_align_t) std::byte storage[kSlotBytes];
         void (*invoke)(std::byte *) = nullptr;
         void (*destroy)(std::byte *) = nullptr;
+        /** Completion word for peer-fault delivery; may be null. */
+        int64_t *verdict = nullptr;
     };
 
-    /** Runs the thunks; on a throw, discards the rest of the batch. */
+    /**
+     * Runs the thunks. A PeerFault — the callee died mid-batch — is
+     * absorbed: the failing entry and everything after it get the
+     * peer-fault verdict instead of tearing the submitter down. Any
+     * other throw discards the rest of the batch and propagates.
+     */
     void runAll()
     {
         std::size_t i = 0;
         try {
             for (; i < count_; ++i)
                 slots_[i].invoke(slots_[i].storage);
+        } catch (const PeerFault &) {
+            // Slot i's thunk was destroyed by its Reaper; later slots
+            // are discarded unexecuted. The fault's own unwind was
+            // already counted at the throw site; count the discards.
+            for (std::size_t j = i; j < count_; ++j) {
+                if (slots_[j].verdict)
+                    *slots_[j].verdict = kPeerFaultVerdict;
+                if (j > i)
+                    slots_[j].destroy(slots_[j].storage);
+            }
+            if (count_ > i + 1)
+                sys_.stats().countUnwound(count_ - i - 1);
+            count_ = 0;
+            return;
         } catch (...) {
             for (std::size_t j = i + 1; j < count_; ++j)
                 slots_[j].destroy(slots_[j].storage);
             count_ = 0;
             throw;
         }
+        count_ = 0;
+    }
+
+    /** Fails every queued entry by verdict (callee already dead). */
+    void faultAll()
+    {
+        for (std::size_t i = 0; i < count_; ++i) {
+            if (slots_[i].verdict)
+                *slots_[i].verdict = kPeerFaultVerdict;
+            slots_[i].destroy(slots_[i].storage);
+        }
+        sys_.stats().countUnwound(count_);
         count_ = 0;
     }
 

@@ -151,6 +151,15 @@ class AtomicPkru {
         update([key](Pkru &p) { p.deny(key); });
     }
 
+    /**
+     * Resets the image to deny-all (cubicle teardown: every hot-window
+     * grant this cubicle held dies with it).
+     */
+    void reset()
+    {
+        raw_.store(Pkru::denyAll().raw(), std::memory_order_relaxed);
+    }
+
   private:
     template <typename F>
     void update(F fn)

@@ -112,9 +112,11 @@ GrantWindow::destroy() noexcept
             sys.windowDestroy(wid);
         else
             sys.runAs(owner, [&] { sys.windowDestroy(wid); });
-    } catch (const core::WindowError &) {
-        // Torn down outside any valid context; the monitor reclaims
-        // window slots when the system goes away.
+    } catch (...) {
+        // Torn down outside any valid context (WindowError), or the
+        // owner cubicle was destroyed under us (PeerFault): the
+        // monitor already revoked and reclaimed the window during
+        // destroyCubicle, so there is nothing left to undo.
     }
 }
 

@@ -193,6 +193,20 @@ class GrantWindow {
      */
     void destroy() noexcept;
 
+    /**
+     * Forgets the window WITHOUT destroying it. For crash teardown
+     * (DESIGN.md §15): Monitor::destroyCubicle already revoked and
+     * cleared every window the dead owner held, so the descriptor
+     * this object remembers is stale — and its slot may have been
+     * reissued to another cubicle, which destroy() must not touch.
+     */
+    void abandon() noexcept
+    {
+        sys_ = nullptr;
+        wid_ = core::kInvalidWindow;
+        staged_ = nullptr;
+    }
+
   private:
     void moveFrom(GrantWindow &other) noexcept;
     /** Eager retag of the staged ranges to every opened peer. */
@@ -320,6 +334,19 @@ class XferArena {
 
     /** Touches [base+off, base+off+n) for write before staging data. */
     void touchForWrite(std::size_t off, std::size_t n);
+
+    /**
+     * Forgets pages and window without releasing either — crash
+     * teardown only (see GrantWindow::abandon): the monitor already
+     * reclaimed the staging pages when the owner was destroyed.
+     */
+    void abandon() noexcept
+    {
+        win_.abandon();
+        range_ = {};
+        sys_ = nullptr;
+        bump_ = 0;
+    }
 
   private:
     void moveFrom(XferArena &other) noexcept;

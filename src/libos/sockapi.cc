@@ -37,9 +37,11 @@ CubicleSockApi::send(int fd, const void *buf, std::size_t n)
     // whenever the callee threw). LWIP always copies the buffer into
     // its send queue, so declare the read up front: the prestage retag
     // replaces the guaranteed first-touch fault.
-    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead,
-                Prestage::kRead);
-    return send_(fd, buf, n);
+    return guarded<int64_t>([&] {
+        Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead,
+                    Prestage::kRead);
+        return send_(fd, buf, n);
+    });
 }
 
 int64_t
@@ -47,9 +49,11 @@ CubicleSockApi::recv(int fd, void *buf, std::size_t n)
 {
     // LWIP writes received bytes into the buffer (when data is
     // pending); declare the write so the delivery path never faults.
-    Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead,
-                Prestage::kWrite);
-    return recv_(fd, buf, n);
+    return guarded<int64_t>([&] {
+        Grant grant(sys_, window_, lwipPeer_, buf, n, hw::Access::kRead,
+                    Prestage::kWrite);
+        return recv_(fd, buf, n);
+    });
 }
 
 int64_t
@@ -59,7 +63,7 @@ CubicleSockApi::poll(uint64_t now_ns)
     // already queued, so callers that submitted zero-copy work earlier
     // in the round get it executed under this poll's switch.
     int64_t r = 0;
-    enqueue([this, now_ns, &r] { r = poll_(now_ns); });
+    enqueue([this, now_ns, &r] { r = poll_(now_ns); }, &r);
     ring_.flush();
     return r;
 }
@@ -70,7 +74,7 @@ CubicleSockApi::sendZero(int fd, const void *span, std::size_t n)
     // No window work: the span is backend memory already granted to
     // LWIP by the borrow that produced it.
     int64_t r = 0;
-    enqueue([this, fd, span, n, &r] { r = sendz_(fd, span, n); });
+    enqueue([this, fd, span, n, &r] { r = sendz_(fd, span, n); }, &r);
     ring_.flush();
     return r;
 }
@@ -79,7 +83,7 @@ int64_t
 CubicleSockApi::zeroCopyDone(int fd)
 {
     int64_t r = 0;
-    enqueue([this, fd, &r] { r = zcDone_(fd); });
+    enqueue([this, fd, &r] { r = zcDone_(fd); }, &r);
     ring_.flush();
     return r;
 }
@@ -88,19 +92,20 @@ void
 CubicleSockApi::submitSendZero(int fd, const void *span, std::size_t n,
                                int64_t *out)
 {
-    enqueue([this, fd, span, n, out] { *out = sendz_(fd, span, n); });
+    enqueue([this, fd, span, n, out] { *out = sendz_(fd, span, n); },
+            out);
 }
 
 void
 CubicleSockApi::submitZeroCopyDone(int fd, int64_t *out)
 {
-    enqueue([this, fd, out] { *out = zcDone_(fd); });
+    enqueue([this, fd, out] { *out = zcDone_(fd); }, out);
 }
 
 void
 CubicleSockApi::submitPoll(uint64_t now_ns, int64_t *out)
 {
-    enqueue([this, now_ns, out] { *out = poll_(now_ns); });
+    enqueue([this, now_ns, out] { *out = poll_(now_ns); }, out);
 }
 
 } // namespace cubicleos::libos

@@ -39,19 +39,39 @@ class CubicleSockApi {
     explicit CubicleSockApi(core::System &sys);
     ~CubicleSockApi() = default;
 
-    int socket() { return socket_(); }
-    int bind(int fd, uint16_t port) { return bind_(fd, port); }
-    int listen(int fd, int backlog) { return listen_(fd, backlog); }
-    int accept(int fd) { return accept_(fd); }
+    // Every wrapper converts core::PeerFault — LWIP destroyed or
+    // draining (DESIGN.md §15) — into kNetPeerFault instead of letting
+    // the exception unwind the application: socket code predating the
+    // lifecycle subsystem already handles negative NetErr returns.
+    int socket() { return guarded<int>([&] { return socket_(); }); }
+    int bind(int fd, uint16_t port)
+    {
+        return guarded<int>([&] { return bind_(fd, port); });
+    }
+    int listen(int fd, int backlog)
+    {
+        return guarded<int>([&] { return listen_(fd, backlog); });
+    }
+    int accept(int fd)
+    {
+        return guarded<int>([&] { return accept_(fd); });
+    }
     int connect(int fd, uint32_t ip, uint16_t port)
     {
-        return connect_(fd, ip, port);
+        return guarded<int>([&] { return connect_(fd, ip, port); });
     }
     int64_t send(int fd, const void *buf, std::size_t n);
     int64_t recv(int fd, void *buf, std::size_t n);
-    int close(int fd) { return close_(fd); }
-    bool established(int fd) { return established_(fd) != 0; }
-    bool sendDrained(int fd) { return sendDrained_(fd) != 0; }
+    int close(int fd) { return guarded<int>([&] { return close_(fd); }); }
+    /** False (not an error) when the stack died: the peer is gone. */
+    bool established(int fd)
+    {
+        return guarded<int>([&] { return established_(fd); }) > 0;
+    }
+    bool sendDrained(int fd)
+    {
+        return guarded<int>([&] { return sendDrained_(fd); }) > 0;
+    }
     /** Drives the stack; batches with any pending submitted calls. */
     int64_t poll(uint64_t now_ns);
 
@@ -74,7 +94,10 @@ class CubicleSockApi {
     // executes every queued call under a single trampoline/PKRU
     // switch, in submission order. Each *out target must stay alive
     // until the flush and is written when its call executes. A full
-    // ring self-flushes on the next submit.
+    // ring self-flushes on the next submit. When LWIP dies mid-batch
+    // the ring writes kNetPeerFault into every unexecuted call's *out
+    // (the verdict word), so submitters see per-call failures, never
+    // an exception.
 
     /** Queues sendZero(fd, span, n); result lands in @p out at flush. */
     void submitSendZero(int fd, const void *span, std::size_t n,
@@ -89,13 +112,28 @@ class CubicleSockApi {
     std::size_t ringPending() const { return ring_.pending(); }
 
   private:
-    /** Queues @p fn, flushing first if the ring is full. */
+    /**
+     * Queues @p fn, flushing first if the ring is full. @p verdict
+     * (usually the call's *out word) receives kNetPeerFault if the
+     * batch dies before @p fn runs.
+     */
     template <typename Fn>
-    void enqueue(Fn &&fn)
+    void enqueue(Fn &&fn, int64_t *verdict = nullptr)
     {
-        if (!ring_.push(std::forward<Fn>(fn))) {
+        if (!ring_.push(std::forward<Fn>(fn), verdict)) {
             ring_.flush();
-            ring_.push(std::forward<Fn>(fn));
+            ring_.push(std::forward<Fn>(fn), verdict);
+        }
+    }
+
+    /** Runs @p fn, mapping core::PeerFault to kNetPeerFault. */
+    template <typename R, typename Fn>
+    R guarded(Fn &&fn)
+    {
+        try {
+            return fn();
+        } catch (const core::PeerFault &) {
+            return static_cast<R>(kNetPeerFault);
         }
     }
 

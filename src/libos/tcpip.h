@@ -35,6 +35,15 @@ enum NetErr : int {
     kNetRefused = -111, ///< no listener at destination
     kNetNotConn = -107,
     kNetBufFull = -105, ///< send buffer exhausted
+
+    /**
+     * The network-stack cubicle is destroyed or draining (DESIGN.md
+     * §15): the call never reached the stack. Connection state is
+     * gone; callers drop the connection and may retry after a
+     * restart. Numerically equal to core::kPeerFaultVerdict so ring
+     * verdicts pass through unconverted.
+     */
+    kNetPeerFault = -131,
 };
 
 /** Configuration of one stack instance. */

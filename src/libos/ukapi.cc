@@ -70,13 +70,13 @@ CubicleFileApi::stagePath(const char *path)
 int
 CubicleFileApi::open(const char *path, int flags)
 {
-    return open_(stagePath(path), flags);
+    return guarded<int>([&] { return open_(stagePath(path), flags); });
 }
 
 int
 CubicleFileApi::close(int fd)
 {
-    return close_(fd);
+    return guarded<int>([&] { return close_(fd); });
 }
 
 int64_t
@@ -85,98 +85,112 @@ CubicleFileApi::read(int fd, void *buf, std::size_t n)
     // Only the backend touches the data buffer (VFSCORE forwards the
     // pointer), and on a read it always writes into it: declare that
     // so the backend's first store is a prestaged retag, not a trap.
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
-                Prestage::kWrite, PeerSet{backendCid_});
-    return read_(fd, buf, n);
+    return guarded<int64_t>([&] {
+        Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                    Prestage::kWrite, PeerSet{backendCid_});
+        return read_(fd, buf, n);
+    });
 }
 
 int64_t
 CubicleFileApi::write(int fd, const void *buf, std::size_t n)
 {
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
-                Prestage::kRead, PeerSet{backendCid_});
-    return write_(fd, buf, n);
+    return guarded<int64_t>([&] {
+        Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                    Prestage::kRead, PeerSet{backendCid_});
+        return write_(fd, buf, n);
+    });
 }
 
 int64_t
 CubicleFileApi::pread(int fd, void *buf, std::size_t n, uint64_t off)
 {
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
-                Prestage::kWrite, PeerSet{backendCid_});
-    return pread_(fd, buf, n, off);
+    return guarded<int64_t>([&] {
+        Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                    Prestage::kWrite, PeerSet{backendCid_});
+        return pread_(fd, buf, n, off);
+    });
 }
 
 int64_t
 CubicleFileApi::pwrite(int fd, const void *buf, std::size_t n,
                        uint64_t off)
 {
-    Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
-                Prestage::kRead, PeerSet{backendCid_});
-    return pwrite_(fd, buf, n, off);
+    return guarded<int64_t>([&] {
+        Grant grant(sys_, ioWin_, peers_, buf, n, hw::Access::kRead,
+                    Prestage::kRead, PeerSet{backendCid_});
+        return pwrite_(fd, buf, n, off);
+    });
 }
 
 int64_t
 CubicleFileApi::lseek(int fd, int64_t off, int whence)
 {
-    return lseek_(fd, off, whence);
+    return guarded<int64_t>([&] { return lseek_(fd, off, whence); });
 }
 
 int
 CubicleFileApi::stat(const char *path, VfsStat *st)
 {
     // Stage both the path and the out-struct on the transfer page.
-    const char *p = stagePath(path);
-    auto *out = reinterpret_cast<VfsStat *>(xfer_.at(kMaxPath));
-    const int rc = stat_(p, out);
-    sys_.touch(out, sizeof(*out), hw::Access::kRead);
-    *st = *out;
-    return rc;
+    return guarded<int>([&] {
+        const char *p = stagePath(path);
+        auto *out = reinterpret_cast<VfsStat *>(xfer_.at(kMaxPath));
+        const int rc = stat_(p, out);
+        sys_.touch(out, sizeof(*out), hw::Access::kRead);
+        *st = *out;
+        return rc;
+    });
 }
 
 int
 CubicleFileApi::fstat(int fd, VfsStat *st)
 {
-    xfer_.touchForWrite(0, hw::kPageSize);
-    auto *out = reinterpret_cast<VfsStat *>(xfer_.at(kMaxPath));
-    const int rc = fstat_(fd, out);
-    sys_.touch(out, sizeof(*out), hw::Access::kRead);
-    *st = *out;
-    return rc;
+    return guarded<int>([&] {
+        xfer_.touchForWrite(0, hw::kPageSize);
+        auto *out = reinterpret_cast<VfsStat *>(xfer_.at(kMaxPath));
+        const int rc = fstat_(fd, out);
+        sys_.touch(out, sizeof(*out), hw::Access::kRead);
+        *st = *out;
+        return rc;
+    });
 }
 
 int
 CubicleFileApi::unlink(const char *path)
 {
-    return unlink_(stagePath(path));
+    return guarded<int>([&] { return unlink_(stagePath(path)); });
 }
 
 int
 CubicleFileApi::mkdir(const char *path)
 {
-    return mkdir_(stagePath(path));
+    return guarded<int>([&] { return mkdir_(stagePath(path)); });
 }
 
 int
 CubicleFileApi::ftruncate(int fd, uint64_t size)
 {
-    return ftruncate_(fd, size);
+    return guarded<int>([&] { return ftruncate_(fd, size); });
 }
 
 int
 CubicleFileApi::fsync(int fd)
 {
-    return fsync_(fd);
+    return guarded<int>([&] { return fsync_(fd); });
 }
 
 int
 CubicleFileApi::readdir(const char *path, uint64_t idx, VfsDirent *out)
 {
-    const char *p = stagePath(path);
-    auto *staged = reinterpret_cast<VfsDirent *>(xfer_.at(kMaxPath));
-    const int rc = readdir_(p, idx, staged);
-    sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
-    *out = *staged;
-    return rc;
+    return guarded<int>([&] {
+        const char *p = stagePath(path);
+        auto *staged = reinterpret_cast<VfsDirent *>(xfer_.at(kMaxPath));
+        const int rc = readdir_(p, idx, staged);
+        sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
+        *out = *staged;
+        return rc;
+    });
 }
 
 int
@@ -186,19 +200,21 @@ CubicleFileApi::borrow(int fd, uint64_t off, core::Cid peer,
     // The out-struct is staged past the path slot so a concurrent
     // stagePath cannot clobber it; the arena window already covers it
     // for VFSCORE and the backend.
-    auto *staged = reinterpret_cast<VfsSpan *>(xfer_.at(kMaxPath));
-    sys_.touch(staged, sizeof(*staged), hw::Access::kWrite);
-    *staged = VfsSpan{};
-    const int rc = borrow_(fd, off, peer, max_len, staged);
-    sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
-    *out = *staged;
-    return rc;
+    return guarded<int>([&] {
+        auto *staged = reinterpret_cast<VfsSpan *>(xfer_.at(kMaxPath));
+        sys_.touch(staged, sizeof(*staged), hw::Access::kWrite);
+        *staged = VfsSpan{};
+        const int rc = borrow_(fd, off, peer, max_len, staged);
+        sys_.touch(staged, sizeof(*staged), hw::Access::kRead);
+        *out = *staged;
+        return rc;
+    });
 }
 
 int
 CubicleFileApi::release(int fd, uint64_t token)
 {
-    return release_(fd, token);
+    return guarded<int>([&] { return release_(fd, token); });
 }
 
 int

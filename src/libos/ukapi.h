@@ -80,9 +80,38 @@ class CubicleFileApi : public FileApi {
     /** Returns a borrowed span; the backend revokes and unpins. */
     int release(int fd, uint64_t token);
 
+    /**
+     * Crash teardown (DESIGN.md §15): forgets the transfer arena and
+     * I/O window without releasing them. Call from Component::teardown
+     * after the owning cubicle was destroyed — the monitor already
+     * reclaimed those pages and windows, and the remembered ids may
+     * have been reissued. The destructor is then a no-op.
+     */
+    void abandon() noexcept
+    {
+        xfer_.abandon();
+        ioWin_.abandon();
+    }
+
   private:
     /** Copies a path into the transfer arena, returns the staged copy. */
     const char *stagePath(const char *path);
+
+    /**
+     * Runs @p fn, mapping core::PeerFault to kErrPeerFault: a
+     * destroyed VFSCORE or backend cubicle (DESIGN.md §15) surfaces as
+     * an error return, not an exception — application code predating
+     * the lifecycle subsystem already handles negative VfsErr codes.
+     */
+    template <typename R, typename Fn>
+    R guarded(Fn &&fn)
+    {
+        try {
+            return fn();
+        } catch (const core::PeerFault &) {
+            return static_cast<R>(kErrPeerFault);
+        }
+    }
 
     core::System &sys_;
     core::Cid vfsCid_;

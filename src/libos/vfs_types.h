@@ -32,6 +32,16 @@ enum VfsErr : int {
     kErrNameTooLong = -36,
     kErrNotEmpty = -39, ///< directory not empty
     kErrNoSys = -38,   ///< not implemented by this backend
+
+    /**
+     * The component that would have served this call is destroyed or
+     * draining (DESIGN.md §15). Outside the POSIX range on purpose:
+     * callers distinguish "your file is bad" from "your filesystem
+     * died" and may retry after System::restartComponent. Numerically
+     * equal to core::kPeerFaultVerdict so ring verdicts pass through
+     * unconverted.
+     */
+    kErrPeerFault = -131,
 };
 
 /** open() flags (subset). */

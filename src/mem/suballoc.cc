@@ -186,12 +186,30 @@ HeapAllocator::allocZeroed(std::size_t size)
     return p;
 }
 
+bool
+HeapAllocator::owns(const void *ptr) const
+{
+    const auto *p = static_cast<const std::byte *>(ptr);
+    for (const auto &chunk : chunks_) {
+        if (!chunk.range.valid())
+            continue; // tombstoned (returned) chunk
+        if (p >= chunk.range.ptr &&
+            p < chunk.range.ptr + chunk.range.sizeBytes())
+            return true;
+    }
+    return false;
+}
+
 void
 HeapAllocator::free(void *ptr)
 {
     if (!ptr)
         return;
     ++stats_.freeCalls;
+    if (!owns(ptr)) {
+        ++stats_.staleFrees;
+        return;
+    }
     auto *b = reinterpret_cast<BlockHdr *>(ptr) - 1;
     assert(b->magic == BlockHdr::kMagic && "heap corruption or bad free");
     assert(!b->free && "double free");

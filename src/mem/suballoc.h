@@ -32,6 +32,7 @@ struct HeapStats {
     uint64_t bytesInUse = 0;
     uint64_t chunksHeld = 0;
     uint64_t chunkRequests = 0; ///< calls into the page source
+    uint64_t staleFrees = 0;    ///< frees of pointers in no held chunk
 };
 
 /**
@@ -69,8 +70,18 @@ class HeapAllocator {
     /** Allocates zero-initialised memory. */
     void *allocZeroed(std::size_t size);
 
-    /** Frees a pointer returned by alloc(); nullptr is a no-op. */
+    /**
+     * Frees a pointer returned by alloc(); nullptr is a no-op. A
+     * pointer lying in no chunk this allocator currently holds is
+     * ignored (counted in HeapStats::staleFrees): after a cubicle
+     * crash + restart, teardown code legitimately releases handles
+     * that predate the fresh heap, and those must not be treated as
+     * corruption.
+     */
     void free(void *ptr);
+
+    /** True if @p ptr lies inside a chunk this allocator holds. */
+    bool owns(const void *ptr) const;
 
     /** Usable payload size of an allocated block. */
     std::size_t usableSize(const void *ptr) const;
